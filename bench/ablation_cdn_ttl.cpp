@@ -1,0 +1,42 @@
+// Ablation: CDN answer TTL.
+//
+// The paper attributes the cellular DNS miss tail (Fig. 7) to "the short
+// TTLs used by CDNs". This ablation sweeps the CDN answer TTL and
+// measures the consequences on the fleet: the back-to-back miss tail and
+// the first-lookup resolution median.
+#include <cstdio>
+
+#include "analysis/figures.h"
+#include "core/study.h"
+
+int main() {
+  using namespace curtain;
+  std::printf("================================================================\n");
+  std::printf("Ablation — CDN answer TTL vs cache effectiveness (Fig. 7's"
+              " mechanism)\n");
+  std::printf("================================================================\n");
+  std::printf("  %-8s %-22s %-22s %s\n", "TTL(s)", "2nd-lookup miss tail",
+              "1st-lookup p50 (ms)", "1st-lookup p90 (ms)");
+
+  for (const uint32_t ttl : {5u, 30u, 120u, 600u}) {
+    core::StudyConfig config;
+    config.seed = 424242;
+    config.scale = 0.01;
+    config.world.seed = config.seed;
+    config.world.cdn_answer_ttl_s = ttl;
+    core::Study study(config);
+    study.run();
+
+    const auto groups = analysis::fig7_cache_effect(study.dataset());
+    const auto& first = groups.at("1st Lookup");
+    const auto& second = groups.at("2nd Lookup");
+    const double threshold = first.quantile(0.75);
+    const double miss_tail = 1.0 - second.fraction_at_or_below(threshold);
+    std::printf("  %-8u %18.1f %%  %18.1f %21.1f\n", ttl, miss_tail * 100.0,
+                first.median(), first.quantile(0.9));
+  }
+  std::printf("\nLonger TTLs let every cache on the path absorb repeats, but\n"
+              "pin clients to a replica set for longer — the CDN's agility/\n"
+              "cacheability trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared scaffolding for the per-figure/table bench binaries.
+//
+// Every bench runs one campaign at CURTAIN_SCALE (default 0.05 of the
+// paper's five months; CURTAIN_SCALE=1 reproduces the full 28k-experiment
+// study) and prints the rows/series of its paper figure or table.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/figures.h"
+#include "core/study.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+namespace curtain::bench {
+
+/// When CURTAIN_BENCH_CSV_DIR is set, every CDF a bench prints is also
+/// written as `<dir>/<exp_id>.csv` (label,quantile,value rows) for
+/// external plotting.
+class CsvSink {
+ public:
+  explicit CsvSink(const std::string& exp_id) {
+    const std::string dir = util::env_string("CURTAIN_BENCH_CSV_DIR", "");
+    if (dir.empty()) return;
+    std::string slug;
+    for (const char c : exp_id) {
+      slug += std::isalnum(static_cast<unsigned char>(c))
+                  ? static_cast<char>(std::tolower(c))
+                  : '_';
+    }
+    file_ = std::make_unique<util::CsvFile>(dir + "/" + slug + ".csv");
+    if (!file_->valid()) {
+      file_.reset();
+      return;
+    }
+    file_->writer().row({"series", "quantile", "value"});
+  }
+
+  void add(const std::string& label, const analysis::Ecdf& cdf) {
+    if (!file_) return;
+    for (const auto& [p, v] : cdf.curve(41)) {
+      file_->writer().typed_row(label, p, v);
+    }
+  }
+
+ private:
+  std::unique_ptr<util::CsvFile> file_;
+};
+
+/// Process-wide sink bound by banner(); null until then.
+inline std::unique_ptr<CsvSink>& csv_sink() {
+  static std::unique_ptr<CsvSink> sink;
+  return sink;
+}
+
+/// Builds, runs and returns the study for this bench process.
+inline core::Study& study() {
+  static core::Study* instance = [] {
+    auto* s = new core::Study(core::StudyConfig::from_env());
+    std::fprintf(stderr, "[bench] running campaign: scale=%.3f seed=%llu ...\n",
+                 s->config().scale,
+                 static_cast<unsigned long long>(s->config().seed));
+    s->run();
+    std::fprintf(stderr, "[bench] campaign done: %s\n", s->summary().c_str());
+    return s;
+  }();
+  return *instance;
+}
+
+inline void banner(const char* exp_id, const char* description) {
+  csv_sink() = std::make_unique<CsvSink>(exp_id);
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", exp_id, description);
+  std::printf("  (Behind the Curtain, IMC'14 reproduction; dataset: %s)\n",
+              study().summary().c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints one labelled CDF as a quantile row (and mirrors it to the CSV
+/// sink when CURTAIN_BENCH_CSV_DIR is set; `series` names the CSV series,
+/// defaulting to the display label).
+inline void print_cdf_row(const std::string& label, const analysis::Ecdf& cdf,
+                          const std::string& series = {}) {
+  std::printf("  %-22s %s\n", label.c_str(), analysis::describe_cdf(cdf).c_str());
+  if (csv_sink()) csv_sink()->add(series.empty() ? label : series, cdf);
+}
+
+/// Prints a group of CDFs (one figure panel).
+inline void print_group(const std::string& title,
+                        const analysis::CdfGroup& group) {
+  std::printf("%s\n", title.c_str());
+  for (const auto& [label, cdf] : group) {
+    print_cdf_row(label, cdf, title + "/" + label);
+  }
+}
+
+/// Prints full CDF curves as CSV-ish series rows for external plotting.
+inline void print_curves(const analysis::CdfGroup& group, int points = 11) {
+  for (const auto& [label, cdf] : group) {
+    if (cdf.empty()) continue;
+    std::printf("    series,%s", label.c_str());
+    for (const auto& [p, v] : cdf.curve(points)) {
+      std::printf(",%.0f%%=%.1f", p * 100.0, v);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace curtain::bench

@@ -1,0 +1,22 @@
+// Figure 2: CDF of the percent increase in mean replica HTTP latency
+// (TTFB) over the best replica each user saw, per carrier, across four
+// popular domains. The paper reports 50%+ penalties routinely and >400%
+// for a substantial fraction of accesses in extreme cases.
+#include "bench_common.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 2",
+                "Percent increase of each replica vs the user's best replica");
+
+  const auto groups = analysis::fig2_replica_penalty(bench::study().dataset());
+  for (const auto& [carrier, cdf] : groups) {
+    std::printf("%s\n", carrier.c_str());
+    bench::print_cdf_row("penalty % CDF", cdf);
+    std::printf("    fraction with >50%% penalty: %.1f%%\n",
+                (1.0 - cdf.fraction_at_or_below(50.0)) * 100.0);
+    std::printf("    fraction with >100%% penalty: %.1f%%\n",
+                (1.0 - cdf.fraction_at_or_below(100.0)) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 3: DNS resolution time grouped by the radio technology active
+// during the resolution, per carrier. The paper's bands: LTE fastest,
+// 3G ~50 ms slower at the median, 2G near one second.
+#include "bench_common.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 3", "Resolution time by radio technology, per carrier");
+
+  const auto groups = analysis::fig3_radio_bands(bench::study().dataset());
+  for (const auto& [carrier, by_tech] : groups) {
+    bench::print_group(carrier, by_tech);
+    bench::print_curves(by_tech, 5);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 4: client ping latency to the configured (client-facing) vs the
+// identified external-facing resolver, per carrier. SK Telecom's tiers
+// are collocated; Verizon's and LG U+'s externals never answer.
+#include "bench_common.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 4", "Latency to client- vs external-facing resolvers");
+
+  const auto groups = analysis::fig4_resolver_distance(bench::study().dataset());
+  for (const auto& [carrier, group] : groups) {
+    bench::print_group(carrier, group);
+    if (!group.count("External")) {
+      std::printf("  %-22s (no responses — unresponsive external tier)\n",
+                  "External");
+    }
+    bench::print_curves(group, 5);
+  }
+  return 0;
+}

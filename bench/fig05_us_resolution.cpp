@@ -1,0 +1,13 @@
+// Figure 5: DNS resolution time CDFs for the four US carriers (cell LDNS,
+// first lookups). Paper medians: 30-50 ms, long tails past p80.
+#include "bench_common.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 5", "Resolution time, US carriers (cell LDNS)");
+  const auto group =
+      analysis::fig5_fig6_resolution_times(bench::study().dataset(), "US");
+  bench::print_group("US carriers", group);
+  bench::print_curves(group);
+  return 0;
+}

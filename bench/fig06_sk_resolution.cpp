@@ -1,0 +1,14 @@
+// Figure 6: DNS resolution time CDFs for the two South Korean carriers
+// (cell LDNS, first lookups). The paper notes bimodal behaviour above the
+// median — the cache-miss mode.
+#include "bench_common.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 6", "Resolution time, South Korean carriers (cell LDNS)");
+  const auto group =
+      analysis::fig5_fig6_resolution_times(bench::study().dataset(), "KR");
+  bench::print_group("SK carriers", group);
+  bench::print_curves(group);
+  return 0;
+}

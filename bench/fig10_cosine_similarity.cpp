@@ -1,0 +1,31 @@
+// Figure 10: cosine similarity of buzzfeed.com replica sets between
+// resolvers within the same /24 vs across /24s, per carrier. Paper: same
+// /24 close to 1; over 60% of cross-/24 pairs at exactly 0.
+#include "bench_common.h"
+#include "cdn/domains.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 10", "Replica-set cosine similarity by resolver /24");
+
+  // Locate buzzfeed in the domain catalog.
+  uint16_t buzzfeed = 0;
+  for (size_t d = 0; d < cdn::study_domains().size(); ++d) {
+    if (cdn::study_domains()[d].host == "www.buzzfeed.com") {
+      buzzfeed = static_cast<uint16_t>(d);
+    }
+  }
+
+  const auto splits = analysis::fig10_cosine(bench::study().dataset(), buzzfeed);
+  for (const auto& [carrier, split] : splits) {
+    std::printf("%s\n", carrier.c_str());
+    bench::print_cdf_row("same /24", split.same_slash24);
+    bench::print_cdf_row("different /24", split.different_slash24);
+    if (!split.different_slash24.empty()) {
+      std::printf("    cross-/24 pairs with similarity 0: %.1f%%"
+                  "  (paper: >60%%)\n",
+                  split.different_slash24.fraction_at_or_below(1e-9) * 100.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 11: ping latency to the carrier's (external-facing) LDNS vs the
+// public DNS VIPs. The cell resolvers are closer a significant majority
+// of the time — except for Verizon and LG U+, whose external tiers do not
+// respond to subscriber probes at all.
+#include "bench_common.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 11", "Latency to cell LDNS vs public DNS resolvers");
+
+  const auto groups = analysis::fig11_public_distance(bench::study().dataset());
+  for (const auto& [carrier, group] : groups) {
+    bench::print_group(carrier, group);
+    if (!group.count("Cell LDNS")) {
+      std::printf("  %-22s (no responses — unresponsive external tier)\n",
+                  "Cell LDNS");
+    } else if (group.count("GoogleDNS")) {
+      std::printf("    cell closer than GoogleDNS at median by %.1f ms\n",
+                  group.at("GoogleDNS").median() -
+                      group.at("Cell LDNS").median());
+    }
+  }
+  return 0;
+}

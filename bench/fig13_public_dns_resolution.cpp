@@ -1,0 +1,24 @@
+// Figure 13: domain resolution time — the carrier's DNS vs Google DNS vs
+// OpenDNS, per carrier. Cell DNS wins at the median; public DNS has lower
+// variance and a shorter tail.
+#include "bench_common.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 13", "Resolution time: cell LDNS vs public DNS");
+
+  const auto groups = analysis::fig13_public_resolution(bench::study().dataset());
+  for (const auto& [carrier, group] : groups) {
+    bench::print_group(carrier, group);
+    if (group.count("local") && group.count("GoogleDNS")) {
+      const auto& local = group.at("local");
+      const auto& google = group.at("GoogleDNS");
+      std::printf("    local faster at p50 by %.1f ms; tail (p99-p50): "
+                  "local %.0f ms vs Google %.0f ms\n",
+                  google.median() - local.median(),
+                  local.quantile(0.99) - local.median(),
+                  google.quantile(0.99) - google.median());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 14: relative replica latency — replicas selected through public
+// DNS vs through the cell LDNS, aggregated by /24 (overlapping /24 sets
+// count as equal). The paper's headline: public DNS renders equal-or-
+// better replica performance over 75% of the time.
+#include "bench_common.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Figure 14", "Relative replica latency: public vs cell DNS");
+
+  const auto groups = analysis::fig14_public_replica_delta(bench::study().dataset());
+  for (const auto& [carrier, group] : groups) {
+    std::printf("%s\n", carrier.c_str());
+    for (const auto& [kind, cdf] : group) {
+      size_t zeros = 0;
+      for (const double v : cdf.sorted_values()) {
+        if (v == 0.0) ++zeros;
+      }
+      std::printf("  %-10s n=%zu  exactly-0: %.0f%%  equal-or-better: %.0f%%"
+                  "  p10=%.0f%% p90=%.0f%%\n",
+                  kind.c_str(), cdf.size(),
+                  100.0 * static_cast<double>(zeros) /
+                      static_cast<double>(cdf.size()),
+                  100.0 * cdf.fraction_at_or_below(0.0), cdf.quantile(0.10),
+                  cdf.quantile(0.90));
+    }
+  }
+  // Pool every comparison for the headline with a bootstrap interval.
+  analysis::Ecdf pooled;
+  for (const auto& [carrier, group] : groups) {
+    for (const auto& [kind, cdf] : group) pooled.add_all(cdf.sorted_values());
+  }
+  const auto interval =
+      analysis::bootstrap_fraction_at_or_below(pooled, 0.0, 500, 7);
+  std::printf("\nHEADLINE: public DNS equal-or-better in %.1f%% of comparisons"
+              " [95%% CI %.1f-%.1f] (paper: >75%%)\n",
+              100.0 * interval.point, 100.0 * interval.low,
+              100.0 * interval.high);
+  return 0;
+}

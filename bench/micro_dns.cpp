@@ -1,0 +1,138 @@
+// Microbenchmarks for the DNS substrate: wire codec, cache and an
+// end-to-end recursive resolution — the operations a full campaign
+// performs millions of times.
+#include <benchmark/benchmark.h>
+
+#include "dns/hierarchy.h"
+#include "dns/resolver.h"
+
+namespace {
+
+using namespace curtain;
+
+dns::Message sample_message() {
+  const auto host = *dns::DnsName::parse("www.buzzfeed.com");
+  const auto edge = *dns::DnsName::parse("buzzfeed-www.fastedge.net");
+  dns::Message m = dns::Message::query(0x1234, host, dns::RRType::kA)
+                       .make_response();
+  m.answers.push_back(dns::ResourceRecord::cname(host, edge, 300));
+  m.answers.push_back(
+      dns::ResourceRecord::a(edge, net::Ipv4Addr{20, 1, 2, 3}, 30));
+  m.answers.push_back(
+      dns::ResourceRecord::a(edge, net::Ipv4Addr{20, 1, 2, 4}, 30));
+  return m;
+}
+
+void BM_EncodeMessage(benchmark::State& state) {
+  const dns::Message m = sample_message();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(m));
+  }
+}
+BENCHMARK(BM_EncodeMessage);
+
+void BM_DecodeMessage(benchmark::State& state) {
+  const auto wire = dns::encode(sample_message());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_DecodeMessage);
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::DnsName::parse("edge-17.cdn.example.com"));
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  dns::Cache cache;
+  const auto name = *dns::DnsName::parse("www.example.com");
+  cache.insert(name, dns::RRType::kA,
+               {dns::ResourceRecord::a(name, net::Ipv4Addr{1, 2, 3, 4}, 3600)},
+               net::SimTime::zero());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.lookup(name, dns::RRType::kA, net::SimTime::from_seconds(1)));
+  }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_RecursiveResolution(benchmark::State& state) {
+  // Mini-world: hub + hierarchy + one zone + one resolver.
+  net::Topology topo;
+  dns::ServerRegistry registry;
+  net::Node hub;
+  hub.name = "hub";
+  const net::NodeId hub_id = topo.add_node(hub);
+  const auto attach = [&](const std::string& name, net::NodeKind kind,
+                          const net::GeoPoint& loc, net::Ipv4Addr ip) {
+    net::Node node;
+    node.name = name;
+    node.kind = kind;
+    node.location = loc;
+    node.ip = ip;
+    const net::NodeId id = topo.add_node(node);
+    topo.add_link(id, hub_id, net::LatencyModel::fixed(1.0));
+    return id;
+  };
+  dns::DnsHierarchy hierarchy(attach, &registry);
+  auto& zone = hierarchy.create_zone(*dns::DnsName::parse("example.com"),
+                                     {40, -74}, net::Ipv4Addr{50, 0, 0, 1});
+  const auto host = *dns::DnsName::parse("www.example.com");
+  zone.add_record(dns::ResourceRecord::a(host, net::Ipv4Addr{9, 8, 7, 6}, 30));
+
+  const net::NodeId rnode =
+      attach("resolver", net::NodeKind::kResolver, {41, -87}, net::Ipv4Addr{});
+  dns::RecursiveResolver resolver("bench", rnode, net::Ipv4Addr{9, 9, 9, 9},
+                                  &topo, &registry, hierarchy.root_ip());
+  net::Rng rng(1);
+  int64_t t = 0;
+  for (auto _ : state) {
+    // Advance past the 30 s TTL so every iteration resolves cold.
+    t += 31'000'000;
+    benchmark::DoNotOptimize(
+        resolver.resolve(host, dns::RRType::kA, net::SimTime{t}, rng));
+  }
+}
+BENCHMARK(BM_RecursiveResolution);
+
+void BM_CachedResolution(benchmark::State& state) {
+  net::Topology topo;
+  dns::ServerRegistry registry;
+  net::Node hub;
+  hub.name = "hub";
+  const net::NodeId hub_id = topo.add_node(hub);
+  const auto attach = [&](const std::string& name, net::NodeKind kind,
+                          const net::GeoPoint& loc, net::Ipv4Addr ip) {
+    net::Node node;
+    node.name = name;
+    node.kind = kind;
+    node.location = loc;
+    node.ip = ip;
+    const net::NodeId id = topo.add_node(node);
+    topo.add_link(id, hub_id, net::LatencyModel::fixed(1.0));
+    return id;
+  };
+  dns::DnsHierarchy hierarchy(attach, &registry);
+  auto& zone = hierarchy.create_zone(*dns::DnsName::parse("example.com"),
+                                     {40, -74}, net::Ipv4Addr{50, 0, 0, 1});
+  const auto host = *dns::DnsName::parse("www.example.com");
+  zone.add_record(dns::ResourceRecord::a(host, net::Ipv4Addr{9, 8, 7, 6}, 3600));
+  const net::NodeId rnode =
+      attach("resolver", net::NodeKind::kResolver, {41, -87}, net::Ipv4Addr{});
+  dns::RecursiveResolver resolver("bench", rnode, net::Ipv4Addr{9, 9, 9, 9},
+                                  &topo, &registry, hierarchy.root_ip());
+  net::Rng rng(1);
+  resolver.resolve(host, dns::RRType::kA, net::SimTime::zero(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve(
+        host, dns::RRType::kA, net::SimTime::from_seconds(1), rng));
+  }
+}
+BENCHMARK(BM_CachedResolution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

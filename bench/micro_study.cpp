@@ -1,0 +1,61 @@
+// Microbenchmarks at the campaign level: world construction and full
+// experiment throughput — what bounds a CURTAIN_SCALE=1 run.
+#include <benchmark/benchmark.h>
+
+#include "cellular/device.h"
+#include "core/world.h"
+#include "dns/stub.h"
+#include "measure/experiment.h"
+
+namespace {
+
+using namespace curtain;
+
+void BM_WorldConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    core::World world;
+    benchmark::DoNotOptimize(world.topology().node_count());
+  }
+}
+BENCHMARK(BM_WorldConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_FullExperiment(benchmark::State& state) {
+  core::World world;
+  measure::ExperimentRunner runner(
+      &world.topology(), &world.registry(),
+      measure::ResolverIdentifier(world.research_apex()),
+      measure::ExperimentConfig{});
+  cellular::Device device(1, &world.carrier(0), net::GeoPoint{40.71, -74.01});
+  measure::Dataset dataset;
+  net::Rng rng(17);
+  int64_t hour = 0;
+  for (auto _ : state) {
+    runner.run(device, 0, net::SimTime::from_hours(++hour), rng, dataset);
+  }
+  state.SetLabel(std::to_string(dataset.resolutions.size() /
+                                std::max<size_t>(1, dataset.experiments.size())) +
+                 " resolutions/experiment");
+}
+BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_SingleCellResolution(benchmark::State& state) {
+  core::World world;
+  auto& carrier = world.carrier(0);
+  cellular::Device device(2, &carrier, net::GeoPoint{40.71, -74.01});
+  net::Rng rng(18);
+  const auto host = dns::DnsName::parse("www.buzzfeed.com");
+  int64_t second = 0;
+  for (auto _ : state) {
+    const auto now = net::SimTime::from_seconds(second += 61);
+    const auto snapshot = device.begin_experiment(now, rng);
+    dns::StubResolver stub(device.gateway_node(), snapshot.public_ip,
+                           &world.topology(), &world.registry());
+    benchmark::DoNotOptimize(stub.query(snapshot.configured_resolver, *host,
+                                        dns::RRType::kA, now, rng));
+  }
+}
+BENCHMARK(BM_SingleCellResolution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

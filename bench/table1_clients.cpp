@@ -1,0 +1,28 @@
+// Table 1: distribution of measurement clients across the six carriers.
+#include <set>
+
+#include "bench_common.h"
+#include "cellular/carrier_profile.h"
+
+int main() {
+  using namespace curtain;
+  bench::banner("Table 1", "Distribution of measurement clients per operator");
+
+  std::printf("  %-12s %-8s %-8s %s\n", "Carrier", "#Clients", "Country",
+              "(measured devices with >=1 experiment)");
+  const auto& dataset = bench::study().dataset();
+  std::vector<std::set<uint64_t>> active(cellular::study_carriers().size());
+  for (const auto& context : dataset.experiments) {
+    active[static_cast<size_t>(context.carrier_index)].insert(context.device_id);
+  }
+  int total = 0;
+  for (size_t c = 0; c < cellular::study_carriers().size(); ++c) {
+    const auto& profile = cellular::study_carriers()[c];
+    std::printf("  %-12s %-8d %-8s active=%zu\n", profile.name.c_str(),
+                profile.study_clients, profile.country.c_str(),
+                active[c].size());
+    total += profile.study_clients;
+  }
+  std::printf("  %-12s %-8d  (paper: 158)\n", "TOTAL", total);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// World inspector: dumps the built environment — carriers, DNS tiers,
+// CDN footprints, public DNS sites — for exploration and debugging.
+//
+//   $ ./build/examples/inspect_world [--xu-era]
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "core/world.h"
+
+int main(int argc, char** argv) {
+  using namespace curtain;
+
+  core::WorldConfig config;
+  if (argc > 1 && std::strcmp(argv[1], "--xu-era") == 0) {
+    config.carrier_profiles = cellular::xu_era_carriers();
+    std::printf("== 3G-era (Xu et al.) world ==\n\n");
+  }
+  core::World world(config);
+
+  std::printf("topology: %zu nodes, %zu zones\n\n",
+              world.topology().node_count(), world.topology().zone_count());
+
+  std::printf("carriers:\n");
+  for (const auto& carrier : world.carriers()) {
+    const auto& p = carrier->profile();
+    const char* arch = p.dns.kind == cellular::DnsArchKind::kAnycast
+                           ? "anycast"
+                           : p.dns.kind == cellular::DnsArchKind::kPool
+                                 ? "LDNS pool"
+                                 : "tiered";
+    std::set<uint32_t> external24s;
+    for (const auto& resolver : carrier->external_resolvers()) {
+      external24s.insert(resolver->ip().slash24().value());
+    }
+    std::printf(
+        "  %-12s %-2s  %3d egress points / %2d regions   DNS: %-9s "
+        "%2zu client, %2zu external in %zu /24s%s%s\n",
+        p.name.c_str(), p.country.c_str(), p.egress_points, p.regions, arch,
+        carrier->client_resolvers().size(),
+        carrier->external_resolvers().size(), external24s.size(),
+        p.reach.externals_in_dmz ? "  [externals in DMZ AS]" : "",
+        p.dns.paired_same_slash24 ? "  [pairs share /24]" : "");
+    if (p.client_as != 0) {
+      std::printf("  %-15s client tier AS%d, external tier AS%d\n", "",
+                  p.client_as, p.external_as);
+    }
+  }
+
+  std::printf("\nCDN providers:\n");
+  for (const auto& [name, provider] : world.cdns()) {
+    std::printf("  %-12s %zu clusters:", name.c_str(),
+                provider->clusters().size());
+    for (const auto& cluster : provider->clusters()) {
+      std::printf(" %s", cluster.metro.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npublic DNS:\n");
+  for (const auto* service :
+       {&world.google_dns(), &world.open_dns()}) {
+    std::printf("  %-10s VIP %s  %zu sites x %zu instances\n",
+                service->service_name().c_str(),
+                service->ip().to_string().c_str(), service->sites().size(),
+                service->sites().front().instances.size());
+  }
+
+  std::printf("\nresearch ADNS zone: %s   vantage: %s\n",
+              world.research_apex().to_string().c_str(),
+              world.vantage_ip().to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "analysis/census.h"
+
+#include <set>
+
+#include "cellular/carrier_profile.h"
+
+namespace curtain::analysis {
+
+std::vector<ResolverCensusRow> resolver_census(const measure::Dataset& dataset) {
+  const size_t carriers = cellular::study_carriers().size();
+  std::vector<std::array<std::set<uint32_t>, measure::kNumResolverKinds>> ips(
+      carriers);
+  std::vector<std::array<std::set<uint32_t>, measure::kNumResolverKinds>>
+      prefixes(carriers);
+
+  for (const auto& observation : dataset.resolver_observations) {
+    if (!observation.responded) continue;
+    const auto& context = dataset.context_of(observation.experiment_id);
+    const auto carrier = static_cast<size_t>(context.carrier_index);
+    const auto kind = static_cast<size_t>(observation.resolver);
+    ips[carrier][kind].insert(observation.external_ip.value());
+    prefixes[carrier][kind].insert(observation.external_ip.slash24().value());
+  }
+
+  std::vector<ResolverCensusRow> out(carriers);
+  for (size_t c = 0; c < carriers; ++c) {
+    out[c].carrier_index = static_cast<int>(c);
+    for (size_t k = 0; k < measure::kNumResolverKinds; ++k) {
+      out[c].unique_ips[k] = ips[c][k].size();
+      out[c].unique_slash24s[k] = prefixes[c][k].size();
+    }
+  }
+  return out;
+}
+
+}  // namespace curtain::analysis

@@ -1,0 +1,21 @@
+// Resolver census (paper Table 5): distinct resolver addresses and /24s
+// observed per carrier for the local, Google and OpenDNS resolver groups.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "measure/records.h"
+
+namespace curtain::analysis {
+
+struct ResolverCensusRow {
+  int carrier_index = 0;
+  /// Indexed by measure::ResolverKind.
+  std::array<size_t, measure::kNumResolverKinds> unique_ips{};
+  std::array<size_t, measure::kNumResolverKinds> unique_slash24s{};
+};
+
+std::vector<ResolverCensusRow> resolver_census(const measure::Dataset& dataset);
+
+}  // namespace curtain::analysis

@@ -1,0 +1,165 @@
+#include "analysis/export.h"
+
+#include <fstream>
+
+#include "cellular/carrier_profile.h"
+#include "cdn/domains.h"
+#include "util/csv.h"
+
+namespace curtain::analysis {
+namespace {
+
+const std::string& carrier_of(const measure::Dataset& dataset,
+                              uint32_t experiment_id) {
+  const auto& context = dataset.context_of(experiment_id);
+  return cellular::study_carriers()[static_cast<size_t>(context.carrier_index)]
+      .name;
+}
+
+const char* target_kind_name(measure::ProbeTargetKind kind) {
+  switch (kind) {
+    case measure::ProbeTargetKind::kReplica: return "replica";
+    case measure::ProbeTargetKind::kClientResolver: return "client_resolver";
+    case measure::ProbeTargetKind::kExternalResolver: return "external_resolver";
+    case measure::ProbeTargetKind::kPublicVip: return "public_vip";
+    case measure::ProbeTargetKind::kBootstrap: return "bootstrap";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void export_experiments_csv(const measure::Dataset& dataset,
+                            std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.row({"experiment_id", "device_id", "carrier", "started_hours", "radio",
+           "lat", "lon", "gateway", "public_ip", "configured_resolver"});
+  for (const auto& context : dataset.experiments) {
+    csv.typed_row(context.experiment_id, context.device_id,
+                  carrier_of(dataset, context.experiment_id),
+                  context.started.hours(),
+                  std::string(cellular::radio_tech_name(context.radio)),
+                  context.location.lat_deg, context.location.lon_deg,
+                  context.gateway_index, context.public_ip.to_string(),
+                  context.configured_resolver.to_string());
+  }
+}
+
+void export_resolutions_csv(const measure::Dataset& dataset,
+                            std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.row({"experiment_id", "carrier", "resolver", "domain", "second_lookup",
+           "responded", "resolution_ms", "addresses"});
+  const auto& domains = cdn::study_domains();
+  for (const auto& r : dataset.resolutions) {
+    std::string addresses;
+    for (const auto address : r.addresses) {
+      if (!addresses.empty()) addresses += ' ';
+      addresses += address.to_string();
+    }
+    csv.typed_row(r.experiment_id, carrier_of(dataset, r.experiment_id),
+                  std::string(measure::resolver_kind_name(r.resolver)),
+                  domains[r.domain_index].host, int(r.second_lookup),
+                  int(r.responded), r.resolution_ms, addresses);
+  }
+}
+
+void export_probes_csv(const measure::Dataset& dataset, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.row({"experiment_id", "carrier", "target_kind", "resolver", "domain",
+           "target_ip", "probe", "responded", "rtt_ms"});
+  const auto& domains = cdn::study_domains();
+  for (const auto& p : dataset.probes) {
+    csv.typed_row(p.experiment_id, carrier_of(dataset, p.experiment_id),
+                  std::string(target_kind_name(p.target_kind)),
+                  std::string(measure::resolver_kind_name(p.resolver)),
+                  p.target_kind == measure::ProbeTargetKind::kReplica
+                      ? domains[p.domain_index].host
+                      : std::string(),
+                  p.target_ip.to_string(),
+                  std::string(p.is_http ? "http" : "ping"), int(p.responded),
+                  p.rtt_ms);
+  }
+}
+
+void export_traceroutes_csv(const measure::Dataset& dataset,
+                            std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.row({"experiment_id", "carrier", "target_ip", "target_kind", "reached",
+           "hops"});
+  for (const auto& t : dataset.traceroutes) {
+    std::string hops;
+    for (const auto& hop : t.hop_names) {
+      if (!hops.empty()) hops += '|';
+      hops += hop;
+    }
+    csv.typed_row(t.experiment_id, carrier_of(dataset, t.experiment_id),
+                  t.target_ip.to_string(),
+                  std::string(target_kind_name(t.target_kind)), int(t.reached),
+                  hops);
+  }
+}
+
+void export_resolver_observations_csv(const measure::Dataset& dataset,
+                                      std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.row({"experiment_id", "carrier", "resolver", "responded", "external_ip",
+           "external_slash24", "resolution_ms"});
+  for (const auto& o : dataset.resolver_observations) {
+    csv.typed_row(o.experiment_id, carrier_of(dataset, o.experiment_id),
+                  std::string(measure::resolver_kind_name(o.resolver)),
+                  int(o.responded), o.external_ip.to_string(),
+                  net::Prefix(o.external_ip.slash24(), 24).to_string(),
+                  o.resolution_ms);
+  }
+}
+
+void export_vantage_probes_csv(const measure::Dataset& dataset,
+                               std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.row({"carrier", "target_ip", "ping_responded", "traceroute_reached"});
+  for (const auto& v : dataset.vantage_probes) {
+    csv.typed_row(
+        cellular::study_carriers()[static_cast<size_t>(v.carrier_index)].name,
+        v.target_ip.to_string(), int(v.ping_responded),
+        int(v.traceroute_reached));
+  }
+}
+
+int export_dataset(const measure::Dataset& dataset,
+                   const std::string& directory) {
+  struct FileSpec {
+    const char* name;
+    void (*write)(const measure::Dataset&, std::ostream&);
+  };
+  const FileSpec files[] = {
+      {"experiments.csv", export_experiments_csv},
+      {"resolutions.csv", export_resolutions_csv},
+      {"probes.csv", export_probes_csv},
+      {"traceroutes.csv", export_traceroutes_csv},
+      {"resolver_observations.csv", export_resolver_observations_csv},
+      {"vantage_probes.csv", export_vantage_probes_csv},
+  };
+  int written = 0;
+  for (const auto& spec : files) {
+    std::ofstream out(directory + "/" + spec.name);
+    if (!out.good()) continue;
+    spec.write(dataset, out);
+    if (out.good()) ++written;
+  }
+  std::ofstream manifest(directory + "/MANIFEST.txt");
+  if (manifest.good()) {
+    manifest << "curtain dataset export\n"
+             << "experiments: " << dataset.experiments.size() << "\n"
+             << "resolutions: " << dataset.resolutions.size() << "\n"
+             << "probes: " << dataset.probes.size() << "\n"
+             << "traceroutes: " << dataset.traceroutes.size() << "\n"
+             << "resolver_observations: "
+             << dataset.resolver_observations.size() << "\n"
+             << "vantage_probes: " << dataset.vantage_probes.size() << "\n";
+    if (manifest.good()) ++written;
+  }
+  return written;
+}
+
+}  // namespace curtain::analysis

@@ -1,0 +1,33 @@
+// Dataset export: CSV dumps of the campaign's measurement records.
+//
+// The paper released its dataset from the project website; this module is
+// the equivalent facility — one CSV per record type plus a manifest, so
+// external tooling (pandas/R/gnuplot) can re-analyze the campaign.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "measure/records.h"
+
+namespace curtain::analysis {
+
+/// Writers for each record type. Each emits a header row followed by one
+/// row per record; experiment context is denormalized into every row.
+void export_experiments_csv(const measure::Dataset& dataset, std::ostream& out);
+void export_resolutions_csv(const measure::Dataset& dataset, std::ostream& out);
+void export_probes_csv(const measure::Dataset& dataset, std::ostream& out);
+void export_traceroutes_csv(const measure::Dataset& dataset, std::ostream& out);
+void export_resolver_observations_csv(const measure::Dataset& dataset,
+                                      std::ostream& out);
+void export_vantage_probes_csv(const measure::Dataset& dataset,
+                               std::ostream& out);
+
+/// Writes the whole dataset into `directory` (experiments.csv,
+/// resolutions.csv, probes.csv, traceroutes.csv, resolver_observations.csv,
+/// vantage_probes.csv, MANIFEST.txt). Returns the number of files written
+/// successfully.
+int export_dataset(const measure::Dataset& dataset,
+                   const std::string& directory);
+
+}  // namespace curtain::analysis

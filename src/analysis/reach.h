@@ -1,0 +1,36 @@
+// Opaqueness and egress analyses (paper §4.4 Table 4, §5.2).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "measure/records.h"
+
+namespace curtain::analysis {
+
+/// Table 4 row: how many observed external resolvers answered the wired
+/// vantage point.
+struct ReachabilityStats {
+  int carrier_index = 0;
+  size_t total = 0;
+  size_t ping_responded = 0;
+  size_t traceroute_reached = 0;
+};
+
+std::vector<ReachabilityStats> external_reachability(
+    const measure::Dataset& dataset);
+
+/// §5.2: egress points per carrier, extracted the way the paper did —
+/// from client traceroutes, take the last in-carrier hop before the first
+/// hop outside the carrier's network. Hops are classified by name prefix
+/// (the client-visible analogue of the paper's IP-to-AS mapping).
+struct EgressStats {
+  int carrier_index = 0;
+  size_t egress_points = 0;
+  std::set<std::string> egress_names;
+};
+
+std::vector<EgressStats> egress_points(const measure::Dataset& dataset);
+
+}  // namespace curtain::analysis

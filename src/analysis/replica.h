@@ -1,0 +1,60 @@
+// Replica-selection analyses (paper §5, Figs. 2 and 10).
+//
+// A "replica map" is the paper's <replicaIP, ratio> vector: for one
+// observer (a user, or a resolver), the fraction of resolutions that
+// returned each replica. Cosine similarity between maps quantifies how
+// much two observers' replica sets overlap.
+#pragma once
+
+#include <unordered_map>
+
+#include "analysis/stats.h"
+#include "measure/records.h"
+
+namespace curtain::analysis {
+
+/// Normalized <replica, ratio> vector.
+class ReplicaMap {
+ public:
+  void observe(net::Ipv4Addr replica) { ++counts_[replica.value()]; ++total_; }
+
+  bool empty() const { return total_ == 0; }
+  uint64_t total() const { return total_; }
+  size_t distinct() const { return counts_.size(); }
+
+  /// ratio for one replica.
+  double ratio(net::Ipv4Addr replica) const;
+
+  /// cos_sim in [0,1]: 0 = disjoint sets, 1 = identical distributions.
+  double cosine_similarity(const ReplicaMap& other) const;
+
+  const std::unordered_map<uint32_t, uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::unordered_map<uint32_t, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Fig. 2: per carrier, the percent increase of each replica's mean HTTP
+/// latency over the best replica the same user saw for the same domain.
+/// `domain_filter` restricts to specific domain indices (Fig. 2 shows 4
+/// domains); empty = all.
+std::unordered_map<int, Ecdf> replica_penalty_by_carrier(
+    const measure::Dataset& dataset, const std::vector<uint16_t>& domain_filter);
+
+/// Fig. 10 input: replica maps keyed by the *external resolver* (local
+/// kind) that served the experiment, for one domain.
+std::unordered_map<uint32_t, ReplicaMap> replica_maps_by_resolver(
+    const measure::Dataset& dataset, uint16_t domain_index, int carrier_index);
+
+struct CosineSplit {
+  Ecdf same_slash24;
+  Ecdf different_slash24;
+};
+
+/// Fig. 10: pairwise cosine similarity between resolver replica maps,
+/// split by whether the two resolvers share a /24.
+CosineSplit cosine_by_prefix(const measure::Dataset& dataset,
+                             uint16_t domain_index, int carrier_index);
+
+}  // namespace curtain::analysis

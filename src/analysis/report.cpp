@@ -1,0 +1,356 @@
+#include "analysis/report.h"
+
+#include <iomanip>
+
+#include "analysis/figures.h"
+#include "cdn/domains.h"
+#include "cellular/carrier_profile.h"
+#include "util/strings.h"
+
+namespace curtain::analysis {
+namespace {
+
+using measure::Dataset;
+
+std::string ms(double v) { return util::format_double(v, 1) + " ms"; }
+std::string pct(double v) { return util::format_double(v * 100.0, 1) + "%"; }
+
+void section(std::ostream& out, const std::string& title) {
+  out << "\n## " << title << "\n\n";
+}
+
+void table_header(std::ostream& out, const std::vector<std::string>& columns) {
+  out << "|";
+  for (const auto& column : columns) out << " " << column << " |";
+  out << "\n|";
+  for (size_t i = 0; i < columns.size(); ++i) out << "---|";
+  out << "\n";
+}
+
+void table_row(std::ostream& out, const std::vector<std::string>& cells) {
+  out << "|";
+  for (const auto& cell : cells) out << " " << cell << " |";
+  out << "\n";
+}
+
+}  // namespace
+
+void write_report(const Dataset& dataset, const ReportConfig& config,
+                  std::ostream& out) {
+  const auto& carriers = cellular::study_carriers();
+
+  out << "# EXPERIMENTS — paper vs measured\n\n"
+      << "Reproduction record for *Behind the Curtain: Cellular DNS and "
+         "Content Replica Selection* (IMC 2014). Regenerate with "
+         "`./build/examples/full_report > EXPERIMENTS.md`.\n\n"
+      << "- campaign scale: " << util::format_double(config.scale, 3)
+      << " of the paper's five months (CURTAIN_SCALE), seed " << config.seed
+      << "\n"
+      << "- dataset: " << dataset.experiments.size() << " experiments, "
+      << dataset.resolutions.size() << " resolutions, "
+      << dataset.total_probes() << " probes/traceroutes (paper: ~28k / 8.1M / "
+         "2.4M at full scale)\n"
+      << "- shape, not absolute numbers, is the reproduction target: the "
+         "substrate is a calibrated simulator, not the authors' fleet.\n";
+
+  // --- Table 1 ---------------------------------------------------------
+  section(out, "Table 1 — measurement clients per carrier");
+  table_header(out, {"Carrier", "Country", "Paper clients", "Built devices"});
+  for (const auto& profile : carriers) {
+    table_row(out, {profile.name, profile.country,
+                    std::to_string(profile.study_clients),
+                    std::to_string(profile.study_clients)});
+  }
+  out << "\nPaper total: 158; fleet is constructed to match exactly.\n";
+
+  // --- Table 2 ---------------------------------------------------------
+  section(out, "Table 2 — measured domains");
+  out << "Nine CNAME-fronted popular mobile sites. The OCR of the paper "
+         "preserved only `m.yelp.com` (and `buzzfeed.com` via Fig. 10); the "
+         "set is completed with era-accurate domains (DESIGN.md §4):\n\n";
+  for (const auto& domain : cdn::study_domains()) {
+    out << "- `" << domain.host << "` (via " << domain.cdn << ")\n";
+  }
+
+  // --- Fig 2 -----------------------------------------------------------
+  section(out, "Figure 2 — replica latency penalty vs best replica");
+  out << "Paper: users are consistently directed to replicas 50%+ slower "
+         "than the best they ever see; extreme cases exceed 400% for >40% "
+         "of accesses.\n\n";
+  table_header(out, {"Carrier", "p50 penalty", "p90 penalty", ">50% share"});
+  for (const auto& [carrier, cdf] : fig2_replica_penalty(dataset)) {
+    table_row(out, {carrier, util::format_double(cdf.quantile(0.5), 0) + "%",
+                    util::format_double(cdf.quantile(0.9), 0) + "%",
+                    pct(1.0 - cdf.fraction_at_or_below(50.0))});
+  }
+
+  // --- Fig 3 -----------------------------------------------------------
+  section(out, "Figure 3 — resolution time by radio technology");
+  out << "Paper: distinct bands — LTE fastest, 3G ~50 ms slower at the "
+         "median, 2G near 1 s.\n\n";
+  table_header(out, {"Carrier", "LTE p50", "3G band p50", "2G band p50"});
+  for (const auto& [carrier, by_tech] : fig3_radio_bands(dataset)) {
+    Ecdf g3;
+    Ecdf g2;
+    double lte = 0.0;
+    for (const auto& [tech_name, cdf] : by_tech) {
+      if (tech_name == "LTE") {
+        lte = cdf.median();
+      } else if (tech_name == "1xRTT" || tech_name == "GPRS" ||
+                 tech_name == "EDGE") {
+        g2.add_all(cdf.sorted_values());
+      } else {
+        g3.add_all(cdf.sorted_values());
+      }
+    }
+    table_row(out, {carrier, ms(lte), g3.empty() ? "-" : ms(g3.median()),
+                    g2.empty() ? "-" : ms(g2.median())});
+  }
+
+  // --- Table 3 ---------------------------------------------------------
+  section(out, "Table 3 — LDNS pairs and consistency");
+  out << "Paper: indirect resolution in every carrier; Sprint's pools "
+         "consistent >60% of the time; Verizon the only 100% carrier.\n\n";
+  table_header(out,
+               {"Provider", "Client", "External", "Pairs", "Consistency"});
+  for (const auto& row : ldns_pair_stats(dataset)) {
+    table_row(out, {carrier_name(row.carrier_index),
+                    std::to_string(row.client_resolvers),
+                    std::to_string(row.external_resolvers),
+                    std::to_string(row.pairs),
+                    util::format_double(row.consistency_percent, 1) + "%"});
+  }
+
+  // --- Fig 4 -----------------------------------------------------------
+  section(out, "Figure 4 — latency to client- vs external-facing resolvers");
+  out << "Paper: externals measurably farther (Sprint/T-Mobile/AT&T), "
+         "collocated for SK Telecom, unresponsive for Verizon and LG U+.\n\n";
+  table_header(out, {"Carrier", "Client p50", "External p50"});
+  for (const auto& [carrier, group] : fig4_resolver_distance(dataset)) {
+    table_row(out, {carrier,
+                    group.count("Client") ? ms(group.at("Client").median())
+                                          : "-",
+                    group.count("External") ? ms(group.at("External").median())
+                                            : "(no response)"});
+  }
+
+  // --- Figs 5/6 --------------------------------------------------------
+  section(out, "Figures 5/6 — resolution time per carrier (cell LDNS)");
+  out << "Paper: medians 30-50 ms, comparable to wired broadband, long "
+         "tails past p80.\n\n";
+  table_header(out, {"Carrier", "p50", "p90", "p99"});
+  for (const std::string country : {"US", "KR"}) {
+    for (const auto& [carrier, cdf] :
+         fig5_fig6_resolution_times(dataset, country)) {
+      table_row(out, {carrier, ms(cdf.quantile(0.5)), ms(cdf.quantile(0.9)),
+                      ms(cdf.quantile(0.99))});
+    }
+  }
+
+  // --- Fig 7 -----------------------------------------------------------
+  section(out, "Figure 7 — back-to-back lookups (cache effect)");
+  const auto fig7 = fig7_cache_effect(dataset);
+  const auto& first = fig7.at("1st Lookup");
+  const auto& second = fig7.at("2nd Lookup");
+  const double miss_tail =
+      1.0 - second.fraction_at_or_below(first.quantile(0.75));
+  out << "Paper: ~20% of repeats still miss (short CDN TTLs). Measured: "
+      << "1st p50 " << ms(first.median()) << ", 2nd p50 "
+      << ms(second.median()) << ", repeat miss tail " << pct(miss_tail)
+      << ".\n";
+
+  // --- Table 4 ---------------------------------------------------------
+  section(out, "Table 4 — external reachability of cellular resolvers");
+  out << "Paper: only Verizon and AT&T answer a majority of pings (plus a "
+         "small fraction of T-Mobile); no resolver ever completes a "
+         "traceroute.\n\n";
+  table_header(out, {"Provider", "Observed", "Ping", "Traceroute"});
+  for (const auto& row : external_reachability(dataset)) {
+    table_row(out, {carrier_name(row.carrier_index), std::to_string(row.total),
+                    std::to_string(row.ping_responded),
+                    std::to_string(row.traceroute_reached)});
+  }
+
+  // --- Figs 8/9 --------------------------------------------------------
+  section(out, "Figures 8/9 — resolver churn (all clients / stationary)");
+  out << "Paper: AT&T-class and Verizon relatively stable; Sprint/T-Mobile "
+         "churn across /24s; SK carriers churn many IPs inside 1-2 /24s; "
+         "stationary clients still churn.\n\n";
+  table_header(out, {"Carrier", "mean IPs/client", "max IPs", "max /24s",
+                     "static clients w/ churn"});
+  for (int c = 0; c < static_cast<int>(carriers.size()); ++c) {
+    const auto timelines =
+        resolver_timelines(dataset, c, measure::ResolverKind::kLocal);
+    double mean_ips = 0.0;
+    size_t max_ips = 0;
+    size_t max_prefixes = 0;
+    for (const auto& timeline : timelines) {
+      mean_ips += static_cast<double>(timeline.unique_ips());
+      max_ips = std::max(max_ips, timeline.unique_ips());
+      max_prefixes = std::max(max_prefixes, timeline.unique_slash24s());
+    }
+    if (!timelines.empty()) mean_ips /= static_cast<double>(timelines.size());
+    const auto static_timelines =
+        static_resolver_timelines(dataset, c, measure::ResolverKind::kLocal);
+    size_t churning = 0;
+    for (const auto& timeline : static_timelines) {
+      if (timeline.unique_ips() > 1) ++churning;
+    }
+    table_row(out, {carrier_name(c), util::format_double(mean_ips, 1),
+                    std::to_string(max_ips), std::to_string(max_prefixes),
+                    std::to_string(churning) + "/" +
+                        std::to_string(static_timelines.size())});
+  }
+
+  // --- Fig 10 ----------------------------------------------------------
+  section(out, "Figure 10 — replica-set cosine similarity by resolver /24");
+  out << "Paper (buzzfeed.com): same-/24 resolvers see near-identical "
+         "replica sets; >60% of cross-/24 pairs have similarity exactly "
+         "0.\n\n";
+  table_header(out, {"Carrier", "same-/24 p50", "cross-/24 p50",
+                     "cross-/24 at 0"});
+  for (const auto& [carrier, split] : fig10_cosine(dataset, 5)) {
+    table_row(out,
+              {carrier,
+               split.same_slash24.empty()
+                   ? "-"
+                   : util::format_double(split.same_slash24.median(), 2),
+               split.different_slash24.empty()
+                   ? "-"
+                   : util::format_double(split.different_slash24.median(), 2),
+               split.different_slash24.empty()
+                   ? "-"
+                   : pct(split.different_slash24.fraction_at_or_below(1e-9))});
+  }
+
+  // --- §5.2 ------------------------------------------------------------
+  section(out, "Section 5.2 — egress points");
+  out << "Paper: 110 (AT&T), 45 (Sprint), 62 (Verizon), 49 (T-Mobile) — a "
+         "2-10x increase over the 3G era. Discovery grows with campaign "
+         "length.\n\n";
+  table_header(out, {"Carrier", "Discovered", "Provisioned"});
+  for (const auto& row : egress_points(dataset)) {
+    table_row(out,
+              {carrier_name(row.carrier_index),
+               std::to_string(row.egress_points),
+               std::to_string(
+                   carriers[static_cast<size_t>(row.carrier_index)]
+                       .egress_points)});
+  }
+
+  // --- Table 5 ---------------------------------------------------------
+  section(out, "Table 5 — resolver census (unique IPs / /24s)");
+  out << "Paper: public resolvers show ~4x the addresses of cell DNS but "
+         "comparable /24 counts (Google = 30 geographic /24s).\n\n";
+  table_header(out, {"Provider", "Local", "GoogleDNS", "OpenDNS"});
+  for (const auto& row : resolver_census(dataset)) {
+    const auto cell = [&](measure::ResolverKind kind) {
+      const auto k = static_cast<size_t>(kind);
+      return std::to_string(row.unique_ips[k]) + " / " +
+             std::to_string(row.unique_slash24s[k]);
+    };
+    table_row(out, {carrier_name(row.carrier_index),
+                    cell(measure::ResolverKind::kLocal),
+                    cell(measure::ResolverKind::kGoogle),
+                    cell(measure::ResolverKind::kOpenDns)});
+  }
+
+  // --- Fig 11 ----------------------------------------------------------
+  section(out, "Figure 11 — distance to cell LDNS vs public DNS");
+  out << "Paper: the cell LDNS is closer by ~10-25 ms at the median "
+         "(except Verizon/LG U+, whose externals do not respond).\n\n";
+  table_header(out, {"Carrier", "Cell LDNS p50", "GoogleDNS p50",
+                     "OpenDNS p50"});
+  for (const auto& [carrier, group] : fig11_public_distance(dataset)) {
+    table_row(out, {carrier,
+                    group.count("Cell LDNS") ? ms(group.at("Cell LDNS").median())
+                                             : "(no response)",
+                    group.count("GoogleDNS") ? ms(group.at("GoogleDNS").median())
+                                             : "-",
+                    group.count("OpenDNS") ? ms(group.at("OpenDNS").median())
+                                           : "-"});
+  }
+
+  // --- Fig 12 ----------------------------------------------------------
+  section(out, "Figure 12 — Google DNS resolver consistency");
+  out << "Paper: despite one anycast VIP, clients drift across several of "
+         "Google's 30 geographic /24s over time.\n\n";
+  table_header(out, {"Carrier", "clients seeing >1 Google /24", "max /24s"});
+  for (int c = 0; c < static_cast<int>(carriers.size()); ++c) {
+    const auto timelines =
+        resolver_timelines(dataset, c, measure::ResolverKind::kGoogle);
+    size_t multi = 0;
+    size_t max_prefixes = 0;
+    for (const auto& timeline : timelines) {
+      if (timeline.unique_slash24s() > 1) ++multi;
+      max_prefixes = std::max(max_prefixes, timeline.unique_slash24s());
+    }
+    table_row(out, {carrier_name(c),
+                    std::to_string(multi) + "/" +
+                        std::to_string(timelines.size()),
+                    std::to_string(max_prefixes)});
+  }
+
+  // --- Fig 13 ----------------------------------------------------------
+  section(out, "Figure 13 — resolution time: cell vs public DNS");
+  out << "Paper: cell DNS faster at the median; public DNS lower variance "
+         "and shorter tail.\n\n";
+  table_header(out, {"Carrier", "local p50", "Google p50", "local tail "
+                     "(p99-p50)", "Google tail (p99-p50)"});
+  for (const auto& [carrier, group] : fig13_public_resolution(dataset)) {
+    if (!group.count("local") || !group.count("GoogleDNS")) continue;
+    const auto& local = group.at("local");
+    const auto& google = group.at("GoogleDNS");
+    table_row(out, {carrier, ms(local.median()), ms(google.median()),
+                    ms(local.quantile(0.99) - local.median()),
+                    ms(google.quantile(0.99) - google.median())});
+  }
+
+  // --- Fig 14 ----------------------------------------------------------
+  section(out, "Figure 14 — relative replica performance (headline)");
+  out << "Paper: 60-80% of comparisons land exactly at 0 after /24 "
+         "aggregation; public DNS replicas equal-or-better **>75%** of the "
+         "time.\n\n";
+  table_header(out, {"Carrier", "Service", "exactly 0", "equal-or-better"});
+  for (const auto& [carrier, group] : fig14_public_replica_delta(dataset)) {
+    for (const auto& [kind, cdf] : group) {
+      size_t zeros = 0;
+      for (const double v : cdf.sorted_values()) {
+        if (v == 0.0) ++zeros;
+      }
+      table_row(out, {carrier, kind,
+                      pct(static_cast<double>(zeros) /
+                          static_cast<double>(cdf.size())),
+                      pct(cdf.fraction_at_or_below(0.0))});
+    }
+  }
+  {
+    Ecdf pooled;
+    for (const auto& [carrier, group] : fig14_public_replica_delta(dataset)) {
+      for (const auto& [kind, cdf] : group) pooled.add_all(cdf.sorted_values());
+    }
+    const auto interval = bootstrap_fraction_at_or_below(pooled, 0.0, 500, 7);
+    out << "\n**Measured headline: public DNS equal-or-better in "
+        << pct(interval.point) << " of comparisons [95% bootstrap CI "
+        << pct(interval.low) << "-" << pct(interval.high)
+        << "] (paper: >75%).**\n";
+  }
+
+  section(out, "Beyond the paper — baselines, ablations, extensions");
+  out << "Not regenerated here (each runs its own scenario); see the "
+         "binaries and DESIGN.md §7:\n\n"
+      << "- `bench/baseline_3g_era` — the Xu et al. 3G-era world: replica "
+         "mislocalization is several times less significant relative to "
+         "end-to-end latency than under LTE.\n"
+      << "- `bench/ablation_ecs` — EDNS client-subnet on Google DNS "
+         "restores near-oracle replica mapping through a remote public "
+         "resolver.\n"
+      << "- `bench/ablation_cdn_ttl` — CDN answer TTL against cache "
+         "effectiveness (the Fig. 7 mechanism, swept causally).\n"
+      << "- `bench/ext_page_load` — page-load time vs ping as replica "
+         "metrics (the §3.3 methodology choice).\n"
+      << "- `bench/sec22_ip_geolocation` — ephemeral, geographically "
+         "smeared client IPs (the §2.2 motivation).\n";
+}
+
+}  // namespace curtain::analysis

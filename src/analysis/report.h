@@ -1,0 +1,24 @@
+// Markdown report generator: paper-vs-measured for every table and figure.
+//
+// Produces the EXPERIMENTS.md-style document from a campaign's dataset, so
+// the reproduction record can be regenerated from any run:
+//
+//   ./build/examples/full_report > EXPERIMENTS.md
+#pragma once
+
+#include <ostream>
+
+#include "measure/records.h"
+
+namespace curtain::analysis {
+
+struct ReportConfig {
+  double scale = 0.05;
+  uint64_t seed = 0;
+};
+
+/// Writes the full reproduction report for `dataset` as markdown.
+void write_report(const measure::Dataset& dataset, const ReportConfig& config,
+                  std::ostream& out);
+
+}  // namespace curtain::analysis

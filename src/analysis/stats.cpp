@@ -1,0 +1,127 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/rng.h"
+#include "util/strings.h"
+
+namespace curtain::analysis {
+
+void Ecdf::add_all(const std::vector<double>& values) {
+  values_.insert(values_.end(), values.begin(), values.end());
+  sorted_ = false;
+}
+
+void Ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::quantile(double p) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0.0) return values_.front();
+  if (p >= 1.0) return values_.back();
+  const double position = p * static_cast<double>(values_.size() - 1);
+  const size_t lower = static_cast<size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= values_.size()) return values_.back();
+  return values_[lower] * (1.0 - fraction) + values_[lower + 1] * fraction;
+}
+
+double Ecdf::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Ecdf::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Ecdf::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Ecdf::fraction_at_or_below(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (points < 2) points = 2;
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(p, quantile(p));
+  }
+  return out;
+}
+
+const std::vector<double>& Ecdf::sorted_values() const {
+  ensure_sorted();
+  return values_;
+}
+
+ConfidenceInterval bootstrap_fraction_at_or_below(const Ecdf& cdf, double x,
+                                                  int resamples, uint64_t seed,
+                                                  double confidence) {
+  ConfidenceInterval interval;
+  interval.point = cdf.fraction_at_or_below(x);
+  const auto& samples = cdf.sorted_values();
+  if (samples.size() < 2) {
+    interval.low = interval.high = interval.point;
+    return interval;
+  }
+  net::Rng rng(seed);
+  std::vector<double> fractions;
+  fractions.reserve(static_cast<size_t>(resamples));
+  const auto n = samples.size();
+  for (int r = 0; r < resamples; ++r) {
+    size_t at_or_below = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (samples[static_cast<size_t>(rng.uniform_u64(0, n - 1))] <= x) {
+        ++at_or_below;
+      }
+    }
+    fractions.push_back(static_cast<double>(at_or_below) /
+                        static_cast<double>(n));
+  }
+  std::sort(fractions.begin(), fractions.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto index = [&](double q) {
+    return fractions[std::min(
+        fractions.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(fractions.size())))];
+  };
+  interval.low = index(alpha);
+  interval.high = index(1.0 - alpha);
+  return interval;
+}
+
+std::string describe_cdf(const Ecdf& cdf) {
+  if (cdf.empty()) return "(no samples)";
+  std::string out = "n=" + std::to_string(cdf.size());
+  static constexpr std::pair<const char*, double> kPoints[] = {
+      {"p10", 0.10}, {"p25", 0.25}, {"p50", 0.50},
+      {"p75", 0.75}, {"p90", 0.90}, {"p99", 0.99}};
+  for (const auto& [label, p] : kPoints) {
+    out += "  ";
+    out += label;
+    out += "=";
+    out += util::format_double(cdf.quantile(p), 1);
+  }
+  return out;
+}
+
+}  // namespace curtain::analysis

@@ -1,0 +1,66 @@
+// Empirical CDFs and summary statistics.
+//
+// Every figure in the paper is a CDF; Ecdf is the workhorse the figure
+// generators and benches share.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace curtain::analysis {
+
+class Ecdf {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+  void add_all(const std::vector<double>& values);
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Value at cumulative probability p in [0,1] (linear interpolation).
+  double quantile(double p) const;
+  double median() const { return quantile(0.5); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// P(X <= x).
+  double fraction_at_or_below(double x) const;
+
+  /// (quantile, value) pairs on a uniform probability grid — the series a
+  /// bench prints for one CDF curve.
+  std::vector<std::pair<double, double>> curve(int points = 21) const;
+
+  const std::vector<double>& sorted_values() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Renders one CDF as aligned text rows: "p10 12.3  p25 14.0 ..." for
+/// bench output.
+std::string describe_cdf(const Ecdf& cdf);
+
+/// A percentile-bootstrap confidence interval.
+struct ConfidenceInterval {
+  double point = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Bootstrap CI for P(X <= x) over the sample behind `cdf` — used to put
+/// error bars on the headline "equal-or-better" fraction. Deterministic
+/// for a given seed.
+ConfidenceInterval bootstrap_fraction_at_or_below(const Ecdf& cdf, double x,
+                                                  int resamples = 1000,
+                                                  uint64_t seed = 1,
+                                                  double confidence = 0.95);
+
+}  // namespace curtain::analysis

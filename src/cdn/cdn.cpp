@@ -1,0 +1,197 @@
+#include "cdn/cdn.h"
+
+#include <limits>
+
+namespace curtain::cdn {
+namespace {
+
+using net::GeoPoint;
+using net::LatencyModel;
+
+// How many A records one response carries; production CDNs typically
+// return a couple of addresses from the selected cluster.
+constexpr size_t kAnswersPerResponse = 2;
+
+// Rotation bucket: answers rotate through the cluster on this period, so
+// repeated queries inside one bucket (and one TTL) see the same replicas.
+constexpr double kRotationBucketSeconds = 30.0;
+
+}  // namespace
+
+CdnProvider::CdnProvider(std::string name, dns::DnsName zone_apex,
+                         const CdnBuildContext& context,
+                         int replicas_per_cluster, uint32_t answer_ttl_s)
+    : provider_name_(std::move(name)),
+      zone_apex_(std::move(zone_apex)),
+      seed_(net::mix_key(context.build_seed, net::hash_tag(provider_name_))),
+      answer_ttl_s_(answer_ttl_s) {
+  build_clusters(context, replicas_per_cluster);
+
+  // The provider's ADNS lives near a large US metro; its address comes
+  // from the first cluster's block neighbourhood.
+  const net::Ipv4Addr adns_ip = context.allocator->alloc_host(
+      context.allocator->alloc_block(24));
+  adns_ = &context.hierarchy->create_zone(zone_apex_, {40.71, -74.01}, adns_ip);
+  adns_->set_dynamic_handler(
+      [this](const dns::Question& question, net::Ipv4Addr resolver_ip,
+             const std::optional<dns::EdnsClientSubnet>& ecs, net::SimTime now,
+             net::Rng& rng) {
+        auto answers = answer_query(question, resolver_ip, ecs, now, rng);
+        return answers.empty()
+                   ? std::optional<std::vector<dns::ResourceRecord>>{}
+                   : std::optional<std::vector<dns::ResourceRecord>>{
+                         std::move(answers)};
+      },
+      answer_ttl_s_);
+}
+
+void CdnProvider::build_clusters(const CdnBuildContext& context,
+                                 int replicas_per_cluster) {
+  const auto add_metro = [&](const net::Metro& metro, const std::string& country) {
+    ReplicaCluster cluster;
+    cluster.index = static_cast<int>(clusters_.size());
+    cluster.metro = metro.name;
+    cluster.location = metro.location;
+    cluster.country = country;
+    cluster.prefix = context.allocator->alloc_block(24);
+    const net::NodeId backbone = context.nearest_backbone(metro.location);
+    for (int r = 0; r < replicas_per_cluster; ++r) {
+      const net::Ipv4Addr ip = context.allocator->alloc_host(cluster.prefix);
+      net::Node node;
+      node.name = provider_name_ + "-" + metro.name + "-r" + std::to_string(r);
+      node.kind = net::NodeKind::kReplica;
+      node.zone = net::Topology::internet_zone();
+      node.location = metro.location;
+      node.ip = ip;
+      // HTTP service time dominates a replica's contribution to TTFB.
+      node.processing = LatencyModel::jittered(3.0, 0.4);
+      const net::NodeId id = context.topology->add_node(node);
+      context.topology->add_link(id, backbone, LatencyModel::jittered(0.8, 0.3),
+                                 0.0005, false);
+      cluster.replica_nodes.push_back(id);
+      cluster.replica_ips.push_back(ip);
+    }
+    cluster_by_replica_slash24_[cluster.prefix.address().value()] =
+        cluster.index;
+    clusters_.push_back(std::move(cluster));
+  };
+  // 2014-era CDNs served mobile eyeballs from a modest number of large
+  // POPs; a footprint of 8 US + 2 KR metros keeps the replica geography
+  // coarse enough that two reasonable mappings often agree (Fig. 14's
+  // mass at zero) while disagreements still cost tens of ms (Fig. 2).
+  const std::vector<std::string> us_sites{"New York",   "Los Angeles",
+                                          "Chicago",    "Dallas",
+                                          "Washington DC", "Atlanta",
+                                          "San Francisco", "Seattle"};
+  for (const auto& metro : net::us_metros()) {
+    if (std::find(us_sites.begin(), us_sites.end(), metro.name) !=
+        us_sites.end()) {
+      add_metro(metro, "US");
+    }
+  }
+  const std::vector<std::string> kr_sites{"Seoul", "Busan"};
+  for (const auto& metro : net::kr_metros()) {
+    if (std::find(kr_sites.begin(), kr_sites.end(), metro.name) !=
+        kr_sites.end()) {
+      add_metro(metro, "KR");
+    }
+  }
+}
+
+dns::DnsName CdnProvider::add_customer(const std::string& label) {
+  customers_[label] = true;
+  return *zone_apex_.child(label);
+}
+
+void CdnProvider::add_prefix_hint(net::Prefix slash24,
+                                  const net::GeoPoint& location,
+                                  const std::string& country) {
+  prefix_hints_[slash24.address().value()] = Hint{location, country};
+}
+
+void CdnProvider::add_prefix_country(net::Prefix slash24,
+                                     const std::string& country) {
+  prefix_countries_[slash24.address().value()] = country;
+}
+
+const ReplicaCluster& CdnProvider::nearest_cluster(
+    const net::GeoPoint& location, const std::string& country) const {
+  const ReplicaCluster* best = &clusters_.front();
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const auto& cluster : clusters_) {
+    if (!country.empty() && cluster.country != country) continue;
+    const double d = net::distance_km(location, cluster.location);
+    if (d < best_distance) {
+      best_distance = d;
+      best = &cluster;
+    }
+  }
+  return *best;
+}
+
+const ReplicaCluster& CdnProvider::cluster_for_resolver(
+    net::Ipv4Addr resolver_ip) const {
+  const uint32_t slash24 = resolver_ip.slash24().value();
+  const auto hint = prefix_hints_.find(slash24);
+  if (hint != prefix_hints_.end()) {
+    // Measurable prefix: latency-aware mapping to the nearest cluster.
+    return nearest_cluster(hint->second.location, hint->second.country);
+  }
+  // Opaque prefix (cellular): nothing to measure behind the ingress.
+  // Address registration (WHOIS) still reveals the country, so the
+  // assignment is a sticky hash over that country's clusters — stable per
+  // /24 (Fig. 10) but uncorrelated with where the clients actually are
+  // (Fig. 2's penalties).
+  const uint64_t h = net::mix_key(seed_, slash24);
+  const auto country_it = prefix_countries_.find(slash24);
+  const std::string country =
+      country_it == prefix_countries_.end() ? "US" : country_it->second;
+  std::vector<int> pool;
+  for (const auto& cluster : clusters_) {
+    if (cluster.country == country) pool.push_back(cluster.index);
+  }
+  return clusters_[pool[h % pool.size()]];
+}
+
+const ReplicaCluster* CdnProvider::cluster_of_replica(
+    net::Ipv4Addr replica_ip) const {
+  const auto it = cluster_by_replica_slash24_.find(replica_ip.slash24().value());
+  return it == cluster_by_replica_slash24_.end() ? nullptr
+                                                 : &clusters_[it->second];
+}
+
+std::vector<dns::ResourceRecord> CdnProvider::answer_query(
+    const dns::Question& question, net::Ipv4Addr resolver_ip,
+    const std::optional<dns::EdnsClientSubnet>& ecs, net::SimTime now,
+    net::Rng& rng) {
+  (void)rng;
+  if (question.type != dns::RRType::kA) return {};
+  // Expect <customer>.<zone_apex>.
+  if (!question.name.is_within(zone_apex_) ||
+      question.name.label_count() != zone_apex_.label_count() + 1) {
+    return {};
+  }
+  const std::string& customer = question.name.labels().front();
+  if (customers_.find(customer) == customers_.end()) return {};
+
+  // RFC 7871: when the resolver discloses the client's subnet, map by the
+  // client; otherwise fall back to the resolver's address — the paper-era
+  // status quo that mislocalizes cellular users.
+  const net::Ipv4Addr map_key = ecs ? ecs->address : resolver_ip;
+  const ReplicaCluster& cluster = cluster_for_resolver(map_key);
+  // Rotate through the cluster per (mapped /24, name, time bucket).
+  const auto bucket = static_cast<uint64_t>(now.seconds() / kRotationBucketSeconds);
+  const uint64_t base = net::mix_key(
+      net::mix_key(seed_, map_key.slash24().value() ^ question.name.hash()),
+      bucket);
+  std::vector<dns::ResourceRecord> answers;
+  const size_t n = std::min(kAnswersPerResponse, cluster.replica_ips.size());
+  for (size_t i = 0; i < n; ++i) {
+    const size_t index = (base + i) % cluster.replica_ips.size();
+    answers.push_back(dns::ResourceRecord::a(
+        question.name, cluster.replica_ips[index], answer_ttl_s_));
+  }
+  return answers;
+}
+
+}  // namespace curtain::cdn

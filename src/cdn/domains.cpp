@@ -1,0 +1,51 @@
+#include "cdn/domains.h"
+
+namespace curtain::cdn {
+
+const std::vector<StudyDomain>& study_domains() {
+  static const std::vector<StudyDomain> domains = {
+      {"www.google.com", "google.com", "gcache", "www-google"},
+      {"www.youtube.com", "youtube.com", "gcache", "www-youtube"},
+      {"www.facebook.com", "facebook.com", "fastedge", "fb-star"},
+      {"www.amazon.com", "amazon.com", "curtaincdn", "amazon-www"},
+      {"www.bing.com", "bing.com", "curtaincdn", "bing-www"},
+      {"www.buzzfeed.com", "buzzfeed.com", "fastedge", "buzzfeed-www"},
+      {"m.yelp.com", "yelp.com", "curtaincdn", "yelp-m"},
+      {"mobile.twitter.com", "twitter.com", "fastedge", "twitter-mobile"},
+      {"en.m.wikipedia.org", "wikipedia.org", "curtaincdn", "wikipedia-m"},
+  };
+  return domains;
+}
+
+std::vector<std::string> study_cdn_names() {
+  return {"curtaincdn", "gcache", "fastedge"};
+}
+
+void wire_origin_zones(
+    const std::unordered_map<std::string, CdnProvider*>& cdns,
+    dns::DnsHierarchy& hierarchy, net::IpAllocator& allocator,
+    uint32_t cname_ttl_s) {
+  // One origin ADNS per registrable zone; several hosts may share a zone.
+  std::unordered_map<std::string, dns::AuthoritativeServer*> origin_servers;
+  for (const auto& domain : study_domains()) {
+    auto* cdn = cdns.at(domain.cdn);
+    const dns::DnsName edge = cdn->add_customer(domain.customer);
+
+    auto& server = [&]() -> dns::AuthoritativeServer& {
+      const auto it = origin_servers.find(domain.origin_zone);
+      if (it != origin_servers.end()) return *it->second;
+      const net::Ipv4Addr ip = allocator.alloc_host(allocator.alloc_block(24));
+      // Origin ADNSes sit in large US metros; their location barely
+      // matters (resolvers cache the NS and the CNAME for minutes).
+      auto& created = hierarchy.create_zone(*dns::DnsName::parse(domain.origin_zone),
+                                            {37.77, -122.42}, ip);
+      origin_servers[domain.origin_zone] = &created;
+      return created;
+    }();
+
+    const auto host = dns::DnsName::parse(domain.host);
+    server.add_record(dns::ResourceRecord::cname(*host, edge, cname_ttl_s));
+  }
+}
+
+}  // namespace curtain::cdn

@@ -1,0 +1,39 @@
+// The study's measured domains (paper Table 2) and their CDN wiring.
+//
+// The paper chose nine popular mobile sites whose resolution goes through
+// a CNAME — the tell-tale of DNS-based load balancing. The OCR of Table 2
+// preserved only m.yelp.com (plus buzzfeed.com from Fig. 10); the rest of
+// the set is completed with popular 2014 mobile domains (see DESIGN.md §4).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/cdn.h"
+#include "dns/hierarchy.h"
+
+namespace curtain::cdn {
+
+struct StudyDomain {
+  std::string host;         ///< what devices resolve ("m.yelp.com")
+  std::string origin_zone;  ///< registrable zone ("yelp.com")
+  std::string cdn;          ///< CDN provider name carrying the content
+  std::string customer;     ///< customer label inside the CDN zone
+};
+
+/// The nine measured domains.
+const std::vector<StudyDomain>& study_domains();
+
+/// Names of the CDN providers the domains ride on.
+std::vector<std::string> study_cdn_names();
+
+/// Creates each domain's origin zone (via the hierarchy) with the
+/// CNAME host → <customer>.<cdn zone>, registering customers with their
+/// CDN. `cdns` maps provider name → provider.
+void wire_origin_zones(
+    const std::unordered_map<std::string, CdnProvider*>& cdns,
+    dns::DnsHierarchy& hierarchy, net::IpAllocator& allocator,
+    uint32_t cname_ttl_s = 300);
+
+}  // namespace curtain::cdn

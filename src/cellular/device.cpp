@@ -1,0 +1,72 @@
+#include "cellular/device.h"
+
+namespace curtain::cellular {
+namespace {
+
+// Reattach when the device has moved beyond a metro radius.
+constexpr double kReattachDistanceKm = 100.0;
+
+}  // namespace
+
+Device::Device(uint64_t device_id, CellularNetwork* carrier, net::GeoPoint home,
+               double travel_probability)
+    : id_(device_id),
+      carrier_(carrier),
+      home_(home),
+      travel_probability_(travel_probability) {}
+
+void Device::reattach(const net::GeoPoint& where, bool allow_gateway_change,
+                      net::SimTime now, net::Rng& rng) {
+  const auto& profile = carrier_->profile();
+  if (!attached_ || (allow_gateway_change &&
+                     rng.bernoulli(profile.gateway_change_on_reassign))) {
+    snapshot_.gateway_index = carrier_->pick_gateway(where, rng);
+  }
+  snapshot_.public_ip = carrier_->assign_ip(snapshot_.gateway_index, rng);
+  snapshot_.configured_resolver =
+      carrier_->configured_resolver(id_, snapshot_.gateway_index);
+  attach_location_ = where;
+  attached_ = true;
+  next_reassign_ =
+      now + net::SimTime::from_seconds(
+                rng.exponential(profile.ip_reassign_mean.seconds()));
+}
+
+DeviceSnapshot Device::begin_experiment(net::SimTime now, net::Rng& rng) {
+  // Mobility: mostly at home (scattered within a neighborhood so Fig. 9's
+  // 10 km static-location filter keeps these), sometimes travelling.
+  net::GeoPoint where = net::offset_km(home_, rng.normal(0.0, 2.0),
+                                       rng.normal(0.0, 2.0));
+  if (rng.bernoulli(travel_probability_)) {
+    const auto& metros = carrier_->profile().country == "KR"
+                             ? net::kr_metros()
+                             : net::us_metros();
+    const auto& away = metros[static_cast<size_t>(
+        rng.uniform_u64(0, metros.size() - 1))];
+    where = net::offset_km(away.location, rng.normal(0.0, 5.0),
+                           rng.normal(0.0, 5.0));
+  }
+  snapshot_.location = where;
+
+  const bool moved_far =
+      attached_ && net::distance_km(where, attach_location_) > kReattachDistanceKm;
+  if (!attached_ || moved_far) {
+    reattach(where, /*allow_gateway_change=*/true, now, rng);
+  } else if (now >= next_reassign_) {
+    // Periodic IP reassignment; may or may not change the gateway.
+    reattach(attach_location_, /*allow_gateway_change=*/true, now, rng);
+  }
+
+  snapshot_.radio = carrier_->sample_radio(rng);
+  return snapshot_;
+}
+
+double Device::access_rtt_ms(net::SimTime now, net::Rng& rng) {
+  return rrc_.access_rtt_ms(snapshot_.radio, now, rng);
+}
+
+net::NodeId Device::gateway_node() const {
+  return carrier_->gateway_node(snapshot_.gateway_index);
+}
+
+}  // namespace curtain::cellular

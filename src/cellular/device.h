@@ -1,0 +1,68 @@
+// A measurement device: one volunteer handset of the fleet.
+//
+// Owns the mutable client-side state the paper's analyses depend on —
+// current gateway attachment, ephemeral public IP, DHCP-configured
+// resolver, active radio technology and RRC state — and the mobility /
+// reattachment processes that churn it. Stationary devices still churn
+// resolvers (Fig. 9) because reattachment and carrier-side re-pairing are
+// time-driven, not movement-driven.
+#pragma once
+
+#include "cellular/carrier.h"
+#include "cellular/radio.h"
+#include "net/geo.h"
+
+namespace curtain::cellular {
+
+/// The device's network context at the start of one experiment. Captured
+/// in every measurement record (the paper logs the same context fields).
+struct DeviceSnapshot {
+  net::GeoPoint location;
+  int gateway_index = 0;
+  net::Ipv4Addr public_ip;
+  net::Ipv4Addr configured_resolver;
+  RadioTech radio = RadioTech::kLte;
+};
+
+class Device {
+ public:
+  /// `device_id` is fleet-unique; `home` anchors the device's location.
+  /// `travel_probability` is the chance an experiment runs away from home.
+  Device(uint64_t device_id, CellularNetwork* carrier, net::GeoPoint home,
+         double travel_probability = 0.10);
+
+  uint64_t id() const { return id_; }
+  CellularNetwork& carrier() { return *carrier_; }
+  const CellularNetwork& carrier() const { return *carrier_; }
+  const net::GeoPoint& home() const { return home_; }
+
+  /// Advances attachment state to `now` (reassignment, mobility, radio
+  /// draw) and returns the experiment context.
+  DeviceSnapshot begin_experiment(net::SimTime now, net::Rng& rng);
+
+  /// Radio access RTT for one probe at `now` on the current technology,
+  /// paying RRC promotion if the radio idled.
+  double access_rtt_ms(net::SimTime now, net::Rng& rng);
+
+  /// Topology anchor for the device's traffic (its gateway).
+  net::NodeId gateway_node() const;
+
+  const DeviceSnapshot& snapshot() const { return snapshot_; }
+
+ private:
+  void reattach(const net::GeoPoint& where, bool allow_gateway_change,
+                net::SimTime now, net::Rng& rng);
+
+  uint64_t id_;
+  CellularNetwork* carrier_;
+  net::GeoPoint home_;
+  double travel_probability_;
+
+  DeviceSnapshot snapshot_;
+  net::GeoPoint attach_location_;
+  net::SimTime next_reassign_{-1};
+  bool attached_ = false;
+  RrcState rrc_;
+};
+
+}  // namespace curtain::cellular

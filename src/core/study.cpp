@@ -1,0 +1,59 @@
+#include "core/study.h"
+
+#include "util/flags.h"
+
+namespace curtain::core {
+
+StudyConfig StudyConfig::from_env() {
+  StudyConfig config;
+  config.seed = util::study_seed();
+  config.scale = util::campaign_scale();
+  config.world.seed = config.seed;
+  return config;
+}
+
+Study::Study(StudyConfig config)
+    : config_(config),
+      world_(std::make_unique<World>(config.world)),
+      campaign_(measure::CampaignConfig::scaled(config.scale, config.seed)) {
+  runner_ = std::make_unique<measure::ExperimentRunner>(
+      &world_->topology(), &world_->registry(),
+      measure::ResolverIdentifier(world_->research_apex()), config.experiment);
+
+  std::vector<measure::Fleet::CarrierEntry> entries;
+  for (size_t c = 0; c < world_->carriers().size(); ++c) {
+    entries.push_back(
+        measure::Fleet::CarrierEntry{&world_->carrier(c), static_cast<int>(c)});
+  }
+  fleet_ = std::make_unique<measure::Fleet>(std::move(entries), runner_.get(),
+                                            campaign_);
+}
+
+Study::~Study() = default;
+
+void Study::run() {
+  if (ran_) return;
+  ran_ = true;
+  fleet_->run_campaign(dataset_);
+
+  // Table 4's sweep: probe every observed external resolver from the
+  // wired vantage point at the end of the campaign.
+  net::Rng vantage_rng(net::mix_key(config_.seed, net::hash_tag("vantage")));
+  measure::VantageProber prober(&world_->topology(), &world_->registry(),
+                                world_->vantage_node(), world_->vantage_ip());
+  prober.probe_observed_resolvers(
+      dataset_, net::SimTime::from_days(campaign_.duration_days), vantage_rng);
+}
+
+std::string Study::summary() const {
+  std::string out;
+  out += "devices=" + std::to_string(fleet_->device_count());
+  out += " experiments=" + std::to_string(dataset_.experiments.size());
+  out += " resolutions=" + std::to_string(dataset_.resolutions.size());
+  out += " probes=" + std::to_string(dataset_.probes.size());
+  out += " traceroutes=" + std::to_string(dataset_.traceroutes.size());
+  out += " days=" + std::to_string(campaign_.duration_days);
+  return out;
+}
+
+}  // namespace curtain::core

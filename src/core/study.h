@@ -1,0 +1,54 @@
+// Study: the top-level entry point tying world, fleet and campaign
+// together. This is what examples and benches instantiate.
+#pragma once
+
+#include <memory>
+
+#include "core/world.h"
+#include "measure/fleet.h"
+#include "measure/vantage.h"
+
+namespace curtain::core {
+
+struct StudyConfig {
+  uint64_t seed = 20141105;
+  /// Campaign scale in (0,1]: 1.0 reproduces the paper's five-month,
+  /// ~28k-experiment campaign; smaller values shorten the window.
+  double scale = 0.05;
+  measure::ExperimentConfig experiment;
+  WorldConfig world;
+
+  /// Reads CURTAIN_SEED / CURTAIN_SCALE from the environment.
+  static StudyConfig from_env();
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config = StudyConfig::from_env());
+  ~Study();
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
+
+  /// Runs the full campaign plus the vantage-point reachability sweep.
+  void run();
+
+  World& world() { return *world_; }
+  const measure::Dataset& dataset() const { return dataset_; }
+  measure::Fleet& fleet() { return *fleet_; }
+  const StudyConfig& config() const { return config_; }
+  const measure::CampaignConfig& campaign() const { return campaign_; }
+
+  /// One-line dataset summary (§3.1-style totals).
+  std::string summary() const;
+
+ private:
+  StudyConfig config_;
+  std::unique_ptr<World> world_;
+  std::unique_ptr<measure::ExperimentRunner> runner_;
+  measure::CampaignConfig campaign_;
+  std::unique_ptr<measure::Fleet> fleet_;
+  measure::Dataset dataset_;
+  bool ran_ = false;
+};
+
+}  // namespace curtain::core

@@ -1,0 +1,106 @@
+// World: the complete simulated environment of the study.
+//
+// Assembles every substrate into one consistent universe:
+//   * an Internet backbone over 30 world metros,
+//   * the DNS delegation hierarchy (root, TLDs),
+//   * three CDN providers carrying the nine study domains,
+//   * Google Public DNS (30 sites) and OpenDNS (20 sites),
+//   * the six study carriers with their firewalled zones and LDNS
+//     architectures,
+//   * the research ADNS used for resolver identification, and
+//   * the wired university vantage point.
+// After construction the world is immutable; campaigns only thread RNG
+// and virtual time through it.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cdn/cdn.h"
+#include "cdn/domains.h"
+#include "cellular/carrier.h"
+#include "dns/hierarchy.h"
+#include "measure/resolver_ident.h"
+#include "publicdns/public_dns.h"
+
+namespace curtain::core {
+
+struct WorldConfig {
+  uint64_t seed = 20141105;
+  int google_sites = 30;  ///< paper §6.1: 30 distributed /24s
+  int google_instances_per_site = 8;
+  int opendns_sites = 20;
+  int opendns_instances_per_site = 6;
+  int replicas_per_cluster = 3;
+  uint32_t cdn_answer_ttl_s = 30;  ///< the short TTLs behind Fig. 7
+  /// Enable EDNS client-subnet on Google Public DNS (RFC 7871) — the
+  /// "natural evolution of DNS" remedy; off in the paper-era baseline.
+  bool google_ecs = false;
+  /// Carrier set to build; empty = the six study carriers. Pass
+  /// cellular::xu_era_carriers() to build the 3G-era baseline world.
+  std::vector<cellular::CarrierProfile> carrier_profiles;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config = {});
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  net::Topology& topology() { return topology_; }
+  const net::Topology& topology() const { return topology_; }
+  dns::ServerRegistry& registry() { return registry_; }
+  const dns::ServerRegistry& registry() const { return registry_; }
+  dns::DnsHierarchy& hierarchy() { return *hierarchy_; }
+
+  net::NodeId nearest_backbone(const net::GeoPoint& location) const;
+
+  const std::vector<std::unique_ptr<cellular::CellularNetwork>>& carriers()
+      const {
+    return carriers_;
+  }
+  cellular::CellularNetwork& carrier(size_t index) { return *carriers_[index]; }
+
+  publicdns::PublicDnsService& google_dns() { return *google_; }
+  publicdns::PublicDnsService& open_dns() { return *opendns_; }
+  cdn::CdnProvider& cdn(const std::string& name) { return *cdns_.at(name); }
+  const std::unordered_map<std::string, std::unique_ptr<cdn::CdnProvider>>&
+  cdns() const {
+    return cdns_;
+  }
+
+  const dns::DnsName& research_apex() const { return research_apex_; }
+  net::NodeId vantage_node() const { return vantage_node_; }
+  net::Ipv4Addr vantage_ip() const { return vantage_ip_; }
+  net::Ipv4Addr root_dns_ip() const { return hierarchy_->root_ip(); }
+
+  const WorldConfig& config() const { return config_; }
+
+ private:
+  void build_backbone();
+  void build_vantage();
+  void build_hierarchy_and_research_zone();
+  void build_cdns();
+  void build_public_dns();
+  void build_carriers();
+  void register_cdn_hints();
+
+  dns::HostFactory host_factory();
+
+  WorldConfig config_;
+  net::Topology topology_;
+  dns::ServerRegistry registry_;
+  std::unique_ptr<net::IpAllocator> allocator_;
+  std::vector<net::NodeId> backbone_nodes_;
+  std::unique_ptr<dns::DnsHierarchy> hierarchy_;
+  dns::DnsName research_apex_;
+  net::NodeId vantage_node_ = net::kInvalidNode;
+  net::Ipv4Addr vantage_ip_;
+  std::unordered_map<std::string, std::unique_ptr<cdn::CdnProvider>> cdns_;
+  std::unique_ptr<publicdns::PublicDnsService> google_;
+  std::unique_ptr<publicdns::PublicDnsService> opendns_;
+  std::vector<std::unique_ptr<cellular::CellularNetwork>> carriers_;
+};
+
+}  // namespace curtain::core

@@ -1,0 +1,89 @@
+#include "dns/cache.h"
+
+#include <algorithm>
+
+namespace curtain::dns {
+
+std::optional<CachedRrset> Cache::lookup(const DnsName& name, RRType type,
+                                         net::SimTime now, uint32_t scope) {
+  const auto it = entries_.find(Key{name, type, scope});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.expires <= now) {
+    entries_.erase(it);
+    ++stats_.expired_evictions;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  CachedRrset aged = it->second;
+  const auto elapsed_s =
+      static_cast<uint32_t>((now - aged.inserted).seconds());
+  for (auto& rr : aged.records) {
+    rr.ttl = rr.ttl > elapsed_s ? rr.ttl - elapsed_s : 0;
+  }
+  return aged;
+}
+
+void Cache::insert(const DnsName& name, RRType type,
+                   std::vector<ResourceRecord> records, net::SimTime now,
+                   uint32_t scope) {
+  if (records.empty()) return;
+  uint32_t ttl = UINT32_MAX;
+  for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
+  ttl = std::clamp(ttl, min_ttl_s_, max_ttl_s_);
+  if (ttl == 0) return;
+  CachedRrset entry;
+  entry.records = std::move(records);
+  entry.inserted = now;
+  entry.expires = now + net::SimTime::from_seconds(ttl);
+  insert_entry(Key{name, type, scope}, std::move(entry));
+}
+
+void Cache::insert_negative(const DnsName& name, RRType type, uint32_t ttl_s,
+                            net::SimTime now, uint32_t scope) {
+  ttl_s = std::clamp(ttl_s, min_ttl_s_, max_ttl_s_);
+  if (ttl_s == 0) return;
+  CachedRrset entry;
+  entry.negative = true;
+  entry.inserted = now;
+  entry.expires = now + net::SimTime::from_seconds(ttl_s);
+  insert_entry(Key{name, type, scope}, std::move(entry));
+}
+
+void Cache::insert_entry(Key key, CachedRrset entry) {
+  if (entries_.size() >= max_entries_ && entries_.find(key) == entries_.end()) {
+    evict_one(entry.inserted);
+  }
+  entries_[std::move(key)] = std::move(entry);
+}
+
+void Cache::evict_one(net::SimTime now) {
+  if (entries_.empty()) return;
+  // Prefer an expired entry; otherwise drop the soonest-to-expire one.
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.expires <= now) {
+      victim = it;
+      break;
+    }
+    if (it->second.expires < victim->second.expires) victim = it;
+  }
+  if (victim->second.expires <= now) {
+    ++stats_.expired_evictions;
+  } else {
+    ++stats_.capacity_evictions;
+  }
+  entries_.erase(victim);
+}
+
+void Cache::clear() { entries_.clear(); }
+
+void Cache::set_ttl_bounds(uint32_t min_ttl_s, uint32_t max_ttl_s) {
+  min_ttl_s_ = min_ttl_s;
+  max_ttl_s_ = std::max(min_ttl_s, max_ttl_s);
+}
+
+}  // namespace curtain::dns

@@ -1,0 +1,90 @@
+#include "dns/name.h"
+
+#include "util/strings.h"
+
+namespace curtain::dns {
+namespace {
+
+constexpr size_t kMaxLabel = 63;
+constexpr size_t kMaxWire = 255;
+
+bool valid_label(std::string_view label) {
+  return !label.empty() && label.size() <= kMaxLabel;
+}
+
+}  // namespace
+
+std::optional<DnsName> DnsName::parse(std::string_view text) {
+  text = util::trim(text);
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return DnsName{};  // root
+  std::vector<std::string> labels;
+  for (auto& label : util::split(text, '.')) {
+    if (!valid_label(label)) return std::nullopt;
+    labels.push_back(util::to_lower(label));
+  }
+  return from_labels(std::move(labels));
+}
+
+std::optional<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
+  size_t wire = 1;  // root terminator
+  for (auto& label : labels) {
+    if (!valid_label(label)) return std::nullopt;
+    label = util::to_lower(label);
+    wire += 1 + label.size();
+  }
+  if (wire > kMaxWire) return std::nullopt;
+  DnsName name;
+  name.labels_ = std::move(labels);
+  return name;
+}
+
+size_t DnsName::wire_length() const {
+  size_t wire = 1;
+  for (const auto& label : labels_) wire += 1 + label.size();
+  return wire;
+}
+
+std::string DnsName::to_string() const {
+  return util::join(labels_, ".");
+}
+
+bool DnsName::is_within(const DnsName& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  const size_t offset = labels_.size() - ancestor.labels_.size();
+  for (size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (labels_[offset + i] != ancestor.labels_[i]) return false;
+  }
+  return true;
+}
+
+DnsName DnsName::parent() const {
+  DnsName out;
+  if (labels_.size() > 1) {
+    out.labels_.assign(labels_.begin() + 1, labels_.end());
+  }
+  return out;
+}
+
+std::optional<DnsName> DnsName::child(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+size_t DnsName::hash() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const auto& label : labels_) {
+    for (const char c : label) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;  // label separator so {"ab","c"} != {"a","bc"}
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace curtain::dns

@@ -1,0 +1,64 @@
+// DNS domain names (RFC 1035 §2.3 / §3.1).
+//
+// A name is a sequence of labels; comparisons are case-insensitive and
+// names are stored lowercased. Limits enforced: labels 1..63 octets, whole
+// name <= 255 octets in wire form.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace curtain::dns {
+
+class DnsName {
+ public:
+  DnsName() = default;  ///< the root name (empty label sequence)
+
+  /// Parses presentation format ("www.example.com", trailing dot optional,
+  /// lowercased on input). nullopt if any label is empty/oversized or the
+  /// total wire length would exceed 255.
+  static std::optional<DnsName> parse(std::string_view text);
+
+  /// Builds from pre-validated labels (asserts the same limits).
+  static std::optional<DnsName> from_labels(std::vector<std::string> labels);
+
+  const std::vector<std::string>& labels() const { return labels_; }
+  bool is_root() const { return labels_.empty(); }
+  size_t label_count() const { return labels_.size(); }
+
+  /// Wire-format length: one length octet per label + label bytes + root.
+  size_t wire_length() const;
+
+  /// Presentation format without trailing dot ("" for the root).
+  std::string to_string() const;
+
+  /// True if this name equals `ancestor` or is beneath it
+  /// ("a.b.example.com" is within "example.com"; everything is within root).
+  bool is_within(const DnsName& ancestor) const;
+
+  /// The name minus its leftmost label ("www.example.com" -> "example.com").
+  /// Returns the root when called on a single-label name.
+  DnsName parent() const;
+
+  /// A child name: `label` prepended ("cdn" + "example.com" ->
+  /// "cdn.example.com"). nullopt if limits would be violated.
+  std::optional<DnsName> child(std::string_view label) const;
+
+  bool operator==(const DnsName& other) const { return labels_ == other.labels_; }
+  /// Lexicographic order over lowercased labels; suitable for map keys.
+  bool operator<(const DnsName& other) const { return labels_ < other.labels_; }
+
+  /// Hash compatible with operator== (labels are canonically lowercased).
+  size_t hash() const;
+
+ private:
+  std::vector<std::string> labels_;  // each already lowercased
+};
+
+struct DnsNameHash {
+  size_t operator()(const DnsName& name) const { return name.hash(); }
+};
+
+}  // namespace curtain::dns

@@ -1,0 +1,280 @@
+#include "dns/resolver.h"
+
+#include <algorithm>
+#include <map>
+
+namespace curtain::dns {
+namespace {
+
+constexpr size_t kMaxCnameChase = 8;
+constexpr size_t kMaxReferrals = 16;
+// Cost charged for a query that gets no reply before the client retries.
+constexpr double kTimeoutMs = 1000.0;
+
+}  // namespace
+
+std::vector<net::Ipv4Addr> ResolutionResult::addresses() const {
+  std::vector<net::Ipv4Addr> out;
+  for (const auto& rr : answers) {
+    if (const auto* a = std::get_if<ARecord>(&rr.rdata)) out.push_back(a->address);
+  }
+  return out;
+}
+
+RecursiveResolver::RecursiveResolver(std::string name, net::NodeId node,
+                                     net::Ipv4Addr ip,
+                                     const net::Topology* topology,
+                                     const ServerRegistry* registry,
+                                     net::Ipv4Addr root_ip)
+    : name_(std::move(name)),
+      node_(node),
+      ip_(ip),
+      topology_(topology),
+      registry_(registry),
+      root_ip_(root_ip) {
+  // CDN-era resolvers honor short TTLs; cap at a day like common software.
+  cache_.set_ttl_bounds(0, 86400);
+}
+
+ResolutionResult RecursiveResolver::resolve(const DnsName& name, RRType type,
+                                            net::SimTime now, net::Rng& rng,
+                                            net::Ipv4Addr ecs_client) {
+  ResolutionResult result;
+  result.rcode = Rcode::kNoError;
+  const uint32_t scope = (ecs_enabled_ && !ecs_client.is_unspecified())
+                             ? ecs_client.slash24().value()
+                             : 0;
+  DnsName qname = name;
+  for (size_t chase = 0; chase <= kMaxCnameChase; ++chase) {
+    const auto next =
+        resolve_step(qname, type, now, rng, ecs_client, scope, result);
+    if (!next) return result;
+    qname = *next;
+  }
+  result.rcode = Rcode::kServFail;  // CNAME chain too long
+  return result;
+}
+
+std::optional<DnsName> RecursiveResolver::resolve_step(
+    const DnsName& qname, RRType type, net::SimTime now, net::Rng& rng,
+    net::Ipv4Addr ecs_client, uint32_t scope, ResolutionResult& result) {
+  // Terminal rrset cached (within this client's subnet partition)?
+  if (auto cached = cache_.lookup(qname, type, now, scope)) {
+    if (cached->negative) {
+      result.rcode = Rcode::kNxDomain;
+      return std::nullopt;
+    }
+    for (auto& rr : cached->records) result.answers.push_back(std::move(rr));
+    return std::nullopt;
+  }
+  // Cached CNAME link?
+  if (type != RRType::kCNAME) {
+    if (auto cached = cache_.lookup(qname, RRType::kCNAME, now, scope);
+        cached && !cached->negative && !cached->records.empty()) {
+      result.answers.push_back(cached->records.front());
+      return std::get<CnameRecord>(cached->records.front().rdata).target;
+    }
+  }
+  // Background-load model: subscribers may have refreshed this name
+  // already, in which case our query is a hit at zero charged latency.
+  // Applies only to subnet-independent data — an ECS-scoped answer is
+  // specific to this client's subnet, which background users don't share.
+  if (scope == 0 && !warming_ &&
+      (warm_hit_p_ > 0.0 || bg_interarrival_s_ > 0.0) &&
+      (!warm_eligible_ || warm_eligible_(qname))) {
+    warming_ = true;
+    ResolutionResult shadow = resolve(qname, type, now, rng);
+    warming_ = false;
+    // Warm probability: fixed, or TTL-driven — an entry with TTL T that
+    // background users re-fetch every I seconds is fresh a T/(T+I)
+    // fraction of the time.
+    double warm_p = warm_hit_p_;
+    if (bg_interarrival_s_ > 0.0) {
+      uint32_t ttl = 300;  // NXDOMAIN / empty answers: negative-cache TTL
+      for (const auto& rr : shadow.answers) ttl = std::min(ttl, rr.ttl);
+      warm_p = ttl / (ttl + bg_interarrival_s_);
+    }
+    if (!rng.bernoulli(warm_p)) {
+      // Cold after all: the client pays the recursion the shadow ran.
+      result.upstream_ms += shadow.upstream_ms;
+      result.upstream_queries += shadow.upstream_queries;
+      result.from_cache = false;
+    }
+    result.rcode = shadow.rcode;
+    for (auto& rr : shadow.answers) result.answers.push_back(std::move(rr));
+    return std::nullopt;  // the shadow resolution followed the whole chain
+  }
+  result.from_cache = false;
+  return iterate(qname, type, now, rng, ecs_client, scope, result);
+}
+
+net::Ipv4Addr RecursiveResolver::best_server_for(const DnsName& qname,
+                                                 net::SimTime now) {
+  // Walk qname, qname's parent, ... looking for a cached NS whose glue we
+  // also have. The root primes the walk when nothing deeper is known.
+  DnsName zone = qname;
+  while (true) {
+    if (auto ns_set = cache_.lookup(zone, RRType::kNS, now);
+        ns_set && !ns_set->negative) {
+      for (const auto& rr : ns_set->records) {
+        const auto& ns_name = std::get<NsRecord>(rr.rdata).nameserver;
+        if (auto glue = cache_.lookup(ns_name, RRType::kA, now);
+            glue && !glue->negative && !glue->records.empty()) {
+          return std::get<ARecord>(glue->records.front().rdata).address;
+        }
+      }
+    }
+    if (zone.is_root()) return root_ip_;
+    zone = zone.parent();
+  }
+}
+
+std::optional<Message> RecursiveResolver::query_server(
+    net::Ipv4Addr server_ip, const DnsName& qname, RRType type, net::SimTime now,
+    net::Rng& rng, net::Ipv4Addr ecs_client, ResolutionResult& result) {
+  ++result.upstream_queries;
+  DnsServer* server = registry_->find(server_ip);
+  if (server == nullptr) {
+    result.upstream_ms += kTimeoutMs;
+    return std::nullopt;
+  }
+  const auto rtt = topology_->transport_rtt_ms(node_, server->node(), rng);
+  if (!rtt) {
+    result.upstream_ms += kTimeoutMs;
+    return std::nullopt;
+  }
+  Message query = Message::query(next_query_id_++, qname, type);
+  if (ecs_enabled_ && !ecs_client.is_unspecified()) {
+    query.ecs = EdnsClientSubnet{ecs_client.slash24(), ecs_prefix_len_, 0};
+  }
+  const auto wire = encode(query);
+  const ServedResponse served = server->handle_query(wire, ip_, now, rng);
+  result.upstream_ms += *rtt + served.server_side_ms;
+  auto response = decode(served.wire);
+  if (!response || response->header.id != query.header.id) return std::nullopt;
+  return response;
+}
+
+void RecursiveResolver::cache_response_sections(const Message& response,
+                                                net::SimTime now,
+                                                uint32_t answer_scope) {
+  std::map<std::pair<DnsName, RRType>, std::vector<ResourceRecord>> answers;
+  std::map<std::pair<DnsName, RRType>, std::vector<ResourceRecord>> metadata;
+  for (const auto& rr : response.answers) {
+    answers[{rr.name, rr.type()}].push_back(rr);
+  }
+  for (const auto* section : {&response.authorities, &response.additionals}) {
+    for (const auto& rr : *section) {
+      metadata[{rr.name, rr.type()}].push_back(rr);
+    }
+  }
+  // Tailored answers are valid only for this client's subnet; referral
+  // metadata (NS, glue) is subnet-independent.
+  for (auto& [key, rrs] : answers) {
+    cache_.insert(key.first, key.second, std::move(rrs), now, answer_scope);
+  }
+  for (auto& [key, rrs] : metadata) {
+    if (key.second == RRType::kSOA) continue;  // negative-caching metadata
+    cache_.insert(key.first, key.second, std::move(rrs), now);
+  }
+}
+
+std::optional<DnsName> RecursiveResolver::iterate(
+    const DnsName& qname, RRType type, net::SimTime now, net::Rng& rng,
+    net::Ipv4Addr ecs_client, uint32_t scope, ResolutionResult& result) {
+  net::Ipv4Addr server_ip = best_server_for(qname, now);
+  for (size_t step = 0; step < kMaxReferrals; ++step) {
+    auto response =
+        query_server(server_ip, qname, type, now, rng, ecs_client, result);
+    if (!response) {
+      result.rcode = Rcode::kServFail;
+      return std::nullopt;
+    }
+    cache_response_sections(*response, now, scope);
+
+    if (!response->answers.empty()) {
+      // Either the terminal rrset, a CNAME link, or a mix ending in one.
+      std::optional<DnsName> continue_with;
+      for (const auto& rr : response->answers) {
+        result.answers.push_back(rr);
+        if (rr.type() == RRType::kCNAME && type != RRType::kCNAME) {
+          continue_with = std::get<CnameRecord>(rr.rdata).target;
+        }
+        if (rr.type() == type) continue_with.reset();
+      }
+      return continue_with;
+    }
+
+    if (response->header.rcode == Rcode::kNxDomain) {
+      uint32_t neg_ttl = 300;
+      for (const auto& rr : response->authorities) {
+        if (const auto* soa = std::get_if<SoaRecord>(&rr.rdata)) {
+          neg_ttl = std::min(rr.ttl, soa->minimum);
+        }
+      }
+      cache_.insert_negative(qname, type, neg_ttl, now, scope);
+      result.rcode = Rcode::kNxDomain;
+      return std::nullopt;
+    }
+
+    // Referral: follow the first NS with glue.
+    net::Ipv4Addr next{};
+    for (const auto& ns_rr : response->authorities) {
+      const auto* ns = std::get_if<NsRecord>(&ns_rr.rdata);
+      if (ns == nullptr) continue;
+      for (const auto& add_rr : response->additionals) {
+        const auto* a = std::get_if<ARecord>(&add_rr.rdata);
+        if (a != nullptr && add_rr.name == ns->nameserver) {
+          next = a->address;
+          break;
+        }
+      }
+      if (!next.is_unspecified()) break;
+    }
+    if (next.is_unspecified() || next == server_ip) {
+      // Either NODATA (authority carries a SOA — a fine, cacheable "no
+      // such data") or a referral we cannot make progress on (glueless,
+      // or pointing back at the same server): the latter is a lame
+      // delegation and surfaces as SERVFAIL, like production resolvers.
+      bool lame_referral = false;
+      for (const auto& rr : response->authorities) {
+        if (rr.type() == RRType::kNS) lame_referral = true;
+      }
+      result.rcode =
+          lame_referral ? Rcode::kServFail : response->header.rcode;
+      return std::nullopt;
+    }
+    server_ip = next;
+  }
+  result.rcode = Rcode::kServFail;
+  return std::nullopt;
+}
+
+ServedResponse RecursiveResolver::handle_query(std::span<const uint8_t> query_wire,
+                                               net::Ipv4Addr source_ip,
+                                               net::SimTime now, net::Rng& rng) {
+  ServedResponse served;
+  const auto query = decode(query_wire);
+  if (!query || query->questions.empty()) {
+    Message response;
+    response.header.id = query ? query->header.id : 0;
+    response.header.qr = true;
+    response.header.rcode = Rcode::kFormErr;
+    served.wire = encode(response);
+    return served;
+  }
+  const Question& q = query->questions.front();
+  // With ECS enabled, the stub's source address seeds the client subnet
+  // we disclose upstream.
+  ResolutionResult result = resolve(q.name, q.type, now, rng,
+                                    ecs_enabled_ ? source_ip : net::Ipv4Addr{});
+  Message response = query->make_response();
+  response.header.ra = true;
+  response.header.rcode = result.rcode;
+  response.answers = std::move(result.answers);
+  served.server_side_ms = result.upstream_ms;
+  served.wire = encode(response);
+  return served;
+}
+
+}  // namespace curtain::dns

@@ -1,0 +1,70 @@
+// The DNS server interface and the registry binding servers to topology
+// nodes.
+//
+// Servers exchange *encoded* packets: a caller encodes its query, the
+// server decodes, answers and re-encodes. `server_side_ms` carries the
+// latency the server itself incurred (a recursive resolver's upstream
+// round trips); the caller adds its own transport RTT to the server.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/clock.h"
+#include "net/ipv4.h"
+#include "net/rng.h"
+#include "net/topology.h"
+
+namespace curtain::dns {
+
+struct ServedResponse {
+  std::vector<uint8_t> wire;
+  double server_side_ms = 0.0;
+};
+
+class DnsServer {
+ public:
+  virtual ~DnsServer() = default;
+
+  /// Handles one query packet arriving from `source_ip` at time `now`.
+  /// Implementations must return a decodable response even for malformed
+  /// queries (FORMERR) so clients always observe *something* or a timeout.
+  virtual ServedResponse handle_query(std::span<const uint8_t> query_wire,
+                                      net::Ipv4Addr source_ip, net::SimTime now,
+                                      net::Rng& rng) = 0;
+
+  /// Topology node this server is bound to.
+  virtual net::NodeId node() const = 0;
+  /// Address the server answers on.
+  virtual net::Ipv4Addr ip() const = 0;
+
+  /// For anycast services: the instance node a packet from `source` is
+  /// routed to at time `now`. Unicast servers (the default) have a single
+  /// node; anycast routing can drift over time (tunneling, BGP churn).
+  virtual net::NodeId node_for(net::Ipv4Addr source, net::SimTime now) const {
+    (void)source;
+    (void)now;
+    return node();
+  }
+};
+
+/// Maps server IPs to server instances so resolvers can "send" packets.
+/// Non-owning: the world owns its servers and outlives the registry users.
+class ServerRegistry {
+ public:
+  void add(DnsServer* server) { by_ip_[server->ip().value()] = server; }
+
+  DnsServer* find(net::Ipv4Addr ip) const {
+    const auto it = by_ip_.find(ip.value());
+    return it == by_ip_.end() ? nullptr : it->second;
+  }
+
+  size_t size() const { return by_ip_.size(); }
+
+ private:
+  std::unordered_map<uint32_t, DnsServer*> by_ip_;
+};
+
+}  // namespace curtain::dns

@@ -1,0 +1,43 @@
+#include "dns/stub.h"
+
+namespace curtain::dns {
+
+std::vector<net::Ipv4Addr> StubResult::addresses() const {
+  std::vector<net::Ipv4Addr> out;
+  for (const auto& rr : answers) {
+    if (const auto* a = std::get_if<ARecord>(&rr.rdata)) out.push_back(a->address);
+  }
+  return out;
+}
+
+StubResolver::StubResolver(net::NodeId node, net::Ipv4Addr client_ip,
+                           const net::Topology* topology,
+                           const ServerRegistry* registry)
+    : node_(node), client_ip_(client_ip), topology_(topology),
+      registry_(registry) {}
+
+StubResult StubResolver::query(net::Ipv4Addr resolver_ip, const DnsName& name,
+                               RRType type, net::SimTime now, net::Rng& rng,
+                               double extra_latency_ms) {
+  StubResult result;
+  result.total_ms = extra_latency_ms;
+  DnsServer* server = registry_->find(resolver_ip);
+  if (server == nullptr) return result;
+  const auto rtt =
+      topology_->transport_rtt_ms(node_, server->node_for(client_ip_, now), rng);
+  if (!rtt) return result;
+
+  const Message query = Message::query(next_id_++, name, type);
+  const auto wire = encode(query);
+  const ServedResponse served = server->handle_query(wire, client_ip_, now, rng);
+  const auto response = decode(served.wire);
+  if (!response || response->header.id != query.header.id) return result;
+
+  result.responded = true;
+  result.rcode = response->header.rcode;
+  result.answers = response->answers;
+  result.total_ms += *rtt + served.server_side_ms;
+  return result;
+}
+
+}  // namespace curtain::dns

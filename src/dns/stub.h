@@ -1,0 +1,45 @@
+// Stub resolver: the client half of a resolution.
+//
+// Encodes the query, "sends" it to a configured resolver, and reports the
+// end-to-end resolution time (client RTT to the resolver + whatever the
+// resolver spent upstream). Devices add their radio-access latency on top.
+#pragma once
+
+#include "dns/message.h"
+#include "dns/server.h"
+
+namespace curtain::dns {
+
+struct StubResult {
+  bool responded = false;
+  Rcode rcode = Rcode::kServFail;
+  std::vector<ResourceRecord> answers;
+  /// End-to-end resolution time as the client perceives it.
+  double total_ms = 0.0;
+
+  std::vector<net::Ipv4Addr> addresses() const;
+};
+
+class StubResolver {
+ public:
+  /// `node` is where the client attaches to the wired topology (a device's
+  /// gateway, or a vantage-point host). Borrowed pointers must outlive us.
+  StubResolver(net::NodeId node, net::Ipv4Addr client_ip,
+               const net::Topology* topology, const ServerRegistry* registry);
+
+  /// Queries the server at `resolver_ip` for (name, type).
+  /// `extra_latency_ms` is prepended latency the transport cannot see
+  /// (radio access for cellular clients).
+  StubResult query(net::Ipv4Addr resolver_ip, const DnsName& name, RRType type,
+                   net::SimTime now, net::Rng& rng,
+                   double extra_latency_ms = 0.0);
+
+ private:
+  net::NodeId node_;
+  net::Ipv4Addr client_ip_;
+  const net::Topology* topology_;
+  const ServerRegistry* registry_;
+  uint16_t next_id_ = 1;
+};
+
+}  // namespace curtain::dns

@@ -1,0 +1,222 @@
+#include "measure/experiment.h"
+
+#include <algorithm>
+
+#include "cdn/domains.h"
+#include "dns/stub.h"
+
+namespace curtain::measure {
+namespace {
+
+net::SimTime ms(double v) { return net::SimTime::from_millis(v); }
+
+}  // namespace
+
+const char* resolver_kind_name(ResolverKind kind) {
+  switch (kind) {
+    case ResolverKind::kLocal: return "local";
+    case ResolverKind::kGoogle: return "GoogleDNS";
+    case ResolverKind::kOpenDns: return "OpenDNS";
+  }
+  return "?";
+}
+
+ExperimentRunner::ExperimentRunner(const net::Topology* topology,
+                                   const dns::ServerRegistry* registry,
+                                   ResolverIdentifier identifier,
+                                   ExperimentConfig config)
+    : topology_(topology),
+      registry_(registry),
+      probes_(topology, registry),
+      identifier_(std::move(identifier)),
+      config_(config) {}
+
+ProbeOrigin ExperimentRunner::origin_for(cellular::Device& device,
+                                         net::SimTime now,
+                                         net::Rng& rng) const {
+  ProbeOrigin origin;
+  origin.anchor = device.gateway_node();
+  origin.source_ip = device.snapshot().public_ip;
+  origin.access_rtt_ms = device.access_rtt_ms(now, rng);
+  return origin;
+}
+
+void ExperimentRunner::probe_target(cellular::Device& device,
+                                    ProbeTargetKind target_kind,
+                                    ResolverKind kind, net::Ipv4Addr target,
+                                    uint32_t experiment_id, net::SimTime& now,
+                                    net::Rng& rng, Dataset& dataset,
+                                    uint16_t domain_index, bool with_http) {
+  {
+    const ProbeOrigin origin = origin_for(device, now, rng);
+    const PingOutcome ping = probes_.ping(origin, target, now, rng);
+    ProbeMeasurement record;
+    record.experiment_id = experiment_id;
+    record.target_kind = target_kind;
+    record.resolver = kind;
+    record.domain_index = domain_index;
+    record.target_ip = target;
+    record.is_http = false;
+    record.responded = ping.responded;
+    record.rtt_ms = ping.rtt_ms;
+    dataset.probes.push_back(std::move(record));
+    now += ms(ping.responded ? ping.rtt_ms : 1000.0);  // timeout cost
+  }
+  if (with_http) {
+    const ProbeOrigin origin = origin_for(device, now, rng);
+    const HttpOutcome http = probes_.http_get(origin, target, now, rng);
+    ProbeMeasurement record;
+    record.experiment_id = experiment_id;
+    record.target_kind = target_kind;
+    record.resolver = kind;
+    record.domain_index = domain_index;
+    record.target_ip = target;
+    record.is_http = true;
+    record.responded = http.responded;
+    record.rtt_ms = http.ttfb_ms;
+    dataset.probes.push_back(std::move(record));
+    now += ms(http.responded ? http.ttfb_ms : 2000.0);
+  }
+  if (rng.bernoulli(config_.traceroute_sample_p)) {
+    const ProbeOrigin origin = origin_for(device, now, rng);
+    TracerouteOutcome trace = probes_.traceroute(origin, target, now, rng);
+    TracerouteMeasurement record;
+    record.experiment_id = experiment_id;
+    record.target_ip = target;
+    record.target_kind = target_kind;
+    record.reached = trace.reached;
+    record.hop_names = std::move(trace.hop_names);
+    dataset.traceroutes.push_back(std::move(record));
+    now += ms(50.0 * static_cast<double>(record.hop_names.size() + 1));
+  }
+}
+
+void ExperimentRunner::measure_domains(cellular::Device& device,
+                                       ResolverKind kind,
+                                       net::Ipv4Addr resolver_ip,
+                                       uint32_t experiment_id, net::SimTime& now,
+                                       net::Rng& rng, Dataset& dataset) {
+  const auto& domains = cdn::study_domains();
+  for (uint16_t d = 0; d < domains.size(); ++d) {
+    const auto host = dns::DnsName::parse(domains[d].host);
+    dns::StubResolver stub(device.gateway_node(), device.snapshot().public_ip,
+                           topology_, registry_);
+    // First lookup, then an immediate back-to-back repeat (Fig. 7).
+    for (const bool second : {false, true}) {
+      const double access = device.access_rtt_ms(now, rng);
+      const dns::StubResult result =
+          stub.query(resolver_ip, *host, dns::RRType::kA, now, rng, access);
+      DnsMeasurement record;
+      record.experiment_id = experiment_id;
+      record.resolver = kind;
+      record.domain_index = d;
+      record.responded = result.responded;
+      record.second_lookup = second;
+      record.resolution_ms = result.responded ? result.total_ms : 5000.0;
+      record.addresses = result.addresses();
+      now += ms(record.resolution_ms);
+
+      if (!second) {
+        // Probe every replica the first resolution returned.
+        std::vector<net::Ipv4Addr> replicas = record.addresses;
+        std::sort(replicas.begin(), replicas.end());
+        replicas.erase(std::unique(replicas.begin(), replicas.end()),
+                       replicas.end());
+        dataset.resolutions.push_back(std::move(record));
+        for (const net::Ipv4Addr replica : replicas) {
+          probe_target(device, ProbeTargetKind::kReplica, kind, replica,
+                       experiment_id, now, rng, dataset, d, /*with_http=*/true);
+        }
+      } else {
+        dataset.resolutions.push_back(std::move(record));
+      }
+    }
+  }
+}
+
+void ExperimentRunner::identify_resolver(cellular::Device& device,
+                                         ResolverKind kind,
+                                         net::Ipv4Addr resolver_ip,
+                                         uint32_t experiment_id,
+                                         net::SimTime& now, net::Rng& rng,
+                                         Dataset& dataset) {
+  const dns::DnsName probe =
+      identifier_.probe_name(device.id(), ident_counter_++);
+  dns::StubResolver stub(device.gateway_node(), device.snapshot().public_ip,
+                         topology_, registry_);
+  const double access = device.access_rtt_ms(now, rng);
+  const dns::StubResult result =
+      stub.query(resolver_ip, probe, dns::RRType::kA, now, rng, access);
+  ResolverObservation observation;
+  observation.experiment_id = experiment_id;
+  observation.resolver = kind;
+  observation.resolution_ms = result.total_ms;
+  const auto external = ResolverIdentifier::extract(result.answers);
+  if (result.responded && external) {
+    observation.responded = true;
+    observation.external_ip = *external;
+  }
+  now += ms(result.responded ? result.total_ms : 5000.0);
+  dataset.resolver_observations.push_back(observation);
+
+  // Ping (+ sampled traceroute) the identified external resolver; for the
+  // locally configured resolver this is the Fig. 4 "External" series.
+  if (observation.responded) {
+    probe_target(device, ProbeTargetKind::kExternalResolver, kind,
+                 observation.external_ip, experiment_id, now, rng, dataset);
+  }
+}
+
+net::SimTime ExperimentRunner::run(cellular::Device& device, int carrier_index,
+                                   net::SimTime start, net::Rng& rng,
+                                   Dataset& dataset) {
+  const auto experiment_id = static_cast<uint32_t>(dataset.experiments.size());
+  const cellular::DeviceSnapshot snapshot = device.begin_experiment(start, rng);
+
+  ExperimentContext context;
+  context.experiment_id = experiment_id;
+  context.device_id = device.id();
+  context.carrier_index = carrier_index;
+  context.started = start;
+  context.radio = snapshot.radio;
+  context.location = snapshot.location;
+  context.gateway_index = snapshot.gateway_index;
+  context.public_ip = snapshot.public_ip;
+  context.configured_resolver = snapshot.configured_resolver;
+  dataset.experiments.push_back(context);
+
+  net::SimTime now = start;
+
+  // 1. Bootstrap ping: pays the RRC promotion so the measurements that
+  //    follow see the radio in its high-power state (§3.2).
+  probe_target(device, ProbeTargetKind::kBootstrap, ResolverKind::kLocal,
+               config_.google_vip, experiment_id, now, rng, dataset);
+
+  // 2. Domain resolutions + replica probes for all three resolver kinds.
+  measure_domains(device, ResolverKind::kLocal, snapshot.configured_resolver,
+                  experiment_id, now, rng, dataset);
+  measure_domains(device, ResolverKind::kGoogle, config_.google_vip,
+                  experiment_id, now, rng, dataset);
+  measure_domains(device, ResolverKind::kOpenDns, config_.opendns_vip,
+                  experiment_id, now, rng, dataset);
+
+  // 3. Resolver identification (+ external resolver probes).
+  identify_resolver(device, ResolverKind::kLocal, snapshot.configured_resolver,
+                    experiment_id, now, rng, dataset);
+  identify_resolver(device, ResolverKind::kGoogle, config_.google_vip,
+                    experiment_id, now, rng, dataset);
+  identify_resolver(device, ResolverKind::kOpenDns, config_.opendns_vip,
+                    experiment_id, now, rng, dataset);
+
+  // 4. Probes to the configured resolver and the public VIPs (Figs. 4, 11).
+  probe_target(device, ProbeTargetKind::kClientResolver, ResolverKind::kLocal,
+               snapshot.configured_resolver, experiment_id, now, rng, dataset);
+  probe_target(device, ProbeTargetKind::kPublicVip, ResolverKind::kGoogle,
+               config_.google_vip, experiment_id, now, rng, dataset);
+  probe_target(device, ProbeTargetKind::kPublicVip, ResolverKind::kOpenDns,
+               config_.opendns_vip, experiment_id, now, rng, dataset);
+
+  return now;
+}
+
+}  // namespace curtain::measure

@@ -1,0 +1,69 @@
+// The hourly experiment script (paper §3.2).
+//
+// Each run, executed on-device:
+//   1. a bootstrap ping to wake the radio (mitigates RRC promotion skew);
+//   2. for each of the nine study domains × {local DNS, Google DNS,
+//      OpenDNS}: a timed resolution, an immediate back-to-back repeat
+//      (cache study, Fig. 7), then ping + HTTP GET (+ sampled traceroute)
+//      to every replica address returned;
+//   3. resolver identification against the research ADNS for all three
+//      resolver kinds;
+//   4. ping (+ sampled traceroute) to the configured resolver, to the
+//      identified external resolver, and to the public DNS VIPs.
+// Probes run back-to-back to hold the radio in its high-power state.
+#pragma once
+
+#include "cellular/device.h"
+#include "measure/probes.h"
+#include "measure/records.h"
+#include "measure/resolver_ident.h"
+
+namespace curtain::measure {
+
+struct ExperimentConfig {
+  /// Fraction of replica/resolver probes that also run a traceroute
+  /// (traceroutes are bulky; the paper stored 2.4M probes total).
+  double traceroute_sample_p = 0.25;
+  net::Ipv4Addr google_vip{8, 8, 8, 8};
+  net::Ipv4Addr opendns_vip{208, 67, 222, 222};
+};
+
+class ExperimentRunner {
+ public:
+  ExperimentRunner(const net::Topology* topology,
+                   const dns::ServerRegistry* registry,
+                   ResolverIdentifier identifier, ExperimentConfig config);
+
+  /// Runs one experiment for `device` starting at `start`; appends all
+  /// records to `dataset` and returns the experiment's end time.
+  net::SimTime run(cellular::Device& device, int carrier_index,
+                   net::SimTime start, net::Rng& rng, Dataset& dataset);
+
+ private:
+  /// One resolver kind's slice of the experiment (step 2 for one column).
+  void measure_domains(cellular::Device& device, ResolverKind kind,
+                       net::Ipv4Addr resolver_ip, uint32_t experiment_id,
+                       net::SimTime& now, net::Rng& rng, Dataset& dataset);
+
+  void identify_resolver(cellular::Device& device, ResolverKind kind,
+                         net::Ipv4Addr resolver_ip, uint32_t experiment_id,
+                         net::SimTime& now, net::Rng& rng, Dataset& dataset);
+
+  void probe_target(cellular::Device& device, ProbeTargetKind target_kind,
+                    ResolverKind kind, net::Ipv4Addr target,
+                    uint32_t experiment_id, net::SimTime& now, net::Rng& rng,
+                    Dataset& dataset, uint16_t domain_index = 0,
+                    bool with_http = false);
+
+  ProbeOrigin origin_for(cellular::Device& device, net::SimTime now,
+                         net::Rng& rng) const;
+
+  const net::Topology* topology_;
+  const dns::ServerRegistry* registry_;
+  ProbeEngine probes_;
+  ResolverIdentifier identifier_;
+  ExperimentConfig config_;
+  uint64_t ident_counter_ = 0;
+};
+
+}  // namespace curtain::measure

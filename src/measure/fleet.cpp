@@ -1,0 +1,77 @@
+#include "measure/fleet.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "net/geo.h"
+
+namespace curtain::measure {
+
+CampaignConfig CampaignConfig::scaled(double scale, uint64_t seed) {
+  CampaignConfig config;
+  config.seed = seed;
+  if (scale <= 0.0) scale = 0.05;
+  if (scale > 1.0) scale = 1.0;
+  config.duration_days = 153.0 * scale;
+  // Short campaigns keep per-carrier sample counts useful by boosting the
+  // duty cycle (bounded well below always-on).
+  config.participation = scale >= 0.5 ? 0.048 : std::min(0.25, 0.048 * 4.0);
+  return config;
+}
+
+Fleet::Fleet(std::vector<CarrierEntry> carriers, ExperimentRunner* runner,
+             CampaignConfig config)
+    : carriers_(std::move(carriers)), runner_(runner), config_(config) {
+  net::Rng rng(net::mix_key(config_.seed, net::hash_tag("fleet")));
+  uint64_t next_device_id = 1;
+  for (const auto& entry : carriers_) {
+    const auto& profile = entry.network->profile();
+    const auto& metros =
+        profile.country == "KR" ? net::kr_metros() : net::us_metros();
+    for (int d = 0; d < profile.study_clients; ++d) {
+      // Volunteers cluster in large metros; scatter within a suburb.
+      const auto& metro = metros[static_cast<size_t>(
+          rng.uniform_u64(0, metros.size() - 1))];
+      const net::GeoPoint home = net::offset_km(
+          metro.location, rng.uniform(-15, 15), rng.uniform(-15, 15));
+      devices_.push_back(std::make_unique<cellular::Device>(
+          next_device_id++, entry.network, home));
+      device_carrier_index_.push_back(entry.carrier_index);
+    }
+  }
+}
+
+void Fleet::run_campaign(Dataset& dataset) {
+  net::SimClock clock;
+  net::EventQueue queue;
+  net::Rng campaign_rng(net::mix_key(config_.seed, net::hash_tag("campaign")));
+  const net::SimTime horizon = net::SimTime::from_days(config_.duration_days);
+
+  // Each device wakes hourly with a per-device phase; on each wake it
+  // tosses the participation coin and possibly runs one experiment.
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    cellular::Device* device = devices_[i].get();
+    const int carrier_index = device_carrier_index_[i];
+    auto device_rng = std::make_shared<net::Rng>(
+        campaign_rng.derive("device-stream", device->id()));
+    const net::SimTime phase = net::SimTime::from_seconds(
+        device_rng->uniform(0.0, 3600.0));
+
+    // Self-rescheduling hourly wake-up.
+    auto wake = std::make_shared<std::function<void(net::SimTime)>>();
+    *wake = [this, device, carrier_index, device_rng, wake, &queue, &dataset,
+             horizon](net::SimTime at) {
+      if (device_rng->bernoulli(config_.participation)) {
+        runner_->run(*device, carrier_index, at, *device_rng, dataset);
+      }
+      const net::SimTime next = at + net::SimTime::from_hours(1.0);
+      if (next < horizon) queue.schedule(next, *wake);
+    };
+    queue.schedule(phase, *wake);
+  }
+
+  while (queue.run_next(clock)) {
+  }
+}
+
+}  // namespace curtain::measure

@@ -1,0 +1,67 @@
+#include "measure/pageload.h"
+
+#include <cmath>
+
+namespace curtain::measure {
+
+double downlink_mbps(cellular::RadioTech tech) {
+  using cellular::RadioGeneration;
+  using cellular::RadioTech;
+  switch (cellular::radio_generation(tech)) {
+    case RadioGeneration::k4G:
+      return 18.0;  // LTE category-3 era
+    case RadioGeneration::k3G:
+      // HSPA+ is notably faster than plain UMTS/EV-DO.
+      return tech == RadioTech::kHspap ? 6.0 : 1.8;
+    case RadioGeneration::k2G:
+      return 0.12;
+  }
+  return 1.0;
+}
+
+PageLoadOutcome PageLoadEstimator::load(const ProbeOrigin& origin,
+                                        net::Ipv4Addr replica,
+                                        cellular::RadioTech radio,
+                                        double resolution_ms,
+                                        const PageSpec& page, net::SimTime now,
+                                        net::Rng& rng) const {
+  PageLoadOutcome outcome;
+  const net::NodeId node = probes_.target_node(origin, replica, now);
+  if (node == net::kInvalidNode) return outcome;
+
+  // kb / (mbps) => ms: kb * 8 bits / (mbps * 1000 bits/ms) * 1000.
+  const double mbps = downlink_mbps(radio);
+  const auto transfer_time_ms = [mbps](double kb) { return kb * 8.0 / mbps; };
+
+  // HTML first: handshake RTT + request RTT + body transfer.
+  const HttpOutcome html = probes_.http_get(origin, replica, now, rng);
+  if (!html.responded) return outcome;
+  double total = resolution_ms + html.ttfb_ms + transfer_time_ms(page.html_kb);
+  double transfer = transfer_time_ms(page.html_kb);
+
+  // Objects in waves over the connection pool. Each wave costs a radio
+  // access RTT + wired request round trip, then the wave's bytes share
+  // the downlink.
+  outcome.waves = static_cast<int>(std::ceil(
+      static_cast<double>(page.num_objects) /
+      static_cast<double>(page.parallel_connections)));
+  for (int wave = 0; wave < outcome.waves; ++wave) {
+    const int in_wave =
+        std::min(page.parallel_connections,
+                 page.num_objects - wave * page.parallel_connections);
+    const HttpOutcome request = probes_.http_get(origin, replica, now, rng);
+    if (!request.responded) return outcome;
+    // Mild per-object size variation keeps waves from being identical.
+    const double wave_kb =
+        static_cast<double>(in_wave) * rng.lognormal_median(page.object_kb, 0.3);
+    total += request.ttfb_ms + transfer_time_ms(wave_kb);
+    transfer += transfer_time_ms(wave_kb);
+  }
+
+  outcome.completed = true;
+  outcome.plt_ms = total;
+  outcome.transfer_ms = transfer;
+  return outcome;
+}
+
+}  // namespace curtain::measure

@@ -1,0 +1,57 @@
+// Page-load-time model.
+//
+// The paper compares replicas by ping RTT rather than page-load time,
+// citing Gember et al. (IMC'12): PLT is less stable and more
+// context-sensitive. This extension models a whole page fetch — DNS,
+// TCP handshake, then waves of object downloads over parallel
+// connections whose transfer time depends on the radio's downlink — so
+// the trade-off (PLT realism vs ping stability) can be measured instead
+// of assumed (bench/ext_page_load).
+#pragma once
+
+#include "cellular/radio.h"
+#include "measure/probes.h"
+
+namespace curtain::measure {
+
+/// Composition of a web page, HTML plus subresources.
+struct PageSpec {
+  double html_kb = 60.0;
+  int num_objects = 28;          ///< images/scripts/styles
+  double object_kb = 24.0;       ///< mean object size
+  int parallel_connections = 6;  ///< browser connection pool per host
+
+  /// A typical 2014 mobile landing page.
+  static PageSpec mobile_default() { return PageSpec{}; }
+};
+
+/// Downlink throughput for a radio technology, in kilobits per ms
+/// (i.e. Mbps): what the transfer phase of each wave is limited by.
+double downlink_mbps(cellular::RadioTech tech);
+
+struct PageLoadOutcome {
+  bool completed = false;
+  double plt_ms = 0.0;       ///< resolution + handshake + transfers
+  double transfer_ms = 0.0;  ///< bandwidth-bound share
+  int waves = 0;             ///< request rounds over the connection pool
+};
+
+class PageLoadEstimator {
+ public:
+  PageLoadEstimator(const net::Topology* topology,
+                    const dns::ServerRegistry* registry)
+      : probes_(topology, registry) {}
+
+  /// Models loading `page` from `replica`: `resolution_ms` is the DNS time
+  /// already measured; every request wave pays a radio access RTT plus the
+  /// wired RTT, and transfers are bounded by the radio downlink.
+  PageLoadOutcome load(const ProbeOrigin& origin, net::Ipv4Addr replica,
+                       cellular::RadioTech radio, double resolution_ms,
+                       const PageSpec& page, net::SimTime now,
+                       net::Rng& rng) const;
+
+ private:
+  ProbeEngine probes_;
+};
+
+}  // namespace curtain::measure

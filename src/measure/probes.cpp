@@ -1,0 +1,66 @@
+#include "measure/probes.h"
+
+namespace curtain::measure {
+
+net::NodeId ProbeEngine::target_node(const ProbeOrigin& origin,
+                                     net::Ipv4Addr target,
+                                     net::SimTime now) const {
+  if (const dns::DnsServer* server = registry_->find(target)) {
+    return server->node_for(origin.source_ip, now);
+  }
+  return topology_->find_by_ip(target);
+}
+
+PingOutcome ProbeEngine::ping(const ProbeOrigin& origin, net::Ipv4Addr target,
+                              net::SimTime now, net::Rng& rng) const {
+  PingOutcome outcome;
+  const net::NodeId node = target_node(origin, target, now);
+  if (node == net::kInvalidNode) return outcome;
+  const net::PingResult result = topology_->ping(origin.anchor, node, rng);
+  if (!result.responded) return outcome;
+  outcome.responded = true;
+  outcome.rtt_ms = origin.access_rtt_ms + result.rtt_ms;
+  return outcome;
+}
+
+HttpOutcome ProbeEngine::http_get(const ProbeOrigin& origin,
+                                  net::Ipv4Addr target, net::SimTime now,
+                                  net::Rng& rng) const {
+  HttpOutcome outcome;
+  const net::NodeId node = target_node(origin, target, now);
+  if (node == net::kInvalidNode) return outcome;
+  // TCP handshake round trip (no server think time)...
+  const auto syn = topology_->transport_rtt_ms(origin.anchor, node, rng);
+  // ...then GET -> first byte (server processing included in transport).
+  const auto get = topology_->transport_rtt_ms(origin.anchor, node, rng);
+  if (!syn || !get) return outcome;
+  outcome.responded = true;
+  outcome.ttfb_ms = 2.0 * origin.access_rtt_ms + *syn + *get;
+  return outcome;
+}
+
+TracerouteOutcome ProbeEngine::traceroute(const ProbeOrigin& origin,
+                                          net::Ipv4Addr target,
+                                          net::SimTime now,
+                                          net::Rng& rng) const {
+  TracerouteOutcome outcome;
+  const net::NodeId node = target_node(origin, target, now);
+  if (node == net::kInvalidNode) return outcome;
+  const net::TracerouteResult result =
+      topology_->traceroute(origin.anchor, node, rng);
+  outcome.reached = result.reached_destination;
+  outcome.hop_names.reserve(result.hops.size() + 1);
+  // A cellular client's first visible hop is its gateway (the NAT/PGW box
+  // anchoring the device); the radio segment itself never answers TTLs.
+  const net::Node& anchor = topology_->node(origin.anchor);
+  if (anchor.kind == net::NodeKind::kGateway) {
+    outcome.hop_names.push_back(anchor.name);
+  }
+  for (const auto& hop : result.hops) {
+    outcome.hop_names.push_back(
+        hop.responded ? topology_->node(hop.node).name : "*");
+  }
+  return outcome;
+}
+
+}  // namespace curtain::measure

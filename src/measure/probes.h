@@ -1,0 +1,65 @@
+// Client-side probe engine: ping, traceroute and HTTP GET from a device
+// (or a wired vantage point) to an IP address.
+//
+// Targets are looked up the way packets are routed: a ServerRegistry hit
+// means the address is an (anycast-capable) DNS service and the probe goes
+// to whichever instance currently serves the prober; otherwise the unicast
+// owner of the IP is probed. Cellular probers pay their radio access RTT
+// on top of every wired round trip.
+#pragma once
+
+#include "dns/server.h"
+#include "net/topology.h"
+
+namespace curtain::measure {
+
+/// Where a probe originates.
+struct ProbeOrigin {
+  net::NodeId anchor = net::kInvalidNode;  ///< gateway or vantage host
+  net::Ipv4Addr source_ip;
+  /// Radio access RTT already sampled for this probe (0 for wired).
+  double access_rtt_ms = 0.0;
+};
+
+struct PingOutcome {
+  bool responded = false;
+  double rtt_ms = 0.0;
+};
+
+struct HttpOutcome {
+  bool responded = false;
+  double ttfb_ms = 0.0;  ///< time to first byte
+};
+
+struct TracerouteOutcome {
+  bool reached = false;
+  std::vector<std::string> hop_names;  ///< "*" for silent hops
+};
+
+class ProbeEngine {
+ public:
+  ProbeEngine(const net::Topology* topology, const dns::ServerRegistry* registry)
+      : topology_(topology), registry_(registry) {}
+
+  PingOutcome ping(const ProbeOrigin& origin, net::Ipv4Addr target,
+                   net::SimTime now, net::Rng& rng) const;
+
+  /// HTTP GET to the index page: TCP handshake + request/first byte, i.e.
+  /// two wired round trips (the second carrying server think time), plus
+  /// the radio access RTT per round trip for cellular probers.
+  HttpOutcome http_get(const ProbeOrigin& origin, net::Ipv4Addr target,
+                       net::SimTime now, net::Rng& rng) const;
+
+  TracerouteOutcome traceroute(const ProbeOrigin& origin, net::Ipv4Addr target,
+                               net::SimTime now, net::Rng& rng) const;
+
+  /// Resolves a probe target to the topology node that would answer.
+  net::NodeId target_node(const ProbeOrigin& origin, net::Ipv4Addr target,
+                          net::SimTime now) const;
+
+ private:
+  const net::Topology* topology_;
+  const dns::ServerRegistry* registry_;
+};
+
+}  // namespace curtain::measure

@@ -1,0 +1,115 @@
+// Measurement record types — the schema of the study's dataset.
+//
+// Every record the analyses consume is something a real client app (or the
+// university vantage point) could log: resolution times, answer addresses,
+// probe RTTs, traceroute hop lists, and resolver identities learned through
+// the research ADNS. Analyses never peek at simulator internals; they work
+// from these records exactly as the paper worked from its app logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cellular/radio.h"
+#include "net/geo.h"
+#include "net/ipv4.h"
+#include "net/time.h"
+
+namespace curtain::measure {
+
+/// Which resolver a measurement exercised.
+enum class ResolverKind { kLocal = 0, kGoogle = 1, kOpenDns = 2 };
+constexpr size_t kNumResolverKinds = 3;
+const char* resolver_kind_name(ResolverKind kind);
+
+/// Context shared by every measurement of one experiment run.
+struct ExperimentContext {
+  uint32_t experiment_id = 0;
+  uint64_t device_id = 0;
+  int carrier_index = 0;  ///< into cellular::study_carriers()
+  net::SimTime started;
+  cellular::RadioTech radio = cellular::RadioTech::kLte;
+  net::GeoPoint location;
+  int gateway_index = 0;
+  net::Ipv4Addr public_ip;
+  net::Ipv4Addr configured_resolver;
+};
+
+/// One DNS resolution of a study domain.
+struct DnsMeasurement {
+  uint32_t experiment_id = 0;
+  ResolverKind resolver = ResolverKind::kLocal;
+  uint16_t domain_index = 0;  ///< into cdn::study_domains()
+  bool responded = false;
+  bool second_lookup = false;  ///< back-to-back repeat (Fig. 7)
+  double resolution_ms = 0.0;
+  std::vector<net::Ipv4Addr> addresses;
+};
+
+enum class ProbeTargetKind {
+  kReplica,           ///< CDN replica returned by a resolution
+  kClientResolver,    ///< device-configured resolver address
+  kExternalResolver,  ///< external-facing resolver learned via the ADNS
+  kPublicVip,         ///< public DNS service address
+  kBootstrap,         ///< radio wake-up probe
+};
+
+/// A ping or HTTP GET (time-to-first-byte) probe.
+struct ProbeMeasurement {
+  uint32_t experiment_id = 0;
+  ProbeTargetKind target_kind = ProbeTargetKind::kReplica;
+  ResolverKind resolver = ResolverKind::kLocal;  ///< who selected the target
+  uint16_t domain_index = 0;                     ///< for replica targets
+  net::Ipv4Addr target_ip;
+  bool is_http = false;  ///< false: ICMP ping; true: HTTP GET TTFB
+  bool responded = false;
+  double rtt_ms = 0.0;  ///< ping RTT or HTTP TTFB
+};
+
+/// One traceroute, stored as the hop names the client would see.
+struct TracerouteMeasurement {
+  uint32_t experiment_id = 0;
+  net::Ipv4Addr target_ip;
+  ProbeTargetKind target_kind = ProbeTargetKind::kReplica;
+  bool reached = false;
+  /// Responding hops in order; "*" for silent hops.
+  std::vector<std::string> hop_names;
+};
+
+/// External-facing resolver identity observed through the research ADNS.
+struct ResolverObservation {
+  uint32_t experiment_id = 0;
+  ResolverKind resolver = ResolverKind::kLocal;
+  bool responded = false;
+  net::Ipv4Addr external_ip;  ///< address our ADNS saw querying
+  double resolution_ms = 0.0;
+};
+
+/// A probe launched from the wired university vantage point (Table 4).
+struct VantageProbe {
+  net::Ipv4Addr target_ip;
+  int carrier_index = 0;
+  bool ping_responded = false;
+  bool traceroute_reached = false;
+};
+
+/// The whole campaign's output.
+struct Dataset {
+  std::vector<ExperimentContext> experiments;
+  std::vector<DnsMeasurement> resolutions;
+  std::vector<ProbeMeasurement> probes;
+  std::vector<TracerouteMeasurement> traceroutes;
+  std::vector<ResolverObservation> resolver_observations;
+  std::vector<VantageProbe> vantage_probes;
+
+  const ExperimentContext& context_of(uint32_t experiment_id) const {
+    return experiments[experiment_id];
+  }
+
+  /// Totals the paper reports in §3.1 (for sanity reporting).
+  size_t total_resolutions() const { return resolutions.size(); }
+  size_t total_probes() const { return probes.size() + traceroutes.size(); }
+};
+
+}  // namespace curtain::measure

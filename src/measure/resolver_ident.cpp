@@ -1,0 +1,37 @@
+#include "measure/resolver_ident.h"
+
+namespace curtain::measure {
+
+dns::DnsName ResolverIdentifier::probe_name(uint64_t device_id,
+                                            uint64_t counter) const {
+  auto adns = apex_.child("adns");
+  auto device = adns->child("d" + std::to_string(device_id));
+  auto name = device->child("r" + std::to_string(counter));
+  return *name;
+}
+
+std::optional<net::Ipv4Addr> ResolverIdentifier::extract(
+    const std::vector<dns::ResourceRecord>& answers) {
+  for (const auto& rr : answers) {
+    if (const auto* a = std::get_if<dns::ARecord>(&rr.rdata)) {
+      return a->address;
+    }
+  }
+  return std::nullopt;
+}
+
+void ResolverIdentifier::install_handler(dns::AuthoritativeServer& adns) {
+  adns.set_dynamic_handler(
+      [](const dns::Question& question, net::Ipv4Addr resolver_ip,
+         const std::optional<dns::EdnsClientSubnet>& /*ecs*/,
+         net::SimTime /*now*/, net::Rng& /*rng*/)
+          -> std::optional<std::vector<dns::ResourceRecord>> {
+        if (question.type != dns::RRType::kA) return std::nullopt;
+        // TTL 0: never cached, every query reaches us (§3.2).
+        return std::vector<dns::ResourceRecord>{
+            dns::ResourceRecord::a(question.name, resolver_ip, 0)};
+      },
+      /*dynamic_ttl_s=*/0);
+}
+
+}  // namespace curtain::measure

@@ -1,0 +1,33 @@
+// The wired vantage point (paper §4.4, Table 4).
+//
+// The paper tested cellular-resolver reachability by pinging and
+// tracerouting every externally observed resolver address from a
+// university network. This prober does the same from a topology host on
+// the open Internet: most probes die at the carrier ingress (NAT/firewall
+// zones); only resolvers hosted in DMZ ASes answer.
+#pragma once
+
+#include "measure/probes.h"
+#include "measure/records.h"
+
+namespace curtain::measure {
+
+class VantageProber {
+ public:
+  VantageProber(const net::Topology* topology,
+                const dns::ServerRegistry* registry, net::NodeId vantage_node,
+                net::Ipv4Addr vantage_ip);
+
+  /// Pings and traceroutes every distinct external resolver address the
+  /// fleet observed (local resolver kind only), appending VantageProbe
+  /// records keyed by carrier.
+  void probe_observed_resolvers(Dataset& dataset, net::SimTime now,
+                                net::Rng& rng) const;
+
+ private:
+  ProbeEngine probes_;
+  net::NodeId vantage_node_;
+  net::Ipv4Addr vantage_ip_;
+};
+
+}  // namespace curtain::measure

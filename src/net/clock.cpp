@@ -1,0 +1,39 @@
+#include "net/clock.h"
+
+#include <utility>
+
+namespace curtain::net {
+
+void EventQueue::schedule(SimTime at, Handler fn) {
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(const SimClock& clock, SimTime delay, Handler fn) {
+  schedule(clock.now() + delay, std::move(fn));
+}
+
+SimTime EventQueue::next_time() const {
+  return events_.empty() ? SimTime{INT64_MAX} : events_.top().at;
+}
+
+bool EventQueue::run_next(SimClock& clock) {
+  if (events_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the handler instead. Handlers are small std::functions.
+  Event event = events_.top();
+  events_.pop();
+  clock.advance_to(event.at);
+  event.fn(event.at);
+  return true;
+}
+
+size_t EventQueue::run_until(SimClock& clock, SimTime horizon) {
+  size_t executed = 0;
+  while (!events_.empty() && events_.top().at <= horizon) {
+    run_next(clock);
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace curtain::net

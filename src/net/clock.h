@@ -1,0 +1,73 @@
+// SimClock and the discrete-event queue.
+//
+// The measurement campaign is driven as a classic discrete-event
+// simulation: each device schedules its next hourly experiment; probes and
+// resolutions advance the clock by their sampled latencies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/time.h"
+
+namespace curtain::net {
+
+/// Monotonic virtual clock. Shared by every component of a world so that
+/// DNS caches, RRC timers and churn processes agree on "now".
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Moves time forward; ignores attempts to move backwards so that
+  /// latency samples composed out of order can never rewind the world.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+  void advance_by(SimTime dt) { now_ += dt; }
+
+ private:
+  SimTime now_{};
+};
+
+/// Priority queue of timestamped callbacks with FIFO tie-breaking.
+class EventQueue {
+ public:
+  using Handler = std::function<void(SimTime)>;
+
+  /// Schedules `fn` at absolute time `at`.
+  void schedule(SimTime at, Handler fn);
+  /// Schedules `fn` at now + delay.
+  void schedule_after(const SimClock& clock, SimTime delay, Handler fn);
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  SimTime next_time() const;
+
+  /// Pops and runs the earliest event, advancing `clock` to its time.
+  /// Returns false if the queue was empty.
+  bool run_next(SimClock& clock);
+
+  /// Runs events until the queue drains or the next event is after
+  /// `horizon`. Returns the number of events executed.
+  size_t run_until(SimClock& clock, SimTime horizon);
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;  // FIFO among equal timestamps
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace curtain::net

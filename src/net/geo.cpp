@@ -1,0 +1,84 @@
+#include "net/geo.h"
+
+#include <cmath>
+
+namespace curtain::net {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+
+// Speed of light in fiber ~ 2e5 km/s => 0.005 ms/km one way; multiply by a
+// 1.4 route-stretch factor because fiber paths are not great circles.
+constexpr double kMsPerKm = 0.005;
+constexpr double kRouteStretch = 1.4;
+
+}  // namespace
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h > 1.0 ? 1.0 : h));
+}
+
+double propagation_ms(const GeoPoint& a, const GeoPoint& b) {
+  return distance_km(a, b) * kMsPerKm * kRouteStretch;
+}
+
+GeoPoint offset_km(const GeoPoint& origin, double km_east, double km_north) {
+  const double dlat = km_north / 111.0;
+  const double cos_lat = std::cos(origin.lat_deg * kDegToRad);
+  const double dlon = cos_lat > 1e-6 ? km_east / (111.0 * cos_lat) : 0.0;
+  return GeoPoint{origin.lat_deg + dlat, origin.lon_deg + dlon};
+}
+
+const std::vector<Metro>& us_metros() {
+  static const std::vector<Metro> metros = {
+      {"New York", {40.71, -74.01}},      {"Los Angeles", {34.05, -118.24}},
+      {"Chicago", {41.88, -87.63}},       {"Dallas", {32.78, -96.80}},
+      {"Houston", {29.76, -95.37}},       {"Washington DC", {38.91, -77.04}},
+      {"Miami", {25.76, -80.19}},         {"Atlanta", {33.75, -84.39}},
+      {"Boston", {42.36, -71.06}},        {"San Francisco", {37.77, -122.42}},
+      {"Seattle", {47.61, -122.33}},      {"Denver", {39.74, -104.99}},
+      {"Phoenix", {33.45, -112.07}},      {"Minneapolis", {44.98, -93.27}},
+      {"Kansas City", {39.10, -94.58}},   {"Philadelphia", {39.95, -75.17}},
+  };
+  return metros;
+}
+
+const std::vector<Metro>& kr_metros() {
+  static const std::vector<Metro> metros = {
+      {"Seoul", {37.57, 126.98}},   {"Busan", {35.18, 129.08}},
+      {"Incheon", {37.46, 126.71}}, {"Daegu", {35.87, 128.60}},
+      {"Daejeon", {36.35, 127.38}}, {"Gwangju", {35.16, 126.85}},
+  };
+  return metros;
+}
+
+const std::vector<Metro>& world_metros() {
+  static const std::vector<Metro> metros = {
+      {"New York", {40.71, -74.01}},     {"Los Angeles", {34.05, -118.24}},
+      {"Chicago", {41.88, -87.63}},      {"Dallas", {32.78, -96.80}},
+      {"Washington DC", {38.91, -77.04}},{"Atlanta", {33.75, -84.39}},
+      {"San Francisco", {37.77, -122.42}},{"Seattle", {47.61, -122.33}},
+      {"Miami", {25.76, -80.19}},        {"Denver", {39.74, -104.99}},
+      {"London", {51.51, -0.13}},        {"Frankfurt", {50.11, 8.68}},
+      {"Paris", {48.86, 2.35}},          {"Amsterdam", {52.37, 4.90}},
+      {"Madrid", {40.42, -3.70}},        {"Stockholm", {59.33, 18.06}},
+      {"Tokyo", {35.68, 139.69}},        {"Osaka", {34.69, 135.50}},
+      {"Seoul", {37.57, 126.98}},        {"Taipei", {25.03, 121.57}},
+      {"Hong Kong", {22.32, 114.17}},    {"Singapore", {1.35, 103.82}},
+      {"Sydney", {-33.87, 151.21}},      {"Mumbai", {19.08, 72.88}},
+      {"Sao Paulo", {-23.55, -46.63}},   {"Buenos Aires", {-34.60, -58.38}},
+      {"Toronto", {43.65, -79.38}},      {"Mexico City", {19.43, -99.13}},
+      {"Johannesburg", {-26.20, 28.05}}, {"Dubai", {25.20, 55.27}},
+  };
+  return metros;
+}
+
+}  // namespace curtain::net

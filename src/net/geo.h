@@ -1,0 +1,44 @@
+// Geographic coordinates and propagation-delay helpers.
+//
+// Replica clusters, egress points and devices are placed on the globe;
+// link latencies combine a propagation component derived from great-circle
+// distance with queueing jitter. Geography is what makes "the CDN sent the
+// client across the country" measurable as latency (paper Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace curtain::net {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance (haversine), in kilometers.
+double distance_km(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay over fiber for a great-circle path, in ms.
+/// Uses c * 2/3 and a conventional 1.4x route-stretch factor.
+double propagation_ms(const GeoPoint& a, const GeoPoint& b);
+
+/// A point `km_east`/`km_north` away from `origin` (small-offset planar
+/// approximation; used to scatter devices around a metro centroid).
+GeoPoint offset_km(const GeoPoint& origin, double km_east, double km_north);
+
+/// Named metros used when building US / South Korea worlds.
+struct Metro {
+  std::string name;
+  GeoPoint location;
+};
+
+/// Major US metros (16) roughly matching where carriers host egress points
+/// and CDNs host clusters.
+const std::vector<Metro>& us_metros();
+/// South Korean metros (6).
+const std::vector<Metro>& kr_metros();
+/// Worldwide metros (30) used for Google DNS's 30 geographic sites.
+const std::vector<Metro>& world_metros();
+
+}  // namespace curtain::net

@@ -1,0 +1,42 @@
+// Sequential IP address/block allocation for world construction.
+//
+// Worlds carve address space the way the study observes it: resolvers and
+// replicas live in /24 blocks (the aggregation unit CDNs key on), so the
+// allocator hands out sub-blocks and then hosts within them.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/ipv4.h"
+
+namespace curtain::net {
+
+class IpAllocator {
+ public:
+  explicit IpAllocator(Prefix pool) : pool_(pool) {}
+
+  /// Carves the next /`len` block out of the pool (sequential, no reuse).
+  /// Exhausting the pool wraps around — acceptable for simulation worlds,
+  /// which size their pools generously.
+  Prefix alloc_block(int len) {
+    const uint64_t block_size = uint64_t{1} << (32 - len);
+    const Ipv4Addr base = pool_.host(next_block_offset_);
+    next_block_offset_ = (next_block_offset_ + block_size) % pool_.size();
+    return Prefix(base, len);
+  }
+
+  /// Next host address inside `block`, skipping the all-zeros network
+  /// address (host .0 reads oddly in logs). Wraps within the block.
+  Ipv4Addr alloc_host(const Prefix& block) {
+    uint64_t& cursor = host_cursors_[block.address().value()];
+    cursor = cursor % (block.size() - 1) + 1;
+    return block.host(cursor);
+  }
+
+ private:
+  Prefix pool_;
+  uint64_t next_block_offset_ = 0;
+  std::unordered_map<uint32_t, uint64_t> host_cursors_;
+};
+
+}  // namespace curtain::net

@@ -1,0 +1,66 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+
+namespace curtain::net {
+namespace {
+
+// Parses one decimal octet in [0,255] without leading '+' or whitespace.
+std::optional<uint8_t> parse_octet(std::string_view s) {
+  if (s.empty() || s.size() > 3) return std::nullopt;
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || value > 255) {
+    return std::nullopt;
+  }
+  return static_cast<uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  uint8_t octets[4];
+  for (int i = 0; i < 4; ++i) {
+    const size_t dot = text.find('.');
+    const bool last = (i == 3);
+    if (last != (dot == std::string_view::npos)) return std::nullopt;
+    const std::string_view part = last ? text : text.substr(0, dot);
+    const auto octet = parse_octet(part);
+    if (!octet) return std::nullopt;
+    octets[i] = *octet;
+    if (!last) text = text.substr(dot + 1);
+  }
+  return Ipv4Addr(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_part = text.substr(slash + 1);
+  if (len_part.empty() || len_part.size() > 2) return std::nullopt;
+  int len = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_part.data(), len_part.data() + len_part.size(), len);
+  if (ec != std::errc{} || ptr != len_part.data() + len_part.size() || len > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, len);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace curtain::net

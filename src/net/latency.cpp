@@ -1,0 +1,13 @@
+#include "net/latency.h"
+
+namespace curtain::net {
+
+double LatencyModel::sample(Rng& rng) const {
+  double value = floor_ms;
+  if (median_ms > 0.0) {
+    value += sigma > 0.0 ? rng.lognormal_median(median_ms, sigma) : median_ms;
+  }
+  return value < 0.0 ? 0.0 : value;
+}
+
+}  // namespace curtain::net

@@ -1,0 +1,40 @@
+// Latency models for links and processing delays.
+//
+// Wide-area latencies are right-skewed; we model each delay as a lognormal
+// around a configured median plus an optional fixed floor:
+//
+//   sample = floor_ms + median_ms * exp(sigma * Z),  Z ~ N(0,1)
+//
+// parameterized by the *median* so configuration reads like the paper's
+// reported numbers ("median resolution time 30-50 ms").
+#pragma once
+
+#include "net/rng.h"
+
+namespace curtain::net {
+
+struct LatencyModel {
+  double floor_ms = 0.0;   ///< deterministic component (propagation)
+  double median_ms = 0.0;  ///< median of the stochastic component
+  double sigma = 0.25;     ///< lognormal shape; 0 = deterministic
+
+  /// One-way delay sample in milliseconds; never negative.
+  double sample(Rng& rng) const;
+
+  /// Expected ("typical") one-way delay used as the routing metric.
+  double typical_ms() const { return floor_ms + median_ms; }
+
+  /// A purely deterministic delay.
+  static LatencyModel fixed(double ms) { return LatencyModel{ms, 0.0, 0.0}; }
+  /// Jittered delay with the given median and default shape.
+  static LatencyModel jittered(double median_ms, double sigma = 0.25) {
+    return LatencyModel{0.0, median_ms, sigma};
+  }
+  /// Propagation floor plus queueing jitter.
+  static LatencyModel wan(double floor_ms, double jitter_median_ms,
+                          double sigma = 0.35) {
+    return LatencyModel{floor_ms, jitter_median_ms, sigma};
+  }
+};
+
+}  // namespace curtain::net

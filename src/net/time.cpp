@@ -1,0 +1,33 @@
+#include "net/time.h"
+
+namespace curtain::net {
+namespace {
+
+// 2014 is not a leap year; the campaign window (Mar 1 - Aug 1) never
+// crosses a year boundary, so a flat month table suffices.
+struct MonthSpan {
+  const char* name;
+  int days;
+};
+
+constexpr MonthSpan kMonths[] = {
+    {"Mar", 31}, {"Apr", 30}, {"May", 31}, {"Jun", 30},
+    {"Jul", 31}, {"Aug", 31}, {"Sep", 30}, {"Oct", 31},
+    {"Nov", 30}, {"Dec", 31},
+};
+
+}  // namespace
+
+std::string CampaignCalendar::day_label(SimTime t) {
+  int day = day_index(t);
+  if (day < 0) day = 0;
+  for (const auto& month : kMonths) {
+    if (day < month.days) {
+      return std::string(month.name) + "-" + std::to_string(day + 1);
+    }
+    day -= month.days;
+  }
+  return "Dec-31";  // clamped: past the table's horizon
+}
+
+}  // namespace curtain::net

@@ -1,0 +1,57 @@
+// Virtual time for the simulator.
+//
+// All temporal reasoning — DNS TTL expiry, RRC inactivity timers, the
+// five-month measurement campaign, resolver-churn timelines — runs on
+// SimTime, an integer count of microseconds since the campaign epoch
+// (March 1, 2014, the start of the paper's collection window).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace curtain::net {
+
+/// Microseconds since the campaign epoch.
+struct SimTime {
+  int64_t micros = 0;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime from_millis(double ms) {
+    return SimTime{static_cast<int64_t>(ms * 1000.0)};
+  }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<int64_t>(s * 1e6)};
+  }
+  static constexpr SimTime from_hours(double h) { return from_seconds(h * 3600.0); }
+  static constexpr SimTime from_days(double d) { return from_hours(d * 24.0); }
+
+  constexpr double millis() const { return static_cast<double>(micros) / 1000.0; }
+  constexpr double seconds() const { return static_cast<double>(micros) / 1e6; }
+  constexpr double hours() const { return seconds() / 3600.0; }
+  constexpr double days() const { return hours() / 24.0; }
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.micros + b.micros};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.micros - b.micros};
+  }
+  SimTime& operator+=(SimTime other) {
+    micros += other.micros;
+    return *this;
+  }
+};
+
+/// Campaign epoch: the paper's collection began March 1, 2014 and the
+/// figure timelines are labelled with month-day ticks ("Mar-16", "Apr-9").
+struct CampaignCalendar {
+  /// Converts a SimTime into the paper's "Mar-16"-style axis label.
+  static std::string day_label(SimTime t);
+
+  /// Day index since epoch (day 0 = Mar 1 2014).
+  static int day_index(SimTime t) { return static_cast<int>(t.days()); }
+};
+
+}  // namespace curtain::net

@@ -1,0 +1,160 @@
+// Network topology: zones, nodes, links, routing and probe semantics.
+//
+// The topology captures exactly the structural properties the paper
+// measures:
+//   * zones with inbound-probe filtering (cellular NAT/firewall policy,
+//     §4.4: external probes die at the network ingress),
+//   * tunneled links (MPLS/VPN) whose interior hops are invisible to
+//     traceroute (§4.2: "widespread tunnelling ... rendered irrelevant much
+//     of the structural information"),
+//   * per-node probe responsiveness (Verizon / LG U+ external resolvers do
+//     not answer pings even from inside, Figs. 4 and 11),
+//   * geography-driven latency, so replica choice shows up as TTFB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ipv4.h"
+#include "net/latency.h"
+#include "net/rng.h"
+
+namespace curtain::net {
+
+using NodeId = uint32_t;
+using ZoneId = uint32_t;
+constexpr NodeId kInvalidNode = UINT32_MAX;
+
+enum class NodeKind {
+  kRouter,
+  kGateway,       ///< cellular egress point (PGW/GGSN)
+  kResolver,      ///< DNS resolver (client- or external-facing)
+  kAuthServer,    ///< authoritative DNS server
+  kReplica,       ///< CDN content replica
+  kVantagePoint,  ///< wired measurement host (the "university" probe)
+  kDevice,        ///< mobile device anchor (radio handled by cellular::)
+};
+
+struct Zone {
+  std::string name;
+  /// NAT/firewall: drop probes originating outside this zone at ingress.
+  bool blocks_inbound_probes = false;
+};
+
+struct Node {
+  NodeId id = kInvalidNode;
+  std::string name;
+  NodeKind kind = NodeKind::kRouter;
+  ZoneId zone = 0;
+  GeoPoint location;
+  Ipv4Addr ip;  ///< unspecified (0.0.0.0) if the node has no addressable IP
+  /// Organization owning the node (carrier id); 0 = unaffiliated. ICMP
+  /// filtering in cellular networks is directional: some resolvers answer
+  /// in-network clients only (SK Telecom), others answer only outside
+  /// probes (Verizon's external tier, which lives in a separate AS).
+  uint32_t owner_tag = 0;
+  bool ping_from_same_owner = true;   ///< answer pings from own subscribers
+  bool ping_from_other_owner = true;  ///< answer pings from everyone else
+  bool responds_to_traceroute = true;
+
+  bool answers_ping_from(uint32_t prober_tag) const {
+    return prober_tag == owner_tag ? ping_from_same_owner : ping_from_other_owner;
+  }
+  /// Local processing delay added to probe/request handling.
+  LatencyModel processing = LatencyModel::fixed(0.1);
+};
+
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  LatencyModel latency;
+  double loss = 0.0;      ///< per-traversal loss probability
+  bool tunneled = false;  ///< interior endpoint hidden from traceroute
+};
+
+struct PingResult {
+  bool responded = false;
+  double rtt_ms = 0.0;
+  /// Why an unanswered probe died (diagnostics; the client only sees loss).
+  enum class Failure { kNone, kNoRoute, kFirewalled, kUnresponsive, kLoss };
+  Failure failure = Failure::kNone;
+};
+
+struct TracerouteHop {
+  NodeId node = kInvalidNode;  ///< kInvalidNode for a silent ("* * *") hop
+  double rtt_ms = 0.0;
+  bool responded = false;
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;
+  bool reached_destination = false;
+};
+
+/// The static graph plus probe semantics.
+///
+/// Mutation (add_*) happens during world construction; measurement runs
+/// treat the topology as immutable and thread randomness through `Rng&`.
+class Topology {
+ public:
+  Topology();
+
+  ZoneId add_zone(std::string name, bool blocks_inbound_probes);
+  NodeId add_node(Node node);  ///< node.id is assigned by the topology
+  void add_link(NodeId a, NodeId b, LatencyModel latency, double loss = 0.0,
+                bool tunneled = false);
+
+  const Zone& zone(ZoneId id) const { return zones_[id]; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+  size_t node_count() const { return nodes_.size(); }
+  size_t zone_count() const { return zones_.size(); }
+  static constexpr ZoneId internet_zone() { return 0; }
+
+  /// Node owning `ip`; kInvalidNode if unknown. Registration happens in
+  /// add_node for any node with a non-zero IP.
+  NodeId find_by_ip(Ipv4Addr ip) const;
+
+  /// Shortest path by typical latency, inclusive of both endpoints; empty
+  /// if unreachable. Cached; cache resets on mutation.
+  const std::vector<NodeId>& route(NodeId from, NodeId to) const;
+
+  /// Round-trip time as measured by a transport exchange (no firewall or
+  /// responsiveness checks — used for protocol traffic like DNS, which is
+  /// solicited and therefore NAT-traversing). nullopt if no route.
+  std::optional<double> transport_rtt_ms(NodeId from, NodeId to, Rng& rng) const;
+
+  /// ICMP echo semantics: firewall zones, per-node responsiveness, loss.
+  PingResult ping(NodeId from, NodeId to, Rng& rng) const;
+
+  /// TTL-walking traceroute with tunnel hiding and firewall truncation.
+  TracerouteResult traceroute(NodeId from, NodeId to, Rng& rng) const;
+
+  /// First node of the destination zone along the route from `from` to
+  /// `to`, i.e. the ingress/egress boundary. kInvalidNode if none.
+  NodeId zone_boundary(NodeId from, NodeId to) const;
+
+ private:
+  struct Edge {
+    NodeId peer;
+    uint32_t link_index;
+  };
+
+  /// Index of the link traversed between adjacent route nodes.
+  const Link& link_between(NodeId a, NodeId b) const;
+  /// True if a probe from `origin_zone` is dropped when entering `target`.
+  bool probe_blocked_at(ZoneId origin_zone, NodeId target) const;
+
+  std::vector<Zone> zones_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::unordered_map<uint32_t, NodeId> ip_index_;
+  mutable std::unordered_map<uint64_t, std::vector<NodeId>> route_cache_;
+};
+
+}  // namespace curtain::net

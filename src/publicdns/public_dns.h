@@ -1,0 +1,81 @@
+// Public DNS services: Google Public DNS and OpenDNS.
+//
+// Modeled after what the paper documents (§6.1): one anycast VIP fronting
+// geographically distributed sites, with Google operating 30 distinct /24
+// resolver clusters worldwide. Anycast ingress follows the client's egress
+// location, but tunneling makes the mapping unstable — clients see several
+// of the service's /24s over time (Fig. 12). Being outside the cellular
+// network, these resolvers are farther than the carrier's own (Figs. 11,
+// 13), yet their sites are *measurable* by CDNs, so replica mapping for
+// them is latency-aware — the crux of the paper's headline comparison.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/resolver.h"
+#include "dns/server.h"
+#include "net/ip_allocator.h"
+
+namespace curtain::publicdns {
+
+struct PublicDnsSite {
+  std::string metro;
+  net::GeoPoint location;
+  net::Prefix prefix;  ///< the site's /24
+  std::vector<std::unique_ptr<dns::RecursiveResolver>> instances;
+};
+
+struct PublicDnsBuildContext {
+  net::Topology* topology = nullptr;
+  dns::ServerRegistry* registry = nullptr;
+  net::IpAllocator* allocator = nullptr;
+  std::function<net::NodeId(const net::GeoPoint&)> nearest_backbone;
+  net::Ipv4Addr root_dns_ip;
+  /// Where a client source address appears to enter the Internet (its
+  /// egress location); drives anycast ingress selection.
+  std::function<std::optional<net::GeoPoint>(net::Ipv4Addr)> locate_source;
+  /// Names kept warm by background load; empty = all names.
+  std::function<bool(const dns::DnsName&)> warm_eligible;
+  /// Send EDNS client-subnet to authoritative servers (RFC 7871). Google
+  /// deployed this for opted-in CDNs; enabling it lets CDNs map by the
+  /// *client's* subnet instead of the resolver's site.
+  bool ecs_enabled = false;
+  uint64_t build_seed = 0;
+};
+
+class PublicDnsService : public dns::DnsServer {
+ public:
+  /// Builds `num_sites` sites on the world metro list with
+  /// `instances_per_site` resolvers each, all answering on `vip`.
+  PublicDnsService(std::string name, net::Ipv4Addr vip, int num_sites,
+                   int instances_per_site, const PublicDnsBuildContext& context);
+  ~PublicDnsService() override;
+
+  const std::string& service_name() const { return name_; }
+  const std::vector<PublicDnsSite>& sites() const { return sites_; }
+
+  // DnsServer:
+  dns::ServedResponse handle_query(std::span<const uint8_t> query_wire,
+                                   net::Ipv4Addr source_ip, net::SimTime now,
+                                   net::Rng& rng) override;
+  net::NodeId node() const override;
+  net::Ipv4Addr ip() const override { return vip_; }
+  /// Anycast: the instance node a packet from `source` lands on at `now`
+  /// (deterministic part of the routing; used for pings to the VIP).
+  net::NodeId node_for(net::Ipv4Addr source, net::SimTime now) const override;
+
+ private:
+  /// Anycast routing: site index for a source at a time. Combines
+  /// proximity to the source's egress with tunneling-induced instability.
+  int route_site(net::Ipv4Addr source_ip, net::SimTime now) const;
+
+  std::string name_;
+  net::Ipv4Addr vip_;
+  std::function<std::optional<net::GeoPoint>(net::Ipv4Addr)> locate_source_;
+  uint64_t seed_ = 0;
+  std::vector<PublicDnsSite> sites_;
+};
+
+}  // namespace curtain::publicdns

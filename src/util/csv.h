@@ -1,0 +1,63 @@
+// Minimal CSV emission for datasets and bench outputs.
+//
+// Benches print figure series both as human-readable rows and, when a path
+// is supplied, as CSV suitable for external plotting.
+#pragma once
+
+#include <fstream>
+#include <type_traits>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace curtain::util {
+
+/// Quotes a field per RFC 4180 when it contains a comma, quote or newline.
+std::string csv_escape(const std::string& field);
+
+/// Streams rows to any std::ostream. The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string> fields);
+
+  /// Convenience: formats arithmetic values with full precision.
+  template <typename... Ts>
+  void typed_row(const Ts&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    row(cells);
+  }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::ostream& out_;
+};
+
+/// Opens `path` for writing; valid() reports failure instead of throwing so
+/// benches can fall back to stdout-only output.
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& path) : stream_(path), writer_(stream_) {}
+
+  bool valid() const { return stream_.good(); }
+  CsvWriter& writer() { return writer_; }
+
+ private:
+  std::ofstream stream_;
+  CsvWriter writer_;
+};
+
+}  // namespace curtain::util

@@ -1,0 +1,38 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace curtain::util {
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const auto parsed = parse_u64(raw);
+  return parsed.value_or(fallback);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+double campaign_scale() {
+  const double scale = env_double("CURTAIN_SCALE", 0.05);
+  if (scale <= 0.0) return 0.05;
+  return scale > 1.0 ? 1.0 : scale;
+}
+
+uint64_t study_seed() { return env_u64("CURTAIN_SEED", 20141105); }
+
+}  // namespace curtain::util

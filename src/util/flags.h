@@ -1,0 +1,24 @@
+// Tiny environment-variable driven knobs for benches and examples.
+//
+// Benches scale their campaign size by CURTAIN_SCALE so the default
+// `for b in build/bench/*; do $b; done` loop stays fast, while
+// CURTAIN_SCALE=1.0 reproduces the paper's full 28k-experiment campaign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace curtain::util {
+
+/// Reads env var `name`; returns `fallback` if unset or unparsable.
+double env_double(const char* name, double fallback);
+uint64_t env_u64(const char* name, uint64_t fallback);
+std::string env_string(const char* name, const std::string& fallback);
+
+/// CURTAIN_SCALE in (0,1]: fraction of the paper-scale campaign to run.
+double campaign_scale();
+
+/// CURTAIN_SEED: study-wide RNG seed (default 20141105, the IMC'14 date).
+uint64_t study_seed();
+
+}  // namespace curtain::util

@@ -1,0 +1,47 @@
+// Leveled logging with a process-wide threshold.
+//
+// The simulator is deterministic, so logs exist for humans exploring runs,
+// not for correctness; default level is kWarn to keep bench output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace curtain::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define CURTAIN_LOG(level) ::curtain::util::detail::LogStream(level)
+#define CURTAIN_DEBUG() CURTAIN_LOG(::curtain::util::LogLevel::kDebug)
+#define CURTAIN_INFO() CURTAIN_LOG(::curtain::util::LogLevel::kInfo)
+#define CURTAIN_WARN() CURTAIN_LOG(::curtain::util::LogLevel::kWarn)
+#define CURTAIN_ERROR() CURTAIN_LOG(::curtain::util::LogLevel::kError)
+
+}  // namespace curtain::util

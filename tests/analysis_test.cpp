@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include "analysis/census.h"
+#include "analysis/figures.h"
+#include "analysis/ldns.h"
+#include "analysis/reach.h"
+#include "analysis/replica.h"
+#include "analysis/stats.h"
+
+namespace curtain::analysis {
+namespace {
+
+using measure::Dataset;
+using measure::ResolverKind;
+
+// --- Ecdf ------------------------------------------------------------------
+
+TEST(Ecdf, EmptyIsSafe) {
+  const Ecdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 0.0);
+  EXPECT_EQ(describe_cdf(cdf), "(no samples)");
+}
+
+TEST(Ecdf, QuantilesOfKnownData) {
+  Ecdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_NEAR(cdf.median(), 50.5, 0.01);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_NEAR(cdf.quantile(0.25), 25.75, 0.01);
+}
+
+TEST(Ecdf, FractionAtOrBelow) {
+  Ecdf cdf;
+  cdf.add_all({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(4.0), 1.0);
+}
+
+TEST(Ecdf, MeanMinMax) {
+  Ecdf cdf;
+  cdf.add_all({2, 4, 9});
+  EXPECT_DOUBLE_EQ(cdf.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 9.0);
+}
+
+TEST(Ecdf, CurveIsMonotonic) {
+  Ecdf cdf;
+  net::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.uniform(0, 100));
+  const auto curve = cdf.curve(31);
+  ASSERT_EQ(curve.size(), 31u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+  }
+}
+
+// Property: quantile is monotone in p for arbitrary data.
+class EcdfMonotone : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EcdfMonotone, QuantileMonotoneInP) {
+  net::Rng rng(GetParam());
+  Ecdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.add(rng.lognormal_median(50, 0.8));
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0; p += 0.05) {
+    const double q = cdf.quantile(p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfMonotone, ::testing::Values(1, 2, 3, 4));
+
+TEST(Bootstrap, IntervalBracketsPointEstimate) {
+  Ecdf cdf;
+  net::Rng rng(21);
+  for (int i = 0; i < 400; ++i) cdf.add(rng.uniform(-1.0, 1.0));
+  const auto ci = bootstrap_fraction_at_or_below(cdf, 0.0, 500, 3);
+  EXPECT_LE(ci.low, ci.point);
+  EXPECT_GE(ci.high, ci.point);
+  EXPECT_NEAR(ci.point, 0.5, 0.08);
+  EXPECT_GT(ci.high - ci.low, 0.0);
+  EXPECT_LT(ci.high - ci.low, 0.2);
+}
+
+TEST(Bootstrap, MoreDataTighterInterval) {
+  net::Rng rng(22);
+  Ecdf small;
+  Ecdf large;
+  for (int i = 0; i < 50; ++i) small.add(rng.uniform(-1.0, 1.0));
+  for (int i = 0; i < 5000; ++i) large.add(rng.uniform(-1.0, 1.0));
+  const auto narrow = bootstrap_fraction_at_or_below(large, 0.0, 400, 5);
+  const auto wide = bootstrap_fraction_at_or_below(small, 0.0, 400, 5);
+  EXPECT_LT(narrow.high - narrow.low, wide.high - wide.low);
+}
+
+TEST(Bootstrap, DegenerateSamples) {
+  Ecdf cdf;
+  cdf.add(1.0);
+  const auto ci = bootstrap_fraction_at_or_below(cdf, 0.0, 100, 9);
+  EXPECT_DOUBLE_EQ(ci.low, ci.point);
+  EXPECT_DOUBLE_EQ(ci.high, ci.point);
+}
+
+TEST(Bootstrap, Deterministic) {
+  Ecdf cdf;
+  net::Rng rng(23);
+  for (int i = 0; i < 200; ++i) cdf.add(rng.uniform(0.0, 2.0));
+  const auto a = bootstrap_fraction_at_or_below(cdf, 1.0, 300, 42);
+  const auto b = bootstrap_fraction_at_or_below(cdf, 1.0, 300, 42);
+  EXPECT_DOUBLE_EQ(a.low, b.low);
+  EXPECT_DOUBLE_EQ(a.high, b.high);
+}
+
+// --- ReplicaMap / cosine ----------------------------------------------------
+
+TEST(ReplicaMap, IdenticalMapsAreSimilarityOne) {
+  ReplicaMap a;
+  a.observe(net::Ipv4Addr{1, 1, 1, 1});
+  a.observe(net::Ipv4Addr{1, 1, 1, 2});
+  EXPECT_NEAR(a.cosine_similarity(a), 1.0, 1e-12);
+}
+
+TEST(ReplicaMap, DisjointMapsAreZero) {
+  ReplicaMap a;
+  ReplicaMap b;
+  a.observe(net::Ipv4Addr{1, 1, 1, 1});
+  b.observe(net::Ipv4Addr{2, 2, 2, 2});
+  EXPECT_DOUBLE_EQ(a.cosine_similarity(b), 0.0);
+}
+
+TEST(ReplicaMap, SymmetricAndBounded) {
+  net::Rng rng(9);
+  ReplicaMap a;
+  ReplicaMap b;
+  for (int i = 0; i < 200; ++i) {
+    a.observe(net::Ipv4Addr(static_cast<uint32_t>(rng.uniform_u64(1, 10))));
+    b.observe(net::Ipv4Addr(static_cast<uint32_t>(rng.uniform_u64(5, 15))));
+  }
+  const double ab = a.cosine_similarity(b);
+  EXPECT_DOUBLE_EQ(ab, b.cosine_similarity(a));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_GT(ab, 0.0);  // they do overlap on 5..10
+}
+
+TEST(ReplicaMap, RatiosNormalize) {
+  ReplicaMap map;
+  map.observe(net::Ipv4Addr{1, 0, 0, 1});
+  map.observe(net::Ipv4Addr{1, 0, 0, 1});
+  map.observe(net::Ipv4Addr{1, 0, 0, 2});
+  EXPECT_NEAR(map.ratio(net::Ipv4Addr{1, 0, 0, 1}), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(map.ratio(net::Ipv4Addr{9, 9, 9, 9}), 0.0);
+  EXPECT_EQ(map.distinct(), 2u);
+  EXPECT_EQ(map.total(), 3u);
+}
+
+TEST(ReplicaMap, EmptyMapSimilarityZero) {
+  ReplicaMap a;
+  ReplicaMap b;
+  a.observe(net::Ipv4Addr{1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(a.cosine_similarity(b), 0.0);
+}
+
+// --- synthetic-dataset analyses ---------------------------------------------
+
+// Builds a hand-crafted dataset for exact-value assertions.
+class SyntheticDataset : public ::testing::Test {
+ protected:
+  uint32_t add_experiment(int carrier, uint64_t device, double hour,
+                          net::Ipv4Addr configured,
+                          net::GeoPoint location = {40.0, -74.0}) {
+    measure::ExperimentContext context;
+    context.experiment_id = static_cast<uint32_t>(d_.experiments.size());
+    context.device_id = device;
+    context.carrier_index = carrier;
+    context.started = net::SimTime::from_hours(hour);
+    context.location = location;
+    context.configured_resolver = configured;
+    context.public_ip = net::Ipv4Addr{100, 0, 0, 1};
+    d_.experiments.push_back(context);
+    return context.experiment_id;
+  }
+
+  void add_observation(uint32_t experiment, ResolverKind kind,
+                       net::Ipv4Addr external) {
+    measure::ResolverObservation observation;
+    observation.experiment_id = experiment;
+    observation.resolver = kind;
+    observation.responded = true;
+    observation.external_ip = external;
+    d_.resolver_observations.push_back(observation);
+  }
+
+  void add_http(uint32_t experiment, ResolverKind kind, uint16_t domain,
+                net::Ipv4Addr replica, double ttfb) {
+    measure::ProbeMeasurement probe;
+    probe.experiment_id = experiment;
+    probe.target_kind = measure::ProbeTargetKind::kReplica;
+    probe.resolver = kind;
+    probe.domain_index = domain;
+    probe.target_ip = replica;
+    probe.is_http = true;
+    probe.responded = true;
+    probe.rtt_ms = ttfb;
+    d_.probes.push_back(probe);
+  }
+
+  void add_resolution(uint32_t experiment, ResolverKind kind, uint16_t domain,
+                      std::vector<net::Ipv4Addr> addresses) {
+    measure::DnsMeasurement r;
+    r.experiment_id = experiment;
+    r.resolver = kind;
+    r.domain_index = domain;
+    r.responded = true;
+    r.resolution_ms = 40.0;
+    r.addresses = std::move(addresses);
+    d_.resolutions.push_back(r);
+  }
+
+  Dataset d_;
+};
+
+TEST_F(SyntheticDataset, LdnsPairStatsConsistency) {
+  const net::Ipv4Addr client{10, 0, 0, 1};
+  const net::Ipv4Addr ext_a{20, 0, 0, 1};
+  const net::Ipv4Addr ext_b{20, 0, 1, 1};
+  // Carrier 0: 3 of 4 measurements pair client with ext_a => 75%.
+  for (int i = 0; i < 3; ++i) {
+    add_observation(add_experiment(0, 1, i, client), ResolverKind::kLocal,
+                    ext_a);
+  }
+  add_observation(add_experiment(0, 1, 9, client), ResolverKind::kLocal, ext_b);
+
+  const auto stats = ldns_pair_stats(d_);
+  ASSERT_EQ(stats.size(), 6u);
+  EXPECT_EQ(stats[0].client_resolvers, 1u);
+  EXPECT_EQ(stats[0].external_resolvers, 2u);
+  EXPECT_EQ(stats[0].pairs, 2u);
+  EXPECT_NEAR(stats[0].consistency_percent, 75.0, 1e-9);
+  EXPECT_EQ(stats[1].pairs, 0u);  // untouched carrier
+}
+
+TEST_F(SyntheticDataset, TimelineRanksFirstAppearance) {
+  const net::Ipv4Addr client{10, 0, 0, 1};
+  const net::Ipv4Addr a{20, 0, 0, 1};
+  const net::Ipv4Addr b{20, 0, 1, 1};  // different /24
+  const net::Ipv4Addr c{20, 0, 0, 2};  // same /24 as a
+  add_observation(add_experiment(0, 5, 1, client), ResolverKind::kLocal, a);
+  add_observation(add_experiment(0, 5, 2, client), ResolverKind::kLocal, b);
+  add_observation(add_experiment(0, 5, 3, client), ResolverKind::kLocal, a);
+  add_observation(add_experiment(0, 5, 4, client), ResolverKind::kLocal, c);
+
+  const auto timelines = resolver_timelines(d_, 0, ResolverKind::kLocal);
+  ASSERT_EQ(timelines.size(), 1u);
+  const auto& timeline = timelines[0];
+  EXPECT_EQ(timeline.ip_rank, (std::vector<int>{1, 2, 1, 3}));
+  EXPECT_EQ(timeline.slash24_rank, (std::vector<int>{1, 2, 1, 1}));
+  EXPECT_EQ(timeline.unique_ips(), 3u);
+  EXPECT_EQ(timeline.unique_slash24s(), 2u);
+}
+
+TEST_F(SyntheticDataset, StaticFilterDropsTravelObservations) {
+  const net::Ipv4Addr client{10, 0, 0, 1};
+  const net::GeoPoint home{40.0, -74.0};
+  const net::GeoPoint away{34.0, -118.0};
+  for (int i = 0; i < 8; ++i) {
+    add_observation(add_experiment(0, 6, i, client, home), ResolverKind::kLocal,
+                    net::Ipv4Addr{20, 0, 0, 1});
+  }
+  add_observation(add_experiment(0, 6, 20, client, away), ResolverKind::kLocal,
+                  net::Ipv4Addr{20, 0, 9, 1});
+
+  const auto timelines =
+      static_resolver_timelines(d_, 0, ResolverKind::kLocal, 10.0);
+  ASSERT_EQ(timelines.size(), 1u);
+  EXPECT_EQ(timelines[0].times.size(), 8u);  // the away point is dropped
+  EXPECT_EQ(timelines[0].unique_ips(), 1u);
+}
+
+TEST_F(SyntheticDataset, ReplicaPenaltyComputesPercentIncrease) {
+  const auto e = add_experiment(0, 7, 1, net::Ipv4Addr{10, 0, 0, 1});
+  // Replica A mean 100, replica B mean 150 => penalties {0%, 50%}.
+  add_http(e, ResolverKind::kLocal, 2, net::Ipv4Addr{30, 0, 0, 1}, 90);
+  add_http(e, ResolverKind::kLocal, 2, net::Ipv4Addr{30, 0, 0, 1}, 110);
+  add_http(e, ResolverKind::kLocal, 2, net::Ipv4Addr{30, 0, 1, 1}, 150);
+  const auto penalties = replica_penalty_by_carrier(d_, {2});
+  ASSERT_TRUE(penalties.count(0));
+  const auto& cdf = penalties.at(0);
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_NEAR(cdf.min(), 0.0, 1e-9);
+  EXPECT_NEAR(cdf.max(), 50.0, 1e-9);
+}
+
+TEST_F(SyntheticDataset, CosineByPrefixSplitsCorrectly) {
+  const net::Ipv4Addr client{10, 0, 0, 1};
+  const net::Ipv4Addr resolver_a1{20, 0, 0, 1};
+  const net::Ipv4Addr resolver_a2{20, 0, 0, 2};  // same /24 as a1
+  const net::Ipv4Addr resolver_b{20, 0, 7, 1};   // different /24
+  const std::vector<net::Ipv4Addr> replicas_x{{30, 0, 0, 1}, {30, 0, 0, 2}};
+  const std::vector<net::Ipv4Addr> replicas_y{{31, 0, 0, 1}};
+
+  // a1 and a2 see replica set X; b sees Y.
+  for (int i = 0; i < 3; ++i) {
+    const auto e1 = add_experiment(0, 8, i, client);
+    add_observation(e1, ResolverKind::kLocal, resolver_a1);
+    add_resolution(e1, ResolverKind::kLocal, 5, replicas_x);
+    const auto e2 = add_experiment(0, 8, i + 10, client);
+    add_observation(e2, ResolverKind::kLocal, resolver_a2);
+    add_resolution(e2, ResolverKind::kLocal, 5, replicas_x);
+    const auto e3 = add_experiment(0, 8, i + 20, client);
+    add_observation(e3, ResolverKind::kLocal, resolver_b);
+    add_resolution(e3, ResolverKind::kLocal, 5, replicas_y);
+  }
+
+  const auto split = cosine_by_prefix(d_, 5, 0);
+  ASSERT_EQ(split.same_slash24.size(), 1u);   // (a1,a2)
+  ASSERT_EQ(split.different_slash24.size(), 2u);  // (a1,b), (a2,b)
+  EXPECT_NEAR(split.same_slash24.max(), 1.0, 1e-9);
+  EXPECT_NEAR(split.different_slash24.max(), 0.0, 1e-9);
+}
+
+TEST_F(SyntheticDataset, CensusCountsIpsAndPrefixes) {
+  const auto e = add_experiment(2, 9, 1, net::Ipv4Addr{10, 0, 0, 1});
+  add_observation(e, ResolverKind::kGoogle, net::Ipv4Addr{8, 8, 4, 1});
+  add_observation(e, ResolverKind::kGoogle, net::Ipv4Addr{8, 8, 4, 2});
+  add_observation(e, ResolverKind::kLocal, net::Ipv4Addr{20, 0, 0, 1});
+  const auto census = resolver_census(d_);
+  const auto& row = census[2];
+  EXPECT_EQ(row.unique_ips[static_cast<size_t>(ResolverKind::kGoogle)], 2u);
+  EXPECT_EQ(row.unique_slash24s[static_cast<size_t>(ResolverKind::kGoogle)], 1u);
+  EXPECT_EQ(row.unique_ips[static_cast<size_t>(ResolverKind::kLocal)], 1u);
+}
+
+TEST_F(SyntheticDataset, EgressExtractionFindsLastCarrierHop) {
+  const auto e = add_experiment(3, 10, 1, net::Ipv4Addr{10, 0, 0, 1});
+  measure::TracerouteMeasurement trace;
+  trace.experiment_id = e;
+  trace.hop_names = {"Verizon-pgw-7", "ix-Chicago", "fastedge-Chicago-r0"};
+  trace.reached = true;
+  d_.traceroutes.push_back(trace);
+
+  measure::TracerouteMeasurement trace2;
+  trace2.experiment_id = e;
+  trace2.hop_names = {"Verizon-pgw-9", "*", "ix-Dallas"};
+  trace2.reached = false;
+  d_.traceroutes.push_back(trace2);
+
+  const auto stats = egress_points(d_);
+  EXPECT_EQ(stats[3].egress_points, 2u);
+  EXPECT_TRUE(stats[3].egress_names.count("Verizon-pgw-7"));
+  EXPECT_EQ(stats[0].egress_points, 0u);
+}
+
+TEST_F(SyntheticDataset, ReachabilityTable) {
+  measure::VantageProbe probe;
+  probe.carrier_index = 1;
+  probe.ping_responded = true;
+  probe.traceroute_reached = false;
+  d_.vantage_probes.push_back(probe);
+  probe.ping_responded = false;
+  d_.vantage_probes.push_back(probe);
+  const auto table = external_reachability(d_);
+  EXPECT_EQ(table[1].total, 2u);
+  EXPECT_EQ(table[1].ping_responded, 1u);
+  EXPECT_EQ(table[1].traceroute_reached, 0u);
+}
+
+TEST_F(SyntheticDataset, Fig14AggregationByPrefix) {
+  const auto e = add_experiment(0, 11, 1, net::Ipv4Addr{10, 0, 0, 1});
+  // Same /24 replica sets: delta must be exactly zero.
+  add_http(e, ResolverKind::kLocal, 0, net::Ipv4Addr{30, 1, 1, 1}, 100);
+  add_http(e, ResolverKind::kGoogle, 0, net::Ipv4Addr{30, 1, 1, 2}, 170);
+  // Different /24s for domain 1: delta = (120-100)/100 = +20%.
+  add_http(e, ResolverKind::kLocal, 1, net::Ipv4Addr{30, 2, 2, 1}, 100);
+  add_http(e, ResolverKind::kGoogle, 1, net::Ipv4Addr{30, 3, 3, 1}, 120);
+
+  const auto groups = fig14_public_replica_delta(d_);
+  const auto& google = groups.at(carrier_name(0)).at("GoogleDNS");
+  ASSERT_EQ(google.size(), 2u);
+  EXPECT_NEAR(google.min(), 0.0, 1e-9);
+  EXPECT_NEAR(google.max(), 20.0, 1e-9);
+}
+
+TEST_F(SyntheticDataset, HeadlineCountsEqualOrBetter) {
+  const auto e = add_experiment(0, 12, 1, net::Ipv4Addr{10, 0, 0, 1});
+  add_http(e, ResolverKind::kLocal, 0, net::Ipv4Addr{30, 1, 1, 1}, 100);
+  add_http(e, ResolverKind::kGoogle, 0, net::Ipv4Addr{30, 9, 1, 2}, 80);
+  add_http(e, ResolverKind::kOpenDns, 0, net::Ipv4Addr{30, 8, 1, 2}, 180);
+  EXPECT_NEAR(headline_public_equal_or_better(d_), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace curtain::analysis

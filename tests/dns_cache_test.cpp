@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "dns/cache.h"
+
+namespace curtain::dns {
+namespace {
+
+using net::SimTime;
+
+DnsName name(const char* s) { return *DnsName::parse(s); }
+
+ResourceRecord a_record(const char* host, uint32_t ttl) {
+  return ResourceRecord::a(name(host), net::Ipv4Addr{1, 2, 3, 4}, ttl);
+}
+
+TEST(Cache, MissOnEmpty) {
+  Cache cache;
+  EXPECT_FALSE(cache.lookup(name("a.com"), RRType::kA, SimTime::zero()));
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, HitWithinTtl) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 30)},
+               SimTime::zero());
+  const auto hit = cache.lookup(name("a.com"), RRType::kA,
+                                SimTime::from_seconds(29));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->negative);
+  ASSERT_EQ(hit->records.size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, TtlAging) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 30)},
+               SimTime::zero());
+  const auto hit = cache.lookup(name("a.com"), RRType::kA,
+                                SimTime::from_seconds(12));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->records[0].ttl, 18u);
+}
+
+TEST(Cache, ExpiresExactlyAtTtl) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 30)},
+               SimTime::zero());
+  EXPECT_FALSE(
+      cache.lookup(name("a.com"), RRType::kA, SimTime::from_seconds(30)));
+  EXPECT_EQ(cache.stats().expired_evictions, 1u);
+}
+
+TEST(Cache, EntryTtlIsMinOfRrset) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA,
+               {a_record("a.com", 30), a_record("a.com", 10)}, SimTime::zero());
+  EXPECT_TRUE(
+      cache.lookup(name("a.com"), RRType::kA, SimTime::from_seconds(9)));
+  EXPECT_FALSE(
+      cache.lookup(name("a.com"), RRType::kA, SimTime::from_seconds(11)));
+}
+
+TEST(Cache, ZeroTtlNeverCached) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 0)},
+               SimTime::zero());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(name("a.com"), RRType::kA, SimTime::zero()));
+}
+
+TEST(Cache, TypesAreIndependent) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 60)},
+               SimTime::zero());
+  EXPECT_FALSE(cache.lookup(name("a.com"), RRType::kCNAME, SimTime::zero()));
+  EXPECT_TRUE(cache.lookup(name("a.com"), RRType::kA, SimTime::zero()));
+}
+
+TEST(Cache, NamesCompareCaseInsensitively) {
+  Cache cache;
+  cache.insert(name("A.CoM"), RRType::kA, {a_record("a.com", 60)},
+               SimTime::zero());
+  EXPECT_TRUE(cache.lookup(name("a.com"), RRType::kA, SimTime::zero()));
+}
+
+TEST(Cache, NegativeEntry) {
+  Cache cache;
+  cache.insert_negative(name("nx.com"), RRType::kA, 300, SimTime::zero());
+  const auto hit = cache.lookup(name("nx.com"), RRType::kA,
+                                SimTime::from_seconds(100));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative);
+  EXPECT_TRUE(hit->records.empty());
+  EXPECT_FALSE(
+      cache.lookup(name("nx.com"), RRType::kA, SimTime::from_seconds(301)));
+}
+
+TEST(Cache, OverwriteRefreshesEntry) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 10)},
+               SimTime::zero());
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 10)},
+               SimTime::from_seconds(8));
+  EXPECT_TRUE(
+      cache.lookup(name("a.com"), RRType::kA, SimTime::from_seconds(15)));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, CapacityEvictionPrefersSoonestExpiry) {
+  Cache cache(/*max_entries=*/2);
+  cache.insert(name("long.com"), RRType::kA, {a_record("long.com", 1000)},
+               SimTime::zero());
+  cache.insert(name("short.com"), RRType::kA, {a_record("short.com", 10)},
+               SimTime::zero());
+  cache.insert(name("new.com"), RRType::kA, {a_record("new.com", 500)},
+               SimTime::zero());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(name("short.com"), RRType::kA, SimTime::zero()));
+  EXPECT_TRUE(cache.lookup(name("long.com"), RRType::kA, SimTime::zero()));
+  EXPECT_GE(cache.stats().capacity_evictions, 1u);
+}
+
+TEST(Cache, TtlBoundsClampInsertions) {
+  Cache cache;
+  cache.set_ttl_bounds(60, 120);
+  cache.insert(name("short.com"), RRType::kA, {a_record("short.com", 5)},
+               SimTime::zero());
+  // Clamped up to 60 s.
+  EXPECT_TRUE(
+      cache.lookup(name("short.com"), RRType::kA, SimTime::from_seconds(59)));
+  cache.insert(name("long.com"), RRType::kA, {a_record("long.com", 86400)},
+               SimTime::zero());
+  // Clamped down to 120 s.
+  EXPECT_FALSE(
+      cache.lookup(name("long.com"), RRType::kA, SimTime::from_seconds(121)));
+}
+
+TEST(Cache, ClearEmptiesEverything) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 60)},
+               SimTime::zero());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, HitRateAccounting) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 60)},
+               SimTime::zero());
+  cache.lookup(name("a.com"), RRType::kA, SimTime::zero());
+  cache.lookup(name("b.com"), RRType::kA, SimTime::zero());
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace curtain::dns

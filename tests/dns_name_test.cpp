@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "dns/name.h"
+
+namespace curtain::dns {
+namespace {
+
+TEST(DnsName, ParseBasic) {
+  const auto name = DnsName::parse("www.Example.COM");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->labels(), (std::vector<std::string>{"www", "example", "com"}));
+  EXPECT_EQ(name->to_string(), "www.example.com");
+}
+
+TEST(DnsName, ParseTrailingDot) {
+  EXPECT_EQ(DnsName::parse("example.com.")->to_string(), "example.com");
+}
+
+TEST(DnsName, ParseRoot) {
+  const auto root = DnsName::parse("");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->wire_length(), 1u);
+  const auto dot = DnsName::parse(".");
+  ASSERT_TRUE(dot.has_value());
+  EXPECT_TRUE(dot->is_root());
+}
+
+TEST(DnsName, RejectEmptyLabel) {
+  EXPECT_FALSE(DnsName::parse("a..b").has_value());
+  EXPECT_FALSE(DnsName::parse(".a").has_value());
+}
+
+TEST(DnsName, RejectOversizedLabel) {
+  const std::string big(64, 'x');
+  EXPECT_FALSE(DnsName::parse(big + ".com").has_value());
+  const std::string max(63, 'x');
+  EXPECT_TRUE(DnsName::parse(max + ".com").has_value());
+}
+
+TEST(DnsName, RejectOversizedName) {
+  // 5 labels of 63 bytes => 5*64+1 = 321 > 255.
+  std::string name;
+  for (int i = 0; i < 5; ++i) {
+    if (i) name += '.';
+    name += std::string(63, 'a' + i);
+  }
+  EXPECT_FALSE(DnsName::parse(name).has_value());
+}
+
+TEST(DnsName, WireLength) {
+  EXPECT_EQ(DnsName::parse("www.example.com")->wire_length(), 17u);
+}
+
+TEST(DnsName, IsWithin) {
+  const auto sub = *DnsName::parse("a.b.example.com");
+  const auto zone = *DnsName::parse("example.com");
+  EXPECT_TRUE(sub.is_within(zone));
+  EXPECT_TRUE(zone.is_within(zone));
+  EXPECT_FALSE(zone.is_within(sub));
+  EXPECT_TRUE(sub.is_within(DnsName{}));  // everything under the root
+}
+
+TEST(DnsName, IsWithinLabelBoundary) {
+  // "badexample.com" is NOT within "example.com".
+  const auto other = *DnsName::parse("badexample.com");
+  const auto zone = *DnsName::parse("example.com");
+  EXPECT_FALSE(other.is_within(zone));
+}
+
+TEST(DnsName, Parent) {
+  const auto name = *DnsName::parse("www.example.com");
+  EXPECT_EQ(name.parent().to_string(), "example.com");
+  EXPECT_TRUE(DnsName::parse("com")->parent().is_root());
+  EXPECT_TRUE(DnsName{}.parent().is_root());
+}
+
+TEST(DnsName, Child) {
+  const auto zone = *DnsName::parse("example.com");
+  const auto child = zone.child("www");
+  ASSERT_TRUE(child.has_value());
+  EXPECT_EQ(child->to_string(), "www.example.com");
+}
+
+TEST(DnsName, ChildRejectsBadLabel) {
+  const auto zone = *DnsName::parse("example.com");
+  EXPECT_FALSE(zone.child("").has_value());
+  EXPECT_FALSE(zone.child(std::string(64, 'x')).has_value());
+}
+
+TEST(DnsName, CaseInsensitiveEquality) {
+  EXPECT_EQ(*DnsName::parse("WWW.EXAMPLE.COM"), *DnsName::parse("www.example.com"));
+}
+
+TEST(DnsName, HashConsistentWithEquality) {
+  const auto a = *DnsName::parse("M.Yelp.Com");
+  const auto b = *DnsName::parse("m.yelp.com");
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(DnsName, HashSeparatesLabelBoundaries) {
+  const auto a = *DnsName::from_labels({"ab", "c"});
+  const auto b = *DnsName::from_labels({"a", "bc"});
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(DnsName, OrderingUsableAsMapKey) {
+  const auto a = *DnsName::parse("a.com");
+  const auto b = *DnsName::parse("b.com");
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(DnsName, UnorderedSetWorks) {
+  std::unordered_set<DnsName, DnsNameHash> set;
+  set.insert(*DnsName::parse("x.com"));
+  set.insert(*DnsName::parse("X.COM"));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace curtain::dns

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/export.h"
+#include "util/strings.h"
+
+namespace curtain::analysis {
+namespace {
+
+using measure::Dataset;
+
+Dataset tiny_dataset() {
+  Dataset d;
+  measure::ExperimentContext context;
+  context.experiment_id = 0;
+  context.device_id = 42;
+  context.carrier_index = 3;  // Verizon
+  context.started = net::SimTime::from_hours(5.0);
+  context.radio = cellular::RadioTech::kLte;
+  context.location = {40.0, -74.0};
+  context.public_ip = net::Ipv4Addr{100, 1, 2, 3};
+  context.configured_resolver = net::Ipv4Addr{10, 0, 0, 53};
+  d.experiments.push_back(context);
+
+  measure::DnsMeasurement r;
+  r.experiment_id = 0;
+  r.resolver = measure::ResolverKind::kLocal;
+  r.domain_index = 6;  // m.yelp.com
+  r.responded = true;
+  r.resolution_ms = 44.25;
+  r.addresses = {net::Ipv4Addr{20, 0, 1, 1}, net::Ipv4Addr{20, 0, 1, 2}};
+  d.resolutions.push_back(r);
+
+  measure::ProbeMeasurement p;
+  p.experiment_id = 0;
+  p.target_kind = measure::ProbeTargetKind::kReplica;
+  p.resolver = measure::ResolverKind::kGoogle;
+  p.domain_index = 6;
+  p.target_ip = net::Ipv4Addr{20, 0, 1, 1};
+  p.is_http = true;
+  p.responded = true;
+  p.rtt_ms = 77.5;
+  d.probes.push_back(p);
+
+  measure::TracerouteMeasurement t;
+  t.experiment_id = 0;
+  t.target_ip = net::Ipv4Addr{20, 0, 1, 1};
+  t.reached = true;
+  t.hop_names = {"Verizon-pgw-3", "ix-Chicago"};
+  d.traceroutes.push_back(t);
+
+  measure::ResolverObservation o;
+  o.experiment_id = 0;
+  o.resolver = measure::ResolverKind::kLocal;
+  o.responded = true;
+  o.external_ip = net::Ipv4Addr{20, 7, 7, 7};
+  d.resolver_observations.push_back(o);
+
+  measure::VantageProbe v;
+  v.carrier_index = 3;
+  v.target_ip = net::Ipv4Addr{20, 7, 7, 7};
+  v.ping_responded = true;
+  d.vantage_probes.push_back(v);
+  return d;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  auto lines = util::split(text, '\n');
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+TEST(Export, ExperimentsCsvShape) {
+  std::ostringstream out;
+  export_experiments_csv(tiny_dataset(), out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(util::starts_with(lines[0], "experiment_id,device_id,carrier"));
+  EXPECT_NE(lines[1].find("Verizon"), std::string::npos);
+  EXPECT_NE(lines[1].find("LTE"), std::string::npos);
+  EXPECT_NE(lines[1].find("100.1.2.3"), std::string::npos);
+}
+
+TEST(Export, ResolutionsCsvJoinsDomainAndAddresses) {
+  std::ostringstream out;
+  export_resolutions_csv(tiny_dataset(), out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("m.yelp.com"), std::string::npos);
+  EXPECT_NE(lines[1].find("20.0.1.1 20.0.1.2"), std::string::npos);
+}
+
+TEST(Export, ProbesCsvKinds) {
+  std::ostringstream out;
+  export_probes_csv(tiny_dataset(), out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("replica"), std::string::npos);
+  EXPECT_NE(lines[1].find("http"), std::string::npos);
+  EXPECT_NE(lines[1].find("GoogleDNS"), std::string::npos);
+}
+
+TEST(Export, TraceroutesCsvJoinsHops) {
+  std::ostringstream out;
+  export_traceroutes_csv(tiny_dataset(), out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("Verizon-pgw-3|ix-Chicago"), std::string::npos);
+}
+
+TEST(Export, ObservationsCsvHasSlash24) {
+  std::ostringstream out;
+  export_resolver_observations_csv(tiny_dataset(), out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("20.7.7.0/24"), std::string::npos);
+}
+
+TEST(Export, VantageCsv) {
+  std::ostringstream out;
+  export_vantage_probes_csv(tiny_dataset(), out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("Verizon"), std::string::npos);
+}
+
+TEST(Export, WholeDatasetToDirectory) {
+  const std::string dir = ::testing::TempDir() + "/curtain_export";
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(export_dataset(tiny_dataset(), dir), 7);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/resolutions.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/MANIFEST.txt"));
+}
+
+TEST(Export, UnwritableDirectoryFailsGracefully) {
+  EXPECT_EQ(export_dataset(tiny_dataset(), "/nonexistent/dir/xyz"), 0);
+}
+
+}  // namespace
+}  // namespace curtain::analysis

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "net/geo.h"
+#include "net/latency.h"
+
+namespace curtain::net {
+namespace {
+
+TEST(Geo, DistanceZeroForSamePoint) {
+  const GeoPoint p{40.0, -74.0};
+  EXPECT_NEAR(distance_km(p, p), 0.0, 1e-9);
+}
+
+TEST(Geo, KnownDistanceNycToLa) {
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint la{34.05, -118.24};
+  // Great-circle NYC-LA is ~3940 km.
+  EXPECT_NEAR(distance_km(nyc, la), 3940.0, 60.0);
+}
+
+TEST(Geo, KnownDistanceSeoulBusan) {
+  const GeoPoint seoul{37.57, 126.98};
+  const GeoPoint busan{35.18, 129.08};
+  EXPECT_NEAR(distance_km(seoul, busan), 325.0, 25.0);
+}
+
+TEST(Geo, DistanceSymmetric) {
+  const GeoPoint a{10.0, 20.0};
+  const GeoPoint b{-30.0, 140.0};
+  EXPECT_DOUBLE_EQ(distance_km(a, b), distance_km(b, a));
+}
+
+TEST(Geo, PropagationScalesWithDistance) {
+  const GeoPoint nyc{40.71, -74.01};
+  const GeoPoint chi{41.88, -87.63};
+  const GeoPoint la{34.05, -118.24};
+  EXPECT_LT(propagation_ms(nyc, chi), propagation_ms(nyc, la));
+  // NYC-LA one way over fiber with stretch: roughly 25-32 ms.
+  EXPECT_GT(propagation_ms(nyc, la), 20.0);
+  EXPECT_LT(propagation_ms(nyc, la), 40.0);
+}
+
+TEST(Geo, OffsetKmApproximation) {
+  const GeoPoint origin{40.0, -74.0};
+  const GeoPoint north = offset_km(origin, 0.0, 111.0);
+  EXPECT_NEAR(north.lat_deg, 41.0, 0.01);
+  const GeoPoint east = offset_km(origin, 50.0, 0.0);
+  EXPECT_NEAR(distance_km(origin, east), 50.0, 2.0);
+}
+
+TEST(Geo, MetroListsPopulated) {
+  EXPECT_EQ(us_metros().size(), 16u);
+  EXPECT_EQ(kr_metros().size(), 6u);
+  EXPECT_EQ(world_metros().size(), 30u);  // Google's 30 sites fit exactly
+}
+
+TEST(Latency, FixedIsDeterministic) {
+  Rng rng(1);
+  const LatencyModel m = LatencyModel::fixed(5.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.sample(rng), 5.0);
+}
+
+TEST(Latency, JitteredMedianApproximatesTarget) {
+  Rng rng(2);
+  const LatencyModel m = LatencyModel::jittered(30.0, 0.25);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(m.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 30.0, 1.0);
+}
+
+TEST(Latency, WanHasFloor) {
+  Rng rng(3);
+  const LatencyModel m = LatencyModel::wan(20.0, 2.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(m.sample(rng), 20.0);
+}
+
+TEST(Latency, SamplesNeverNegative) {
+  Rng rng(4);
+  const LatencyModel m = LatencyModel::jittered(0.5, 2.0);  // heavy tail
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(m.sample(rng), 0.0);
+}
+
+TEST(Latency, TypicalMsIsFloorPlusMedian) {
+  const LatencyModel m = LatencyModel::wan(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.typical_ms(), 13.0);
+}
+
+// Property sweep: the median-parameterized lognormal holds across shapes.
+class LatencyMedianSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencyMedianSweep, MedianMatchesParameter) {
+  const double sigma = GetParam();
+  Rng rng(42 + static_cast<uint64_t>(sigma * 100));
+  const LatencyModel m = LatencyModel::jittered(100.0, sigma);
+  std::vector<double> samples;
+  for (int i = 0; i < 30001; ++i) samples.push_back(m.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 100.0, 100.0 * 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LatencyMedianSweep,
+                         ::testing::Values(0.1, 0.2, 0.35, 0.5, 0.8));
+
+}  // namespace
+}  // namespace curtain::net

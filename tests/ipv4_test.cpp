@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "net/ip_allocator.h"
+#include "net/ipv4.h"
+
+namespace curtain::net {
+namespace {
+
+TEST(Ipv4, ParseDottedQuad) {
+  const auto addr = Ipv4Addr::parse("192.0.2.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0xc0000201u);
+}
+
+TEST(Ipv4, ParseBounds) {
+  EXPECT_TRUE(Ipv4Addr::parse("0.0.0.0").has_value());
+  EXPECT_TRUE(Ipv4Addr::parse("255.255.255.255").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3").has_value());
+}
+
+TEST(Ipv4, ToStringRoundTrip) {
+  const Ipv4Addr addr{10, 20, 30, 40};
+  EXPECT_EQ(addr.to_string(), "10.20.30.40");
+  EXPECT_EQ(Ipv4Addr::parse(addr.to_string()), addr);
+}
+
+TEST(Ipv4, Octets) {
+  const Ipv4Addr addr{1, 2, 3, 4};
+  EXPECT_EQ(addr.octet(0), 1);
+  EXPECT_EQ(addr.octet(3), 4);
+}
+
+TEST(Ipv4, Slash24) {
+  EXPECT_EQ(Ipv4Addr(192, 0, 2, 77).slash24(), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(Ipv4Addr(192, 0, 2, 0).slash24(), Ipv4Addr(192, 0, 2, 0));
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(1, 2, 3, 4));
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix p(Ipv4Addr{192, 0, 2, 77}, 24);
+  EXPECT_EQ(p.address(), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");
+}
+
+TEST(Prefix, Contains) {
+  const Prefix p(Ipv4Addr{10, 0, 0, 0}, 8);
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 255, 1, 2)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(11, 0, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const Prefix outer(Ipv4Addr{10, 0, 0, 0}, 8);
+  const Prefix inner(Ipv4Addr{10, 1, 2, 0}, 24);
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  const Prefix all(Ipv4Addr{}, 0);
+  EXPECT_TRUE(all.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_EQ(all.size(), uint64_t{1} << 32);
+}
+
+TEST(Prefix, ParseValid) {
+  const auto p = Prefix::parse("172.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 12);
+  EXPECT_TRUE(p->contains(Ipv4Addr(172, 31, 255, 255)));
+  EXPECT_FALSE(p->contains(Ipv4Addr(172, 32, 0, 0)));
+}
+
+TEST(Prefix, ParseInvalid) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0/8").has_value());
+}
+
+TEST(Prefix, HostIndexing) {
+  const Prefix p(Ipv4Addr{192, 0, 2, 0}, 24);
+  EXPECT_EQ(p.host(1), Ipv4Addr(192, 0, 2, 1));
+  EXPECT_EQ(p.host(255), Ipv4Addr(192, 0, 2, 255));
+  // Wraps modulo the block size.
+  EXPECT_EQ(p.host(256), Ipv4Addr(192, 0, 2, 0));
+}
+
+TEST(Prefix, SlashSizes) {
+  EXPECT_EQ(Prefix(Ipv4Addr{}, 24).size(), 256u);
+  EXPECT_EQ(Prefix(Ipv4Addr{}, 32).size(), 1u);
+}
+
+TEST(IpAllocator, BlocksAreDisjoint) {
+  IpAllocator alloc(Prefix(Ipv4Addr{20, 0, 0, 0}, 8));
+  const Prefix a = alloc.alloc_block(24);
+  const Prefix b = alloc.alloc_block(24);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+}
+
+TEST(IpAllocator, HostsStayInBlockAndSkipNetworkAddress) {
+  IpAllocator alloc(Prefix(Ipv4Addr{20, 0, 0, 0}, 8));
+  const Prefix block = alloc.alloc_block(24);
+  for (int i = 0; i < 300; ++i) {
+    const Ipv4Addr host = alloc.alloc_host(block);
+    EXPECT_TRUE(block.contains(host));
+    EXPECT_NE(host, block.address());  // never the .0 address
+  }
+}
+
+TEST(IpAllocator, HostsAreSequentialWithinBlock) {
+  IpAllocator alloc(Prefix(Ipv4Addr{20, 0, 0, 0}, 8));
+  const Prefix block = alloc.alloc_block(24);
+  EXPECT_EQ(alloc.alloc_host(block), block.host(1));
+  EXPECT_EQ(alloc.alloc_host(block), block.host(2));
+}
+
+}  // namespace
+}  // namespace curtain::net

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/study.h"
+
+namespace curtain::measure {
+namespace {
+
+TEST(ResolverIdentifier, UniqueNamesPerProbe) {
+  const ResolverIdentifier identifier(*dns::DnsName::parse("curtain-study.net"));
+  const auto a = identifier.probe_name(1, 1);
+  const auto b = identifier.probe_name(1, 2);
+  const auto c = identifier.probe_name(2, 1);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a.is_within(*dns::DnsName::parse("adns.curtain-study.net")));
+}
+
+TEST(ResolverIdentifier, ExtractFindsARecord) {
+  std::vector<dns::ResourceRecord> answers{
+      dns::ResourceRecord::a(*dns::DnsName::parse("r1.adns.curtain-study.net"),
+                             net::Ipv4Addr{20, 3, 4, 5}, 0)};
+  const auto ip = ResolverIdentifier::extract(answers);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, net::Ipv4Addr(20, 3, 4, 5));
+  EXPECT_FALSE(ResolverIdentifier::extract({}).has_value());
+}
+
+TEST(ResolverKindNames, Stable) {
+  EXPECT_STREQ(resolver_kind_name(ResolverKind::kLocal), "local");
+  EXPECT_STREQ(resolver_kind_name(ResolverKind::kGoogle), "GoogleDNS");
+  EXPECT_STREQ(resolver_kind_name(ResolverKind::kOpenDns), "OpenDNS");
+}
+
+TEST(CampaignConfig, ScaledShortensDuration) {
+  const auto full = CampaignConfig::scaled(1.0, 1);
+  EXPECT_DOUBLE_EQ(full.duration_days, 153.0);
+  EXPECT_DOUBLE_EQ(full.participation, 0.048);
+  const auto small = CampaignConfig::scaled(0.05, 1);
+  EXPECT_NEAR(small.duration_days, 7.65, 0.01);
+  EXPECT_GT(small.participation, full.participation);
+}
+
+// One shared tiny study exercises the whole measurement pipeline.
+class MeasurePipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::StudyConfig config;
+    config.seed = 7;
+    config.scale = 0.004;  // ~0.6 days, a few hundred experiments
+    config.world.seed = 7;
+    study_ = new core::Study(config);
+    study_->run();
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    study_ = nullptr;
+  }
+  static core::Study* study_;
+};
+
+core::Study* MeasurePipelineTest::study_ = nullptr;
+
+TEST_F(MeasurePipelineTest, FleetMatchesTableOne) {
+  EXPECT_EQ(study_->fleet().device_count(), 158u);
+}
+
+TEST_F(MeasurePipelineTest, ExperimentsProduced) {
+  EXPECT_GT(study_->dataset().experiments.size(), 50u);
+}
+
+TEST_F(MeasurePipelineTest, ResolutionCountsPerExperiment) {
+  // 9 domains x 3 resolver kinds x 2 lookups = 54 per experiment, plus
+  // possible failures still recorded.
+  const auto& d = study_->dataset();
+  EXPECT_EQ(d.resolutions.size(), d.experiments.size() * 54u);
+}
+
+TEST_F(MeasurePipelineTest, SecondLookupsAreFasterTypically) {
+  const auto& d = study_->dataset();
+  double first_sum = 0.0;
+  double second_sum = 0.0;
+  size_t first_n = 0;
+  size_t second_n = 0;
+  for (const auto& r : d.resolutions) {
+    if (!r.responded || r.resolver != ResolverKind::kLocal) continue;
+    if (r.second_lookup) {
+      second_sum += r.resolution_ms;
+      ++second_n;
+    } else {
+      first_sum += r.resolution_ms;
+      ++first_n;
+    }
+  }
+  ASSERT_GT(first_n, 0u);
+  ASSERT_GT(second_n, 0u);
+  EXPECT_LT(second_sum / second_n, first_sum / first_n);
+}
+
+TEST_F(MeasurePipelineTest, ExperimentContextsPopulated) {
+  for (const auto& context : study_->dataset().experiments) {
+    EXPECT_LT(context.carrier_index, 6);
+    EXPECT_FALSE(context.public_ip.is_unspecified());
+    EXPECT_FALSE(context.configured_resolver.is_unspecified());
+  }
+}
+
+TEST_F(MeasurePipelineTest, ReplicaProbesComeInPingHttpPairs) {
+  const auto& d = study_->dataset();
+  size_t ping = 0;
+  size_t http = 0;
+  for (const auto& probe : d.probes) {
+    if (probe.target_kind != ProbeTargetKind::kReplica) continue;
+    (probe.is_http ? http : ping) += 1;
+  }
+  EXPECT_EQ(ping, http);
+  EXPECT_GT(ping, 0u);
+}
+
+TEST_F(MeasurePipelineTest, ResolverObservationsIdentifyExternals) {
+  const auto& d = study_->dataset();
+  size_t responded = 0;
+  for (const auto& observation : d.resolver_observations) {
+    if (observation.responded) {
+      ++responded;
+      EXPECT_FALSE(observation.external_ip.is_unspecified());
+    }
+  }
+  // Identification works through every resolver kind almost always.
+  EXPECT_GT(responded, d.resolver_observations.size() * 9 / 10);
+}
+
+TEST_F(MeasurePipelineTest, ObservedLocalExternalsBelongToCarrier) {
+  const auto& d = study_->dataset();
+  for (const auto& observation : d.resolver_observations) {
+    if (observation.resolver != ResolverKind::kLocal || !observation.responded) {
+      continue;
+    }
+    const auto& context = d.context_of(observation.experiment_id);
+    auto& carrier = study_->world().carrier(
+        static_cast<size_t>(context.carrier_index));
+    bool found = false;
+    for (const auto& resolver : carrier.external_resolvers()) {
+      found |= resolver->ip() == observation.external_ip;
+    }
+    EXPECT_TRUE(found) << observation.external_ip.to_string();
+  }
+}
+
+TEST_F(MeasurePipelineTest, GoogleObservationsLandInGoogleSites) {
+  const auto& d = study_->dataset();
+  std::set<uint32_t> google_prefixes;
+  for (const auto& site : study_->world().google_dns().sites()) {
+    google_prefixes.insert(site.prefix.address().value());
+  }
+  for (const auto& observation : d.resolver_observations) {
+    if (observation.resolver != ResolverKind::kGoogle || !observation.responded) {
+      continue;
+    }
+    EXPECT_TRUE(
+        google_prefixes.count(observation.external_ip.slash24().value()));
+  }
+}
+
+TEST_F(MeasurePipelineTest, TraceroutesRecorded) {
+  const auto& d = study_->dataset();
+  EXPECT_GT(d.traceroutes.size(), 0u);
+  size_t with_gateway_first = 0;
+  size_t nonempty = 0;
+  for (const auto& trace : d.traceroutes) {
+    if (trace.hop_names.empty()) continue;
+    ++nonempty;
+    const auto& context = d.context_of(trace.experiment_id);
+    const auto& carrier_name =
+        cellular::study_carriers()[static_cast<size_t>(context.carrier_index)]
+            .name;
+    if (trace.hop_names.front().rfind(carrier_name, 0) == 0) {
+      ++with_gateway_first;
+    }
+  }
+  ASSERT_GT(nonempty, 0u);
+  EXPECT_EQ(with_gateway_first, nonempty);  // PGW is always the first hop
+}
+
+TEST_F(MeasurePipelineTest, VantageProbesCoverObservedResolvers) {
+  EXPECT_GT(study_->dataset().vantage_probes.size(), 0u);
+}
+
+TEST_F(MeasurePipelineTest, DeterministicForSeed) {
+  core::StudyConfig config;
+  config.seed = 7;
+  config.scale = 0.004;
+  config.world.seed = 7;
+  core::Study replay(config);
+  replay.run();
+  const auto& a = study_->dataset();
+  const auto& b = replay.dataset();
+  ASSERT_EQ(a.experiments.size(), b.experiments.size());
+  ASSERT_EQ(a.resolutions.size(), b.resolutions.size());
+  for (size_t i = 0; i < a.resolutions.size(); i += 97) {
+    EXPECT_DOUBLE_EQ(a.resolutions[i].resolution_ms,
+                     b.resolutions[i].resolution_ms);
+  }
+}
+
+}  // namespace
+}  // namespace curtain::measure

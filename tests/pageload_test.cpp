@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/world.h"
+#include "measure/pageload.h"
+
+namespace curtain::measure {
+namespace {
+
+class PageLoadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = new core::World(); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static core::World* world_;
+  net::Rng rng_{808};
+
+  net::Ipv4Addr a_replica() {
+    return world_->cdn("curtaincdn").clusters().front().replica_ips[0];
+  }
+  ProbeOrigin wired_origin() {
+    return ProbeOrigin{world_->vantage_node(), world_->vantage_ip(), 0.0};
+  }
+};
+
+core::World* PageLoadTest::world_ = nullptr;
+
+TEST_F(PageLoadTest, DownlinkOrderedByGeneration) {
+  EXPECT_GT(downlink_mbps(cellular::RadioTech::kLte),
+            downlink_mbps(cellular::RadioTech::kHspap));
+  EXPECT_GT(downlink_mbps(cellular::RadioTech::kHspap),
+            downlink_mbps(cellular::RadioTech::kUmts));
+  EXPECT_GT(downlink_mbps(cellular::RadioTech::kUmts),
+            downlink_mbps(cellular::RadioTech::kGprs));
+}
+
+TEST_F(PageLoadTest, LoadCompletesAndDecomposes) {
+  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  const auto outcome =
+      plt.load(wired_origin(), a_replica(), cellular::RadioTech::kLte, 40.0,
+               PageSpec::mobile_default(), net::SimTime::zero(), rng_);
+  ASSERT_TRUE(outcome.completed);
+  // 28 objects over 6 connections = 5 waves.
+  EXPECT_EQ(outcome.waves, 5);
+  EXPECT_GT(outcome.plt_ms, 40.0);              // at least the DNS share
+  EXPECT_GT(outcome.plt_ms, outcome.transfer_ms);  // RTTs add on top
+}
+
+TEST_F(PageLoadTest, SlowerRadioSlowerPage) {
+  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  const auto page = PageSpec::mobile_default();
+  double lte_sum = 0.0;
+  double g2_sum = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    lte_sum += plt.load(wired_origin(), a_replica(), cellular::RadioTech::kLte,
+                        40.0, page, net::SimTime::zero(), rng_)
+                   .plt_ms;
+    g2_sum += plt.load(wired_origin(), a_replica(), cellular::RadioTech::kGprs,
+                       40.0, page, net::SimTime::zero(), rng_)
+                  .plt_ms;
+  }
+  EXPECT_GT(g2_sum, lte_sum * 5.0);  // 2G transfers dominate everything
+}
+
+TEST_F(PageLoadTest, FartherReplicaSlowerPage) {
+  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  const auto& provider = world_->cdn("curtaincdn");
+  // Vantage is near Chicago; compare the Chicago cluster vs Seoul.
+  const auto& near = provider.nearest_cluster({42.05, -87.68}, "US");
+  const auto& far = provider.nearest_cluster({37.57, 126.98}, "KR");
+  double near_sum = 0.0;
+  double far_sum = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    near_sum += plt.load(wired_origin(), near.replica_ips[0],
+                         cellular::RadioTech::kLte, 40.0,
+                         PageSpec::mobile_default(), net::SimTime::zero(), rng_)
+                    .plt_ms;
+    far_sum += plt.load(wired_origin(), far.replica_ips[0],
+                        cellular::RadioTech::kLte, 40.0,
+                        PageSpec::mobile_default(), net::SimTime::zero(), rng_)
+                   .plt_ms;
+  }
+  // 6 request waves each paying a trans-Pacific RTT add up.
+  EXPECT_GT(far_sum / 10.0, near_sum / 10.0 + 500.0);
+}
+
+TEST_F(PageLoadTest, UnknownReplicaFails) {
+  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  const auto outcome =
+      plt.load(wired_origin(), net::Ipv4Addr{203, 0, 113, 222},
+               cellular::RadioTech::kLte, 40.0, PageSpec::mobile_default(),
+               net::SimTime::zero(), rng_);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_DOUBLE_EQ(outcome.plt_ms, 0.0);
+}
+
+TEST_F(PageLoadTest, MoreObjectsMoreWaves) {
+  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  PageSpec heavy;
+  heavy.num_objects = 60;
+  const auto outcome =
+      plt.load(wired_origin(), a_replica(), cellular::RadioTech::kLte, 40.0,
+               heavy, net::SimTime::zero(), rng_);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.waves, 10);
+}
+
+}  // namespace
+}  // namespace curtain::measure

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/report.h"
+#include "core/study.h"
+
+namespace curtain::analysis {
+namespace {
+
+TEST(Report, GeneratesAllSections) {
+  core::StudyConfig config;
+  config.seed = 99;
+  config.scale = 0.003;
+  config.world.seed = 99;
+  core::Study study(config);
+  study.run();
+
+  std::ostringstream out;
+  ReportConfig report_config;
+  report_config.scale = config.scale;
+  report_config.seed = config.seed;
+  write_report(study.dataset(), report_config, out);
+  const std::string text = out.str();
+
+  for (const char* needle :
+       {"# EXPERIMENTS", "Table 1", "Table 2", "Figure 2", "Figure 3",
+        "Table 3", "Figure 4", "Figures 5/6", "Figure 7", "Table 4",
+        "Figures 8/9", "Figure 10", "Section 5.2", "Table 5", "Figure 11",
+        "Figure 12", "Figure 13", "Figure 14", "Measured headline"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  // Every carrier appears.
+  for (const char* carrier :
+       {"AT&T", "Sprint", "T-Mobile", "Verizon", "SK Telecom", "LG U+"}) {
+    EXPECT_NE(text.find(carrier), std::string::npos) << carrier;
+  }
+  // Markdown tables are well-formed (every table row starts and ends with |).
+  size_t table_rows = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.front() == '|') {
+      EXPECT_EQ(line.back(), '|') << line;
+      ++table_rows;
+    }
+  }
+  EXPECT_GT(table_rows, 60u);
+}
+
+}  // namespace
+}  // namespace curtain::analysis

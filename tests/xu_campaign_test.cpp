@@ -1,0 +1,71 @@
+// End-to-end campaign through the 3G-era baseline world: the whole
+// measurement pipeline must work against alternate carrier sets, and the
+// era's signature properties (slow radio, few egress points) must show in
+// the dataset.
+#include <gtest/gtest.h>
+
+#include "analysis/figures.h"
+#include "core/study.h"
+
+namespace curtain {
+namespace {
+
+class XuCampaignTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::StudyConfig config;
+    config.seed = 314;
+    config.scale = 0.01;
+    config.world.seed = config.seed;
+    config.world.carrier_profiles = cellular::xu_era_carriers();
+    study_ = new core::Study(config);
+    study_->run();
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    study_ = nullptr;
+  }
+  static core::Study* study_;
+};
+
+core::Study* XuCampaignTest::study_ = nullptr;
+
+TEST_F(XuCampaignTest, FleetSizedByXuProfiles) {
+  // Four US carriers: 33 + 9 + 31 + 64 devices.
+  EXPECT_EQ(study_->fleet().device_count(), 137u);
+  EXPECT_GT(study_->dataset().experiments.size(), 200u);
+}
+
+TEST_F(XuCampaignTest, NoLteAnywhere) {
+  for (const auto& context : study_->dataset().experiments) {
+    EXPECT_NE(context.radio, cellular::RadioTech::kLte);
+  }
+}
+
+TEST_F(XuCampaignTest, ResolutionTimes3GClass) {
+  // Medians sit far above the LTE era's 40-55 ms.
+  const auto group =
+      analysis::fig5_fig6_resolution_times(study_->dataset(), "US");
+  for (const auto& [carrier, cdf] : group) {
+    EXPECT_GT(cdf.median(), 90.0) << carrier;
+  }
+}
+
+TEST_F(XuCampaignTest, FewEgressPointsDiscovered) {
+  const auto stats = analysis::egress_points(study_->dataset());
+  for (const auto& row : stats) {
+    if (row.egress_points == 0) continue;  // KR rows are empty here
+    EXPECT_LE(row.egress_points, 6u);  // Xu et al.'s 4-6
+  }
+}
+
+TEST_F(XuCampaignTest, PipelineStillIdentifiesResolvers) {
+  size_t responded = 0;
+  for (const auto& observation : study_->dataset().resolver_observations) {
+    responded += observation.responded ? 1 : 0;
+  }
+  EXPECT_GT(responded, study_->dataset().resolver_observations.size() / 2);
+}
+
+}  // namespace
+}  // namespace curtain
