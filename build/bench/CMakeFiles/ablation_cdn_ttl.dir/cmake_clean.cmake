@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cdn_ttl.dir/ablation_cdn_ttl.cpp.o"
+  "CMakeFiles/ablation_cdn_ttl.dir/ablation_cdn_ttl.cpp.o.d"
+  "ablation_cdn_ttl"
+  "ablation_cdn_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cdn_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ecs.dir/ablation_ecs.cpp.o"
+  "CMakeFiles/ablation_ecs.dir/ablation_ecs.cpp.o.d"
+  "ablation_ecs"
+  "ablation_ecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_3g_era.dir/baseline_3g_era.cpp.o"
+  "CMakeFiles/baseline_3g_era.dir/baseline_3g_era.cpp.o.d"
+  "baseline_3g_era"
+  "baseline_3g_era.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_3g_era.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

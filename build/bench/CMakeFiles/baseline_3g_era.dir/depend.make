@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_3g_era.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_page_load.dir/ext_page_load.cpp.o"
+  "CMakeFiles/ext_page_load.dir/ext_page_load.cpp.o.d"
+  "ext_page_load"
+  "ext_page_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_page_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

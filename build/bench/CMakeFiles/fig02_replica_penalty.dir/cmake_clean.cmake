@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_replica_penalty.dir/fig02_replica_penalty.cpp.o"
+  "CMakeFiles/fig02_replica_penalty.dir/fig02_replica_penalty.cpp.o.d"
+  "fig02_replica_penalty"
+  "fig02_replica_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_replica_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_radio_bands.dir/fig03_radio_bands.cpp.o"
+  "CMakeFiles/fig03_radio_bands.dir/fig03_radio_bands.cpp.o.d"
+  "fig03_radio_bands"
+  "fig03_radio_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_radio_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_radio_bands.
+# This may be replaced when dependencies are built.

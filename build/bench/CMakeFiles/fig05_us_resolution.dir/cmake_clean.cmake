@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_us_resolution.dir/fig05_us_resolution.cpp.o"
+  "CMakeFiles/fig05_us_resolution.dir/fig05_us_resolution.cpp.o.d"
+  "fig05_us_resolution"
+  "fig05_us_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_us_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

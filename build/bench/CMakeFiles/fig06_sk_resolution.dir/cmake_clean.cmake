@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_sk_resolution.dir/fig06_sk_resolution.cpp.o"
+  "CMakeFiles/fig06_sk_resolution.dir/fig06_sk_resolution.cpp.o.d"
+  "fig06_sk_resolution"
+  "fig06_sk_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_sk_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

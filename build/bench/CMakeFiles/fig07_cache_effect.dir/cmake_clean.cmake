@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cache_effect.dir/fig07_cache_effect.cpp.o"
+  "CMakeFiles/fig07_cache_effect.dir/fig07_cache_effect.cpp.o.d"
+  "fig07_cache_effect"
+  "fig07_cache_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cache_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

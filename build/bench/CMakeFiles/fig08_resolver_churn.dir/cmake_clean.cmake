@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_resolver_churn.dir/fig08_resolver_churn.cpp.o"
+  "CMakeFiles/fig08_resolver_churn.dir/fig08_resolver_churn.cpp.o.d"
+  "fig08_resolver_churn"
+  "fig08_resolver_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_resolver_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_static_clients.dir/fig09_static_clients.cpp.o"
+  "CMakeFiles/fig09_static_clients.dir/fig09_static_clients.cpp.o.d"
+  "fig09_static_clients"
+  "fig09_static_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_static_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_public_dns_distance.
+# This may be replaced when dependencies are built.

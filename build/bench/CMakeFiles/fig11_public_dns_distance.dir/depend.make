@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_public_dns_distance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_public_dns_resolution.dir/fig13_public_dns_resolution.cpp.o"
+  "CMakeFiles/fig13_public_dns_resolution.dir/fig13_public_dns_resolution.cpp.o.d"
+  "fig13_public_dns_resolution"
+  "fig13_public_dns_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_public_dns_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_public_dns_resolution.
+# This may be replaced when dependencies are built.

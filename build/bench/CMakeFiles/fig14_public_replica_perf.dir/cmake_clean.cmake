@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_public_replica_perf.dir/fig14_public_replica_perf.cpp.o"
+  "CMakeFiles/fig14_public_replica_perf.dir/fig14_public_replica_perf.cpp.o.d"
+  "fig14_public_replica_perf"
+  "fig14_public_replica_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_public_replica_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

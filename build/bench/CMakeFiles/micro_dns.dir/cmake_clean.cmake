@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dns.dir/micro_dns.cpp.o"
+  "CMakeFiles/micro_dns.dir/micro_dns.cpp.o.d"
+  "micro_dns"
+  "micro_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

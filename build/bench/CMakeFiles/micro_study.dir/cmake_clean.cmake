@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_study.dir/micro_study.cpp.o"
+  "CMakeFiles/micro_study.dir/micro_study.cpp.o.d"
+  "micro_study"
+  "micro_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_ip_geolocation.dir/sec22_ip_geolocation.cpp.o"
+  "CMakeFiles/sec22_ip_geolocation.dir/sec22_ip_geolocation.cpp.o.d"
+  "sec22_ip_geolocation"
+  "sec22_ip_geolocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_ip_geolocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

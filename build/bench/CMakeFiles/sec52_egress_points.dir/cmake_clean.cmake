@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_egress_points.dir/sec52_egress_points.cpp.o"
+  "CMakeFiles/sec52_egress_points.dir/sec52_egress_points.cpp.o.d"
+  "sec52_egress_points"
+  "sec52_egress_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_egress_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

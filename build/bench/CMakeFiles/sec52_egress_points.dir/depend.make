@@ -1,0 +1,2 @@
+# Empty dependencies file for sec52_egress_points.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_clients.dir/table1_clients.cpp.o"
+  "CMakeFiles/table1_clients.dir/table1_clients.cpp.o.d"
+  "table1_clients"
+  "table1_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

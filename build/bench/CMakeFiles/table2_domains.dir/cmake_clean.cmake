@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_domains.dir/table2_domains.cpp.o"
+  "CMakeFiles/table2_domains.dir/table2_domains.cpp.o.d"
+  "table2_domains"
+  "table2_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

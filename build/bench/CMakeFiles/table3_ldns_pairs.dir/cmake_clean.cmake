@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ldns_pairs.dir/table3_ldns_pairs.cpp.o"
+  "CMakeFiles/table3_ldns_pairs.dir/table3_ldns_pairs.cpp.o.d"
+  "table3_ldns_pairs"
+  "table3_ldns_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ldns_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

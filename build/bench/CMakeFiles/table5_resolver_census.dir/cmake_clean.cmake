@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_resolver_census.dir/table5_resolver_census.cpp.o"
+  "CMakeFiles/table5_resolver_census.dir/table5_resolver_census.cpp.o.d"
+  "table5_resolver_census"
+  "table5_resolver_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_resolver_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_operator.dir/cdn_operator.cpp.o"
+  "CMakeFiles/cdn_operator.dir/cdn_operator.cpp.o.d"
+  "cdn_operator"
+  "cdn_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

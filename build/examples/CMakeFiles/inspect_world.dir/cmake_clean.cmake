@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_world.dir/inspect_world.cpp.o"
+  "CMakeFiles/inspect_world.dir/inspect_world.cpp.o.d"
+  "inspect_world"
+  "inspect_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

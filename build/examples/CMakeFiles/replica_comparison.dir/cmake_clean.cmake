@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_comparison.dir/replica_comparison.cpp.o"
+  "CMakeFiles/replica_comparison.dir/replica_comparison.cpp.o.d"
+  "replica_comparison"
+  "replica_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_churn.dir/resolver_churn.cpp.o"
+  "CMakeFiles/resolver_churn.dir/resolver_churn.cpp.o.d"
+  "resolver_churn"
+  "resolver_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

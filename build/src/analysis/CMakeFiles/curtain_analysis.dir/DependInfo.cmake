@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/census.cpp" "src/analysis/CMakeFiles/curtain_analysis.dir/census.cpp.o" "gcc" "src/analysis/CMakeFiles/curtain_analysis.dir/census.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/curtain_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/curtain_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/figures.cpp" "src/analysis/CMakeFiles/curtain_analysis.dir/figures.cpp.o" "gcc" "src/analysis/CMakeFiles/curtain_analysis.dir/figures.cpp.o.d"
+  "/root/repo/src/analysis/ldns.cpp" "src/analysis/CMakeFiles/curtain_analysis.dir/ldns.cpp.o" "gcc" "src/analysis/CMakeFiles/curtain_analysis.dir/ldns.cpp.o.d"
+  "/root/repo/src/analysis/reach.cpp" "src/analysis/CMakeFiles/curtain_analysis.dir/reach.cpp.o" "gcc" "src/analysis/CMakeFiles/curtain_analysis.dir/reach.cpp.o.d"
+  "/root/repo/src/analysis/replica.cpp" "src/analysis/CMakeFiles/curtain_analysis.dir/replica.cpp.o" "gcc" "src/analysis/CMakeFiles/curtain_analysis.dir/replica.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/curtain_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/curtain_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/curtain_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/curtain_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/curtain_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/curtain_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/curtain_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/curtain_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/curtain_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/curtain_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_analysis.dir/census.cpp.o"
+  "CMakeFiles/curtain_analysis.dir/census.cpp.o.d"
+  "CMakeFiles/curtain_analysis.dir/export.cpp.o"
+  "CMakeFiles/curtain_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/curtain_analysis.dir/figures.cpp.o"
+  "CMakeFiles/curtain_analysis.dir/figures.cpp.o.d"
+  "CMakeFiles/curtain_analysis.dir/ldns.cpp.o"
+  "CMakeFiles/curtain_analysis.dir/ldns.cpp.o.d"
+  "CMakeFiles/curtain_analysis.dir/reach.cpp.o"
+  "CMakeFiles/curtain_analysis.dir/reach.cpp.o.d"
+  "CMakeFiles/curtain_analysis.dir/replica.cpp.o"
+  "CMakeFiles/curtain_analysis.dir/replica.cpp.o.d"
+  "CMakeFiles/curtain_analysis.dir/report.cpp.o"
+  "CMakeFiles/curtain_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/curtain_analysis.dir/stats.cpp.o"
+  "CMakeFiles/curtain_analysis.dir/stats.cpp.o.d"
+  "libcurtain_analysis.a"
+  "libcurtain_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

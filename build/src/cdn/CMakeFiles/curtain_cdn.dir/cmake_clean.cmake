@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_cdn.dir/cdn.cpp.o"
+  "CMakeFiles/curtain_cdn.dir/cdn.cpp.o.d"
+  "CMakeFiles/curtain_cdn.dir/domains.cpp.o"
+  "CMakeFiles/curtain_cdn.dir/domains.cpp.o.d"
+  "libcurtain_cdn.a"
+  "libcurtain_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellular/carrier.cpp" "src/cellular/CMakeFiles/curtain_cellular.dir/carrier.cpp.o" "gcc" "src/cellular/CMakeFiles/curtain_cellular.dir/carrier.cpp.o.d"
+  "/root/repo/src/cellular/carrier_profile.cpp" "src/cellular/CMakeFiles/curtain_cellular.dir/carrier_profile.cpp.o" "gcc" "src/cellular/CMakeFiles/curtain_cellular.dir/carrier_profile.cpp.o.d"
+  "/root/repo/src/cellular/device.cpp" "src/cellular/CMakeFiles/curtain_cellular.dir/device.cpp.o" "gcc" "src/cellular/CMakeFiles/curtain_cellular.dir/device.cpp.o.d"
+  "/root/repo/src/cellular/radio.cpp" "src/cellular/CMakeFiles/curtain_cellular.dir/radio.cpp.o" "gcc" "src/cellular/CMakeFiles/curtain_cellular.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/curtain_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/curtain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/curtain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_cellular.dir/carrier.cpp.o"
+  "CMakeFiles/curtain_cellular.dir/carrier.cpp.o.d"
+  "CMakeFiles/curtain_cellular.dir/carrier_profile.cpp.o"
+  "CMakeFiles/curtain_cellular.dir/carrier_profile.cpp.o.d"
+  "CMakeFiles/curtain_cellular.dir/device.cpp.o"
+  "CMakeFiles/curtain_cellular.dir/device.cpp.o.d"
+  "CMakeFiles/curtain_cellular.dir/radio.cpp.o"
+  "CMakeFiles/curtain_cellular.dir/radio.cpp.o.d"
+  "libcurtain_cellular.a"
+  "libcurtain_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_core.dir/study.cpp.o"
+  "CMakeFiles/curtain_core.dir/study.cpp.o.d"
+  "CMakeFiles/curtain_core.dir/world.cpp.o"
+  "CMakeFiles/curtain_core.dir/world.cpp.o.d"
+  "libcurtain_core.a"
+  "libcurtain_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/authoritative.cpp" "src/dns/CMakeFiles/curtain_dns.dir/authoritative.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/authoritative.cpp.o.d"
+  "/root/repo/src/dns/cache.cpp" "src/dns/CMakeFiles/curtain_dns.dir/cache.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/cache.cpp.o.d"
+  "/root/repo/src/dns/hierarchy.cpp" "src/dns/CMakeFiles/curtain_dns.dir/hierarchy.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/curtain_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/curtain_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/record.cpp" "src/dns/CMakeFiles/curtain_dns.dir/record.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/record.cpp.o.d"
+  "/root/repo/src/dns/resolver.cpp" "src/dns/CMakeFiles/curtain_dns.dir/resolver.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/resolver.cpp.o.d"
+  "/root/repo/src/dns/reverse.cpp" "src/dns/CMakeFiles/curtain_dns.dir/reverse.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/reverse.cpp.o.d"
+  "/root/repo/src/dns/stub.cpp" "src/dns/CMakeFiles/curtain_dns.dir/stub.cpp.o" "gcc" "src/dns/CMakeFiles/curtain_dns.dir/stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/curtain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/curtain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

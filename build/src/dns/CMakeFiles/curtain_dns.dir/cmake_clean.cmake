@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_dns.dir/authoritative.cpp.o"
+  "CMakeFiles/curtain_dns.dir/authoritative.cpp.o.d"
+  "CMakeFiles/curtain_dns.dir/cache.cpp.o"
+  "CMakeFiles/curtain_dns.dir/cache.cpp.o.d"
+  "CMakeFiles/curtain_dns.dir/hierarchy.cpp.o"
+  "CMakeFiles/curtain_dns.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/curtain_dns.dir/message.cpp.o"
+  "CMakeFiles/curtain_dns.dir/message.cpp.o.d"
+  "CMakeFiles/curtain_dns.dir/name.cpp.o"
+  "CMakeFiles/curtain_dns.dir/name.cpp.o.d"
+  "CMakeFiles/curtain_dns.dir/record.cpp.o"
+  "CMakeFiles/curtain_dns.dir/record.cpp.o.d"
+  "CMakeFiles/curtain_dns.dir/resolver.cpp.o"
+  "CMakeFiles/curtain_dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/curtain_dns.dir/reverse.cpp.o"
+  "CMakeFiles/curtain_dns.dir/reverse.cpp.o.d"
+  "CMakeFiles/curtain_dns.dir/stub.cpp.o"
+  "CMakeFiles/curtain_dns.dir/stub.cpp.o.d"
+  "libcurtain_dns.a"
+  "libcurtain_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

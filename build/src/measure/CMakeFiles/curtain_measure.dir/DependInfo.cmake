@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/experiment.cpp" "src/measure/CMakeFiles/curtain_measure.dir/experiment.cpp.o" "gcc" "src/measure/CMakeFiles/curtain_measure.dir/experiment.cpp.o.d"
+  "/root/repo/src/measure/fleet.cpp" "src/measure/CMakeFiles/curtain_measure.dir/fleet.cpp.o" "gcc" "src/measure/CMakeFiles/curtain_measure.dir/fleet.cpp.o.d"
+  "/root/repo/src/measure/pageload.cpp" "src/measure/CMakeFiles/curtain_measure.dir/pageload.cpp.o" "gcc" "src/measure/CMakeFiles/curtain_measure.dir/pageload.cpp.o.d"
+  "/root/repo/src/measure/probes.cpp" "src/measure/CMakeFiles/curtain_measure.dir/probes.cpp.o" "gcc" "src/measure/CMakeFiles/curtain_measure.dir/probes.cpp.o.d"
+  "/root/repo/src/measure/resolver_ident.cpp" "src/measure/CMakeFiles/curtain_measure.dir/resolver_ident.cpp.o" "gcc" "src/measure/CMakeFiles/curtain_measure.dir/resolver_ident.cpp.o.d"
+  "/root/repo/src/measure/vantage.cpp" "src/measure/CMakeFiles/curtain_measure.dir/vantage.cpp.o" "gcc" "src/measure/CMakeFiles/curtain_measure.dir/vantage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cellular/CMakeFiles/curtain_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/curtain_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/curtain_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/curtain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/curtain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_measure.dir/experiment.cpp.o"
+  "CMakeFiles/curtain_measure.dir/experiment.cpp.o.d"
+  "CMakeFiles/curtain_measure.dir/fleet.cpp.o"
+  "CMakeFiles/curtain_measure.dir/fleet.cpp.o.d"
+  "CMakeFiles/curtain_measure.dir/pageload.cpp.o"
+  "CMakeFiles/curtain_measure.dir/pageload.cpp.o.d"
+  "CMakeFiles/curtain_measure.dir/probes.cpp.o"
+  "CMakeFiles/curtain_measure.dir/probes.cpp.o.d"
+  "CMakeFiles/curtain_measure.dir/resolver_ident.cpp.o"
+  "CMakeFiles/curtain_measure.dir/resolver_ident.cpp.o.d"
+  "CMakeFiles/curtain_measure.dir/vantage.cpp.o"
+  "CMakeFiles/curtain_measure.dir/vantage.cpp.o.d"
+  "libcurtain_measure.a"
+  "libcurtain_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/clock.cpp" "src/net/CMakeFiles/curtain_net.dir/clock.cpp.o" "gcc" "src/net/CMakeFiles/curtain_net.dir/clock.cpp.o.d"
+  "/root/repo/src/net/geo.cpp" "src/net/CMakeFiles/curtain_net.dir/geo.cpp.o" "gcc" "src/net/CMakeFiles/curtain_net.dir/geo.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/curtain_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/curtain_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/net/CMakeFiles/curtain_net.dir/latency.cpp.o" "gcc" "src/net/CMakeFiles/curtain_net.dir/latency.cpp.o.d"
+  "/root/repo/src/net/rng.cpp" "src/net/CMakeFiles/curtain_net.dir/rng.cpp.o" "gcc" "src/net/CMakeFiles/curtain_net.dir/rng.cpp.o.d"
+  "/root/repo/src/net/time.cpp" "src/net/CMakeFiles/curtain_net.dir/time.cpp.o" "gcc" "src/net/CMakeFiles/curtain_net.dir/time.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/curtain_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/curtain_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/curtain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

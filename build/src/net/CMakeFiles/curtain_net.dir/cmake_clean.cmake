@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_net.dir/clock.cpp.o"
+  "CMakeFiles/curtain_net.dir/clock.cpp.o.d"
+  "CMakeFiles/curtain_net.dir/geo.cpp.o"
+  "CMakeFiles/curtain_net.dir/geo.cpp.o.d"
+  "CMakeFiles/curtain_net.dir/ipv4.cpp.o"
+  "CMakeFiles/curtain_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/curtain_net.dir/latency.cpp.o"
+  "CMakeFiles/curtain_net.dir/latency.cpp.o.d"
+  "CMakeFiles/curtain_net.dir/rng.cpp.o"
+  "CMakeFiles/curtain_net.dir/rng.cpp.o.d"
+  "CMakeFiles/curtain_net.dir/time.cpp.o"
+  "CMakeFiles/curtain_net.dir/time.cpp.o.d"
+  "CMakeFiles/curtain_net.dir/topology.cpp.o"
+  "CMakeFiles/curtain_net.dir/topology.cpp.o.d"
+  "libcurtain_net.a"
+  "libcurtain_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

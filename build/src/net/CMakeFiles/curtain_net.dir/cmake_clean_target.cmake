@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcurtain_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_publicdns.dir/public_dns.cpp.o"
+  "CMakeFiles/curtain_publicdns.dir/public_dns.cpp.o.d"
+  "libcurtain_publicdns.a"
+  "libcurtain_publicdns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_publicdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for curtain_publicdns.
+# This may be replaced when dependencies are built.

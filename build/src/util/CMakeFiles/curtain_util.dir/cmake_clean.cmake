@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curtain_util.dir/bytes.cpp.o"
+  "CMakeFiles/curtain_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/curtain_util.dir/csv.cpp.o"
+  "CMakeFiles/curtain_util.dir/csv.cpp.o.d"
+  "CMakeFiles/curtain_util.dir/flags.cpp.o"
+  "CMakeFiles/curtain_util.dir/flags.cpp.o.d"
+  "CMakeFiles/curtain_util.dir/logging.cpp.o"
+  "CMakeFiles/curtain_util.dir/logging.cpp.o.d"
+  "CMakeFiles/curtain_util.dir/strings.cpp.o"
+  "CMakeFiles/curtain_util.dir/strings.cpp.o.d"
+  "libcurtain_util.a"
+  "libcurtain_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curtain_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcurtain_util.a"
+)

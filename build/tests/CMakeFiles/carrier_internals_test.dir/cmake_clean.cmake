@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carrier_internals_test.dir/carrier_internals_test.cpp.o"
+  "CMakeFiles/carrier_internals_test.dir/carrier_internals_test.cpp.o.d"
+  "carrier_internals_test"
+  "carrier_internals_test.pdb"
+  "carrier_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carrier_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

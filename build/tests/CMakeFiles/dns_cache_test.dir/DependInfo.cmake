@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dns_cache_test.cpp" "tests/CMakeFiles/dns_cache_test.dir/dns_cache_test.cpp.o" "gcc" "tests/CMakeFiles/dns_cache_test.dir/dns_cache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/curtain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/curtain_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/curtain_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellular/CMakeFiles/curtain_cellular.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/curtain_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/publicdns/CMakeFiles/curtain_publicdns.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/curtain_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/curtain_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/curtain_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

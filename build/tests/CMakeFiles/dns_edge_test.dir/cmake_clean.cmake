@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_edge_test.dir/dns_edge_test.cpp.o"
+  "CMakeFiles/dns_edge_test.dir/dns_edge_test.cpp.o.d"
+  "dns_edge_test"
+  "dns_edge_test.pdb"
+  "dns_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_latency_test.dir/geo_latency_test.cpp.o"
+  "CMakeFiles/geo_latency_test.dir/geo_latency_test.cpp.o.d"
+  "geo_latency_test"
+  "geo_latency_test.pdb"
+  "geo_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

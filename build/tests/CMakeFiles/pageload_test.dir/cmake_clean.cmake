@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pageload_test.dir/pageload_test.cpp.o"
+  "CMakeFiles/pageload_test.dir/pageload_test.cpp.o.d"
+  "pageload_test"
+  "pageload_test.pdb"
+  "pageload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pageload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publicdns_test.dir/publicdns_test.cpp.o"
+  "CMakeFiles/publicdns_test.dir/publicdns_test.cpp.o.d"
+  "publicdns_test"
+  "publicdns_test.pdb"
+  "publicdns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publicdns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

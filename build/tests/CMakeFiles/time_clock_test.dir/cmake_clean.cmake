@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_clock_test.dir/time_clock_test.cpp.o"
+  "CMakeFiles/time_clock_test.dir/time_clock_test.cpp.o.d"
+  "time_clock_test"
+  "time_clock_test.pdb"
+  "time_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

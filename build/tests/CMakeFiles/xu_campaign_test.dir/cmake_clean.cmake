@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xu_campaign_test.dir/xu_campaign_test.cpp.o"
+  "CMakeFiles/xu_campaign_test.dir/xu_campaign_test.cpp.o.d"
+  "xu_campaign_test"
+  "xu_campaign_test.pdb"
+  "xu_campaign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xu_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/ipv4_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/time_clock_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_latency_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_name_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_message_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_server_test[1]_include.cmake")
+include("/root/repo/build/tests/cellular_test[1]_include.cmake")
+include("/root/repo/build/tests/cdn_test[1]_include.cmake")
+include("/root/repo/build/tests/publicdns_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ecs_test[1]_include.cmake")
+include("/root/repo/build/tests/export_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/pageload_test[1]_include.cmake")
+include("/root/repo/build/tests/carrier_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/reverse_test[1]_include.cmake")
+include("/root/repo/build/tests/net_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/xu_campaign_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Report.GeneratesAllSections]=]  /root/repo/build/tests/report_test [==[--gtest_filter=Report.GeneratesAllSections]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Report.GeneratesAllSections]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 300)
+set(  report_test_TESTS Report.GeneratesAllSections)
