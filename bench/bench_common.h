@@ -6,16 +6,63 @@
 #pragma once
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "analysis/figures.h"
 #include "core/study.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
 #include "util/flags.h"
 
 namespace curtain::bench {
+
+/// Wall-clock anchor for the whole bench process (first call wins).
+inline std::chrono::steady_clock::time_point& bench_start() {
+  static auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+/// Emits the bench's one-line machine-readable run record to stdout:
+/// name, wall-clock, and the headline obs counters. Greppable as
+/// `"bench_record"` from a loop over `build/bench/*`.
+inline void emit_json_record(const std::string& name) {
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - bench_start())
+          .count();
+  const auto snapshot = obs::metrics().snapshot();
+  static constexpr const char* kKeyCounters[] = {
+      "curtain_dns_queries_total",        "curtain_dns_cache_hits_total",
+      "curtain_cdn_mapping_lookups_total", "curtain_measure_experiments_total",
+      "curtain_measure_resolutions_total"};
+  std::string out = "{\"bench_record\":\"" + name + "\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"wall_ms\":%.1f", wall_ms);
+  out += buf;
+  for (const char* key : kKeyCounters) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                  static_cast<unsigned long long>(snapshot.counter_value(key)));
+    out += buf;
+  }
+  out += "}";
+  std::printf("%s\n", out.c_str());
+}
+
+/// Name registered by banner(); the atexit hook emits its record.
+inline std::string& bench_name() {
+  static std::string name;
+  return name;
+}
+
+namespace detail {
+inline void emit_record_at_exit() {
+  if (!bench_name().empty()) emit_json_record(bench_name());
+}
+}  // namespace detail
 
 /// When CURTAIN_BENCH_CSV_DIR is set, every CDF a bench prints is also
 /// written as `<dir>/<exp_id>.csv` (label,quantile,value rows) for
@@ -71,6 +118,11 @@ inline core::Study& study() {
 }
 
 inline void banner(const char* exp_id, const char* description) {
+  bench_start();
+  if (bench_name().empty()) {
+    bench_name() = exp_id;
+    std::atexit(detail::emit_record_at_exit);
+  }
   csv_sink() = std::make_unique<CsvSink>(exp_id);
   std::printf("================================================================\n");
   std::printf("%s — %s\n", exp_id, description);
@@ -108,5 +160,20 @@ inline void print_curves(const analysis::CdfGroup& group, int points = 11) {
     std::printf("\n");
   }
 }
+
+#ifdef BENCHMARK_BENCHMARK_H_
+/// main() body for the micro benches (include benchmark/benchmark.h before
+/// this header): runs google-benchmark, then emits the same one-line JSON
+/// run record the figure benches print.
+inline int run_micro_benchmarks(const char* name, int argc, char** argv) {
+  bench_start();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_json_record(name);
+  return 0;
+}
+#endif
 
 }  // namespace curtain::bench

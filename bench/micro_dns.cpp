@@ -3,6 +3,7 @@
 // performs millions of times.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "dns/hierarchy.h"
 #include "dns/resolver.h"
 
@@ -135,4 +136,6 @@ BENCHMARK(BM_CachedResolution);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return curtain::bench::run_micro_benchmarks("micro_dns", argc, argv);
+}

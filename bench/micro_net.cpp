@@ -2,6 +2,7 @@
 // routing and probe primitives.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "net/geo.h"
 #include "net/rng.h"
 #include "net/topology.h"
@@ -109,4 +110,6 @@ BENCHMARK(BM_Traceroute);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return curtain::bench::run_micro_benchmarks("micro_net", argc, argv);
+}

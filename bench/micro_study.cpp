@@ -2,6 +2,7 @@
 // experiment throughput — what bounds a CURTAIN_SCALE=1 run.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "cellular/device.h"
 #include "core/world.h"
 #include "dns/stub.h"
@@ -58,4 +59,6 @@ BENCHMARK(BM_SingleCellResolution);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return curtain::bench::run_micro_benchmarks("micro_study", argc, argv);
+}

@@ -51,7 +51,11 @@ void write_report(const Dataset& dataset, const ReportConfig& config,
       << dataset.total_probes() << " probes/traceroutes (paper: ~28k / 8.1M / "
          "2.4M at full scale)\n"
       << "- shape, not absolute numbers, is the reproduction target: the "
-         "substrate is a calibrated simulator, not the authors' fleet.\n";
+         "substrate is a calibrated simulator, not the authors' fleet.\n"
+      << "- set `CURTAIN_METRICS_OUT=<path>` on any run to dump the obs "
+         "metrics registry (per-layer counters, latency histograms, "
+         "per-phase wall-clock) as JSON — or Prometheus text with a "
+         "`.prom` path (DESIGN.md §9).\n";
 
   // --- Table 1 ---------------------------------------------------------
   section(out, "Table 1 — measurement clients per carrier");

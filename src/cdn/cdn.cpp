@@ -2,11 +2,34 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace curtain::cdn {
 namespace {
 
 using net::GeoPoint;
 using net::LatencyModel;
+
+struct CdnMetrics {
+  obs::Counter& lookups = obs::metrics().counter(
+      "curtain_cdn_mapping_lookups_total",
+      "replica-selection decisions made by CDN mapping systems");
+  obs::Counter& ecs_mapped = obs::metrics().counter(
+      "curtain_cdn_ecs_mapped_total",
+      "mapping decisions keyed on an EDNS client subnet");
+  obs::Counter& hinted = obs::metrics().counter(
+      "curtain_cdn_hinted_prefix_total",
+      "mapping decisions with a measurable (latency-mapped) prefix");
+  obs::Histogram& answer_size = obs::metrics().histogram(
+      "curtain_cdn_answer_size", obs::Histogram::small_count_buckets(),
+      "A records returned per CDN response");
+};
+
+CdnMetrics& cdn_metrics() {
+  static CdnMetrics metrics;
+  return metrics;
+}
 
 // How many A records one response carries; production CDNs typically
 // return a couple of addresses from the selected cluster.
@@ -178,6 +201,13 @@ std::vector<dns::ResourceRecord> CdnProvider::answer_query(
   // client; otherwise fall back to the resolver's address — the paper-era
   // status quo that mislocalizes cellular users.
   const net::Ipv4Addr map_key = ecs ? ecs->address : resolver_ip;
+  obs::ScopedSpan span("cdn_mapping", now.millis());
+  span.finish(now.millis());  // hop marker; cost charged by the transport
+  cdn_metrics().lookups.inc();
+  if (ecs) cdn_metrics().ecs_mapped.inc();
+  if (prefix_hints_.find(map_key.slash24().value()) != prefix_hints_.end()) {
+    cdn_metrics().hinted.inc();
+  }
   const ReplicaCluster& cluster = cluster_for_resolver(map_key);
   // Rotate through the cluster per (mapped /24, name, time bucket).
   const auto bucket = static_cast<uint64_t>(now.seconds() / kRotationBucketSeconds);
@@ -191,6 +221,7 @@ std::vector<dns::ResourceRecord> CdnProvider::answer_query(
     answers.push_back(dns::ResourceRecord::a(
         question.name, cluster.replica_ips[index], answer_ttl_s_));
   }
+  cdn_metrics().answer_size.observe(static_cast<double>(answers.size()));
   return answers;
 }
 

@@ -4,6 +4,8 @@
 
 #include "dns/message.h"
 #include "net/geo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace curtain::cellular {
 namespace {
@@ -33,6 +35,32 @@ constexpr double kColdPoolMachineP = 0.18;
 // Local processing when a client-facing instance answers from cache.
 constexpr double kClientCacheHitMs = 0.4;
 
+struct CarrierMetrics {
+  obs::Counter& client_queries = obs::metrics().counter(
+      "curtain_cell_client_queries_total",
+      "queries arriving at client-facing carrier resolvers");
+  obs::Counter& client_cache_hits = obs::metrics().counter(
+      "curtain_cell_client_cache_hits_total",
+      "queries answered from a client-facing instance cache");
+  obs::Counter& cold_pool = obs::metrics().counter(
+      "curtain_cell_cold_pool_machine_total",
+      "queries that hashed onto a cold pool machine (Fig. 7 misses)");
+  obs::Counter& forwards = obs::metrics().counter(
+      "curtain_cell_forwards_total",
+      "queries forwarded to an external-tier resolver");
+  obs::Counter& servfail = obs::metrics().counter(
+      "curtain_cell_servfail_total",
+      "queries failed inside the carrier (no external pair)");
+  obs::Counter& churn = obs::metrics().counter(
+      "curtain_cell_resolver_churn_total",
+      "pair selections that deviated from the sticky home resolver");
+};
+
+CarrierMetrics& carrier_metrics() {
+  static CarrierMetrics metrics;
+  return metrics;
+}
+
 }  // namespace
 
 // --- ClientFacingResolver ---------------------------------------------------
@@ -59,31 +87,41 @@ dns::ServedResponse ClientFacingResolver::handle_query(
   const dns::Question& question = query->questions.front();
   const net::NodeId instance = carrier_->client_instance_node(index_, source_ip);
   dns::Cache& cache = cache_for(instance);
+  carrier_metrics().client_queries.inc();
 
   // Serve from this instance's cache unless the query hashed onto a cold
   // pool machine.
   if (!rng.bernoulli(kColdPoolMachineP)) {
     if (auto hit = cache.lookup(question.name, question.type, now);
         hit && !hit->negative && !hit->records.empty()) {
+      carrier_metrics().client_cache_hits.inc();
+      obs::ScopedSpan span("cell_ldns_cache", now.millis());
+      span.finish(now.millis() + kClientCacheHitMs);
       dns::Message response = query->make_response();
       response.header.ra = true;
       response.answers = std::move(hit->records);
       return dns::ServedResponse{dns::encode(response), kClientCacheHitMs};
     }
+  } else {
+    carrier_metrics().cold_pool.inc();
   }
 
   auto selection = carrier_->select_pair(index_, source_ip, now, rng);
   if (selection.external == nullptr) {
+    carrier_metrics().servfail.inc();
     dns::Message failure = query->make_response();
     failure.header.rcode = dns::Rcode::kServFail;
     return dns::ServedResponse{dns::encode(failure), 0.0};
   }
+  carrier_metrics().forwards.inc();
+  obs::ScopedSpan span("forward_external", now.millis());
   dns::ServedResponse served =
       selection.external->handle_query(query_wire, source_ip, now, rng);
   // Forwarding leg: client-facing instance to the external resolver and
   // back. Collocated architectures (SK Telecom) contribute ~0 here.
   served.server_side_ms += carrier_->internal_forward_ms(
       selection.client_node, selection.external->node(), rng);
+  span.finish(now.millis() + served.server_side_ms);
 
   // Cache the whole answer chain under the question key (forwarder-style;
   // the TTL is the chain minimum, so short CDN TTLs dominate).
@@ -595,6 +633,7 @@ CellularNetwork::PairSelection CellularNetwork::select_pair(
     size_t alt = (draw >> 17) % candidates.size();
     if (candidates[alt] == home) alt = (alt + 1) % candidates.size();
     chosen = candidates[alt];
+    carrier_metrics().churn.inc();
   }
   selection.external = external_resolvers_[chosen].get();
   return selection;

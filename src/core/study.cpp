@@ -1,21 +1,39 @@
 #include "core/study.h"
 
+#include <chrono>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 namespace curtain::core {
+namespace {
+
+/// Real (not simulated) elapsed milliseconds since `start`.
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+}  // namespace
 
 StudyConfig StudyConfig::from_env() {
+  util::init_log_level_from_env();
   StudyConfig config;
   config.seed = util::study_seed();
   config.scale = util::campaign_scale();
   config.world.seed = config.seed;
+  config.metrics_out = util::env_string("CURTAIN_METRICS_OUT", "");
   return config;
 }
 
 Study::Study(StudyConfig config)
     : config_(config),
-      world_(std::make_unique<World>(config.world)),
       campaign_(measure::CampaignConfig::scaled(config.scale, config.seed)) {
+  const auto build_start = std::chrono::steady_clock::now();
+  world_ = std::make_unique<World>(config.world);
+  report_.add_phase("world_build", wall_ms_since(build_start));
   runner_ = std::make_unique<measure::ExperimentRunner>(
       &world_->topology(), &world_->registry(),
       measure::ResolverIdentifier(world_->research_apex()), config.experiment);
@@ -34,15 +52,35 @@ Study::~Study() = default;
 void Study::run() {
   if (ran_) return;
   ran_ = true;
+
+  const auto campaign_start = std::chrono::steady_clock::now();
   fleet_->run_campaign(dataset_);
+  report_.add_phase("campaign", wall_ms_since(campaign_start));
 
   // Table 4's sweep: probe every observed external resolver from the
   // wired vantage point at the end of the campaign.
+  const auto sweep_start = std::chrono::steady_clock::now();
   net::Rng vantage_rng(net::mix_key(config_.seed, net::hash_tag("vantage")));
   measure::VantageProber prober(&world_->topology(), &world_->registry(),
                                 world_->vantage_node(), world_->vantage_ip());
   prober.probe_observed_resolvers(
       dataset_, net::SimTime::from_days(campaign_.duration_days), vantage_rng);
+  report_.add_phase("vantage_sweep", wall_ms_since(sweep_start));
+
+  report_.add_total("experiments", static_cast<double>(dataset_.experiments.size()));
+  report_.add_total("resolutions", static_cast<double>(dataset_.resolutions.size()));
+  report_.add_total("probes", static_cast<double>(dataset_.total_probes()));
+  report_.add_total("traces", static_cast<double>(dataset_.resolution_traces.size()));
+
+  if (!config_.metrics_out.empty()) {
+    const bool ok = obs::write_metrics_file(config_.metrics_out,
+                                            obs::metrics().snapshot(), &report_);
+    if (!ok) {
+      CURTAIN_WARN() << "failed to write metrics to " << config_.metrics_out;
+    } else {
+      CURTAIN_INFO() << "wrote metrics to " << config_.metrics_out;
+    }
+  }
 }
 
 std::string Study::summary() const {
@@ -53,6 +91,7 @@ std::string Study::summary() const {
   out += " probes=" + std::to_string(dataset_.probes.size());
   out += " traceroutes=" + std::to_string(dataset_.traceroutes.size());
   out += " days=" + std::to_string(campaign_.duration_days);
+  if (!report_.empty()) out += report_.summary_suffix();
   return out;
 }
 

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/world.h"
 #include "measure/fleet.h"
 #include "measure/vantage.h"
+#include "obs/report.h"
 
 namespace curtain::core {
 
@@ -17,8 +19,12 @@ struct StudyConfig {
   double scale = 0.05;
   measure::ExperimentConfig experiment;
   WorldConfig world;
+  /// When non-empty, run() writes the metrics registry there on completion
+  /// (".prom" suffix: Prometheus text; anything else: JSON).
+  std::string metrics_out;
 
-  /// Reads CURTAIN_SEED / CURTAIN_SCALE from the environment.
+  /// Reads CURTAIN_SEED / CURTAIN_SCALE / CURTAIN_METRICS_OUT from the
+  /// environment and applies CURTAIN_LOG to the logger.
   static StudyConfig from_env();
 };
 
@@ -38,8 +44,12 @@ class Study {
   const StudyConfig& config() const { return config_; }
   const measure::CampaignConfig& campaign() const { return campaign_; }
 
-  /// One-line dataset summary (§3.1-style totals).
+  /// One-line dataset summary (§3.1-style totals), with per-phase
+  /// wall-clock appended once run() has completed.
   std::string summary() const;
+
+  /// Per-phase wall-clock and dataset totals; filled by run().
+  const obs::RunReport& report() const { return report_; }
 
  private:
   StudyConfig config_;
@@ -48,6 +58,7 @@ class Study {
   measure::CampaignConfig campaign_;
   std::unique_ptr<measure::Fleet> fleet_;
   measure::Dataset dataset_;
+  obs::RunReport report_;
   bool ran_ = false;
 };
 

@@ -1,5 +1,8 @@
 #include "dns/authoritative.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace curtain::dns {
 namespace {
 
@@ -126,6 +129,16 @@ ServedResponse AuthoritativeServer::handle_query(
     std::span<const uint8_t> query_wire, net::Ipv4Addr source_ip,
     net::SimTime now, net::Rng& rng) {
   ++queries_served_;
+  {
+    static obs::Counter& adns_queries = obs::metrics().counter(
+        "curtain_dns_authoritative_queries_total",
+        "queries answered by authoritative servers");
+    adns_queries.inc();
+  }
+  // Hop marker: server-side cost is charged by the caller's transport
+  // accounting, so the span is instantaneous in virtual time; it exists to
+  // show the hop (and to parent the CDN mapping span) in the trace tree.
+  obs::ScopedSpan span("authoritative", now.millis());
   ServedResponse served;
   const auto query = decode(query_wire);
   if (!query || query->questions.empty()) {
@@ -141,6 +154,7 @@ ServedResponse AuthoritativeServer::handle_query(
   answer_question(query->questions.front(), source_ip, query->ecs, now, rng,
                   response);
   served.wire = encode(response);
+  span.finish(now.millis());
   return served;
 }
 

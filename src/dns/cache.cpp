@@ -2,22 +2,52 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace curtain::dns {
+namespace {
+
+// Process-wide totals across every cache instance (recursive resolvers,
+// client-facing pool machines, public DNS sites); per-instance numbers
+// stay in CacheStats.
+struct CacheMetrics {
+  obs::Counter& hits = obs::metrics().counter(
+      "curtain_dns_cache_hits_total", "DNS cache lookups served from cache");
+  obs::Counter& misses = obs::metrics().counter(
+      "curtain_dns_cache_misses_total", "DNS cache lookups that missed");
+  obs::Counter& expired = obs::metrics().counter(
+      "curtain_dns_cache_expired_evictions_total",
+      "cache entries evicted on TTL expiry");
+  obs::Counter& capacity = obs::metrics().counter(
+      "curtain_dns_cache_capacity_evictions_total",
+      "cache entries evicted by the size cap");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::optional<CachedRrset> Cache::lookup(const DnsName& name, RRType type,
                                          net::SimTime now, uint32_t scope) {
   const auto it = entries_.find(Key{name, type, scope});
   if (it == entries_.end()) {
     ++stats_.misses;
+    cache_metrics().misses.inc();
     return std::nullopt;
   }
   if (it->second.expires <= now) {
     entries_.erase(it);
     ++stats_.expired_evictions;
     ++stats_.misses;
+    cache_metrics().expired.inc();
+    cache_metrics().misses.inc();
     return std::nullopt;
   }
   ++stats_.hits;
+  cache_metrics().hits.inc();
   CachedRrset aged = it->second;
   const auto elapsed_s =
       static_cast<uint32_t>((now - aged.inserted).seconds());
@@ -73,8 +103,10 @@ void Cache::evict_one(net::SimTime now) {
   }
   if (victim->second.expires <= now) {
     ++stats_.expired_evictions;
+    cache_metrics().expired.inc();
   } else {
     ++stats_.capacity_evictions;
+    cache_metrics().capacity.inc();
   }
   entries_.erase(victim);
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace curtain::dns {
 namespace {
 
@@ -10,6 +13,32 @@ constexpr size_t kMaxCnameChase = 8;
 constexpr size_t kMaxReferrals = 16;
 // Cost charged for a query that gets no reply before the client retries.
 constexpr double kTimeoutMs = 1000.0;
+
+struct ResolverMetrics {
+  obs::Counter& queries = obs::metrics().counter(
+      "curtain_dns_queries_total", "resolutions started by recursive resolvers");
+  obs::Counter& upstream = obs::metrics().counter(
+      "curtain_dns_upstream_queries_total",
+      "queries sent to upstream authoritative servers");
+  obs::Counter& timeouts = obs::metrics().counter(
+      "curtain_dns_upstream_timeouts_total",
+      "upstream queries charged the timeout cost (unknown/unreachable server)");
+  obs::Counter& nxdomain = obs::metrics().counter(
+      "curtain_dns_nxdomain_total", "resolutions ending NXDOMAIN");
+  obs::Counter& servfail = obs::metrics().counter(
+      "curtain_dns_servfail_total", "resolutions ending SERVFAIL");
+  obs::Counter& warm_hits = obs::metrics().counter(
+      "curtain_dns_warm_hits_total",
+      "cache misses converted to hits by the background-load model");
+  obs::Histogram& upstream_ms = obs::metrics().histogram(
+      "curtain_dns_recursion_ms", obs::Histogram::latency_ms_buckets(),
+      "upstream time spent per recursive resolution");
+};
+
+ResolverMetrics& resolver_metrics() {
+  static ResolverMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -41,17 +70,29 @@ ResolutionResult RecursiveResolver::resolve(const DnsName& name, RRType type,
                                             net::Ipv4Addr ecs_client) {
   ResolutionResult result;
   result.rcode = Rcode::kNoError;
+  if (!warming_) resolver_metrics().queries.inc();
+  obs::ScopedSpan span("recursion", now.millis());
   const uint32_t scope = (ecs_enabled_ && !ecs_client.is_unspecified())
                              ? ecs_client.slash24().value()
                              : 0;
   DnsName qname = name;
-  for (size_t chase = 0; chase <= kMaxCnameChase; ++chase) {
+  bool resolved = false;
+  for (size_t chase = 0; chase <= kMaxCnameChase && !resolved; ++chase) {
     const auto next =
         resolve_step(qname, type, now, rng, ecs_client, scope, result);
-    if (!next) return result;
-    qname = *next;
+    if (!next) resolved = true;
+    else qname = *next;
   }
-  result.rcode = Rcode::kServFail;  // CNAME chain too long
+  if (!resolved) result.rcode = Rcode::kServFail;  // CNAME chain too long
+  span.finish(now.millis() + result.upstream_ms);
+  if (!warming_) {
+    resolver_metrics().upstream_ms.observe(result.upstream_ms);
+    if (result.rcode == Rcode::kNxDomain) {
+      resolver_metrics().nxdomain.inc();
+    } else if (result.rcode == Rcode::kServFail) {
+      resolver_metrics().servfail.inc();
+    }
+  }
   return result;
 }
 
@@ -83,7 +124,11 @@ std::optional<DnsName> RecursiveResolver::resolve_step(
       (warm_hit_p_ > 0.0 || bg_interarrival_s_ > 0.0) &&
       (!warm_eligible_ || warm_eligible_(qname))) {
     warming_ = true;
+    // The shadow recursion models work other subscribers already did; its
+    // spans are not part of this client's resolution timeline.
+    obs::Tracer::instance().pause();
     ResolutionResult shadow = resolve(qname, type, now, rng);
+    obs::Tracer::instance().resume();
     warming_ = false;
     // Warm probability: fixed, or TTL-driven — an entry with TTL T that
     // background users re-fetch every I seconds is fresh a T/(T+I)
@@ -99,6 +144,8 @@ std::optional<DnsName> RecursiveResolver::resolve_step(
       result.upstream_ms += shadow.upstream_ms;
       result.upstream_queries += shadow.upstream_queries;
       result.from_cache = false;
+    } else {
+      resolver_metrics().warm_hits.inc();
     }
     result.rcode = shadow.rcode;
     for (auto& rr : shadow.answers) result.answers.push_back(std::move(rr));
@@ -133,14 +180,20 @@ std::optional<Message> RecursiveResolver::query_server(
     net::Ipv4Addr server_ip, const DnsName& qname, RRType type, net::SimTime now,
     net::Rng& rng, net::Ipv4Addr ecs_client, ResolutionResult& result) {
   ++result.upstream_queries;
+  resolver_metrics().upstream.inc();
+  obs::ScopedSpan span("upstream_query", now.millis() + result.upstream_ms);
   DnsServer* server = registry_->find(server_ip);
   if (server == nullptr) {
     result.upstream_ms += kTimeoutMs;
+    resolver_metrics().timeouts.inc();
+    span.finish(now.millis() + result.upstream_ms);
     return std::nullopt;
   }
   const auto rtt = topology_->transport_rtt_ms(node_, server->node(), rng);
   if (!rtt) {
     result.upstream_ms += kTimeoutMs;
+    resolver_metrics().timeouts.inc();
+    span.finish(now.millis() + result.upstream_ms);
     return std::nullopt;
   }
   Message query = Message::query(next_query_id_++, qname, type);
@@ -150,6 +203,7 @@ std::optional<Message> RecursiveResolver::query_server(
   const auto wire = encode(query);
   const ServedResponse served = server->handle_query(wire, ip_, now, rng);
   result.upstream_ms += *rtt + served.server_side_ms;
+  span.finish(now.millis() + result.upstream_ms);
   auto response = decode(served.wire);
   if (!response || response->header.id != query.header.id) return std::nullopt;
   return response;

@@ -1,5 +1,7 @@
 #include "dns/stub.h"
 
+#include "obs/trace.h"
+
 namespace curtain::dns {
 
 std::vector<net::Ipv4Addr> StubResult::addresses() const {
@@ -21,6 +23,14 @@ StubResult StubResolver::query(net::Ipv4Addr resolver_ip, const DnsName& name,
                                double extra_latency_ms) {
   StubResult result;
   result.total_ms = extra_latency_ms;
+  // Top-level trace decomposition: the client-observed resolution time is
+  // exactly radio_access + ldns (server-side work) + transport (stub↔LDNS
+  // round trip), so the depth-0 spans of a ResolutionTrace partition it.
+  const double t0 = now.millis();
+  {
+    obs::ScopedSpan access("radio_access", t0);
+    access.finish(t0 + extra_latency_ms);
+  }
   DnsServer* server = registry_->find(resolver_ip);
   if (server == nullptr) return result;
   const auto rtt =
@@ -29,10 +39,17 @@ StubResult StubResolver::query(net::Ipv4Addr resolver_ip, const DnsName& name,
 
   const Message query = Message::query(next_id_++, name, type);
   const auto wire = encode(query);
+  obs::ScopedSpan ldns("ldns", t0 + extra_latency_ms);
   const ServedResponse served = server->handle_query(wire, client_ip_, now, rng);
+  const double after_server = t0 + extra_latency_ms + served.server_side_ms;
+  ldns.finish(after_server);
   const auto response = decode(served.wire);
   if (!response || response->header.id != query.header.id) return result;
 
+  {
+    obs::ScopedSpan transport("transport", after_server);
+    transport.finish(after_server + *rtt);
+  }
   result.responded = true;
   result.rcode = response->header.rcode;
   result.answers = response->answers;

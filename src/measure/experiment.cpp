@@ -4,11 +4,37 @@
 
 #include "cdn/domains.h"
 #include "dns/stub.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace curtain::measure {
 namespace {
 
 net::SimTime ms(double v) { return net::SimTime::from_millis(v); }
+
+struct ExperimentMetrics {
+  obs::Counter& experiments = obs::metrics().counter(
+      "curtain_measure_experiments_total", "hourly experiment scripts executed");
+  obs::Counter& resolutions = obs::metrics().counter(
+      "curtain_measure_resolutions_total",
+      "timed domain resolutions recorded in the dataset");
+  obs::Counter& probes = obs::metrics().counter(
+      "curtain_measure_probes_total", "ping/HTTP probes recorded in the dataset");
+  obs::Counter& traceroutes = obs::metrics().counter(
+      "curtain_measure_traceroutes_total",
+      "traceroutes recorded in the dataset");
+  obs::Counter& traces = obs::metrics().counter(
+      "curtain_measure_traces_sampled_total",
+      "resolutions sampled for hop-by-hop tracing");
+  obs::Histogram& resolution_ms = obs::metrics().histogram(
+      "curtain_dns_resolution_ms", obs::Histogram::latency_ms_buckets(),
+      "client-observed resolution time of responded lookups (ms)");
+};
+
+ExperimentMetrics& experiment_metrics() {
+  static ExperimentMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -60,6 +86,7 @@ void ExperimentRunner::probe_target(cellular::Device& device,
     record.responded = ping.responded;
     record.rtt_ms = ping.rtt_ms;
     dataset.probes.push_back(std::move(record));
+    experiment_metrics().probes.inc();
     now += ms(ping.responded ? ping.rtt_ms : 1000.0);  // timeout cost
   }
   if (with_http) {
@@ -75,6 +102,7 @@ void ExperimentRunner::probe_target(cellular::Device& device,
     record.responded = http.responded;
     record.rtt_ms = http.ttfb_ms;
     dataset.probes.push_back(std::move(record));
+    experiment_metrics().probes.inc();
     now += ms(http.responded ? http.ttfb_ms : 2000.0);
   }
   if (rng.bernoulli(config_.traceroute_sample_p)) {
@@ -87,6 +115,7 @@ void ExperimentRunner::probe_target(cellular::Device& device,
     record.reached = trace.reached;
     record.hop_names = std::move(trace.hop_names);
     dataset.traceroutes.push_back(std::move(record));
+    experiment_metrics().traceroutes.inc();
     now += ms(50.0 * static_cast<double>(record.hop_names.size() + 1));
   }
 }
@@ -104,6 +133,12 @@ void ExperimentRunner::measure_domains(cellular::Device& device,
     // First lookup, then an immediate back-to-back repeat (Fig. 7).
     for (const bool second : {false, true}) {
       const double access = device.access_rtt_ms(now, rng);
+      // Every Nth resolution is traced hop-by-hop against virtual time.
+      const bool sampled =
+          config_.trace_sample_every != 0 &&
+          resolution_counter_++ % config_.trace_sample_every == 0;
+      obs::Tracer& tracer = obs::Tracer::instance();
+      const bool tracing = sampled && tracer.begin(now.millis());
       const dns::StubResult result =
           stub.query(resolver_ip, *host, dns::RRType::kA, now, rng, access);
       DnsMeasurement record;
@@ -114,6 +149,21 @@ void ExperimentRunner::measure_domains(cellular::Device& device,
       record.second_lookup = second;
       record.resolution_ms = result.responded ? result.total_ms : 5000.0;
       record.addresses = result.addresses();
+      if (tracing) {
+        obs::ResolutionTrace trace = tracer.end(now.millis() + result.total_ms);
+        // Attach only complete resolutions: the 5 s timeout sentinel is not
+        // decomposable into spans, so it would break the partition invariant.
+        if (result.responded) {
+          record.trace_index =
+              static_cast<int32_t>(dataset.resolution_traces.size());
+          dataset.resolution_traces.push_back(std::move(trace));
+          experiment_metrics().traces.inc();
+        }
+      }
+      experiment_metrics().resolutions.inc();
+      if (result.responded) {
+        experiment_metrics().resolution_ms.observe(result.total_ms);
+      }
       now += ms(record.resolution_ms);
 
       if (!second) {
@@ -171,6 +221,7 @@ net::SimTime ExperimentRunner::run(cellular::Device& device, int carrier_index,
                                    net::SimTime start, net::Rng& rng,
                                    Dataset& dataset) {
   const auto experiment_id = static_cast<uint32_t>(dataset.experiments.size());
+  experiment_metrics().experiments.inc();
   const cellular::DeviceSnapshot snapshot = device.begin_experiment(start, rng);
 
   ExperimentContext context;

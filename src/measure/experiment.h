@@ -26,6 +26,9 @@ struct ExperimentConfig {
   double traceroute_sample_p = 0.25;
   net::Ipv4Addr google_vip{8, 8, 8, 8};
   net::Ipv4Addr opendns_vip{208, 67, 222, 222};
+  /// Record a hop-by-hop ResolutionTrace for every Nth domain resolution
+  /// (0 disables tracing entirely).
+  uint32_t trace_sample_every = 64;
 };
 
 class ExperimentRunner {
@@ -64,6 +67,7 @@ class ExperimentRunner {
   ResolverIdentifier identifier_;
   ExperimentConfig config_;
   uint64_t ident_counter_ = 0;
+  uint64_t resolution_counter_ = 0;  ///< drives trace sampling
 };
 
 }  // namespace curtain::measure

@@ -4,8 +4,25 @@
 #include <functional>
 
 #include "net/geo.h"
+#include "obs/metrics.h"
 
 namespace curtain::measure {
+namespace {
+
+struct FleetMetrics {
+  obs::Gauge& devices = obs::metrics().gauge(
+      "curtain_fleet_devices", "devices enrolled in the campaign fleet");
+  obs::Counter& wakeups = obs::metrics().counter(
+      "curtain_fleet_wakeups_total",
+      "hourly device wake-ups (participation coin tosses)");
+};
+
+FleetMetrics& fleet_metrics() {
+  static FleetMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 CampaignConfig CampaignConfig::scaled(double scale, uint64_t seed) {
   CampaignConfig config;
@@ -39,6 +56,7 @@ Fleet::Fleet(std::vector<CarrierEntry> carriers, ExperimentRunner* runner,
       device_carrier_index_.push_back(entry.carrier_index);
     }
   }
+  fleet_metrics().devices.set(static_cast<double>(devices_.size()));
 }
 
 void Fleet::run_campaign(Dataset& dataset) {
@@ -61,6 +79,7 @@ void Fleet::run_campaign(Dataset& dataset) {
     auto wake = std::make_shared<std::function<void(net::SimTime)>>();
     *wake = [this, device, carrier_index, device_rng, wake, &queue, &dataset,
              horizon](net::SimTime at) {
+      fleet_metrics().wakeups.inc();
       if (device_rng->bernoulli(config_.participation)) {
         runner_->run(*device, carrier_index, at, *device_rng, dataset);
       }

@@ -15,6 +15,7 @@
 #include "net/geo.h"
 #include "net/ipv4.h"
 #include "net/time.h"
+#include "obs/trace.h"
 
 namespace curtain::measure {
 
@@ -45,6 +46,9 @@ struct DnsMeasurement {
   bool second_lookup = false;  ///< back-to-back repeat (Fig. 7)
   double resolution_ms = 0.0;
   std::vector<net::Ipv4Addr> addresses;
+  /// Index into Dataset::resolution_traces when this resolution was
+  /// sampled for hop-by-hop tracing; -1 otherwise.
+  int32_t trace_index = -1;
 };
 
 enum class ProbeTargetKind {
@@ -102,6 +106,9 @@ struct Dataset {
   std::vector<TracerouteMeasurement> traceroutes;
   std::vector<ResolverObservation> resolver_observations;
   std::vector<VantageProbe> vantage_probes;
+  /// Hop-by-hop virtual-time traces of sampled resolutions (see
+  /// DnsMeasurement::trace_index).
+  std::vector<obs::ResolutionTrace> resolution_traces;
 
   const ExperimentContext& context_of(uint32_t experiment_id) const {
     return experiments[experiment_id];

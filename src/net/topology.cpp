@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace curtain::net {
 namespace {
 
@@ -121,6 +123,15 @@ std::optional<double> Topology::transport_rtt_ms(NodeId from, NodeId to,
 }
 
 PingResult Topology::ping(NodeId from, NodeId to, Rng& rng) const {
+  static obs::Counter& pings = obs::metrics().counter(
+      "curtain_net_pings_total", "ping probes attempted across the topology");
+  static obs::Counter& firewalled = obs::metrics().counter(
+      "curtain_net_probes_firewalled_total",
+      "probes dropped at a NAT/firewall zone boundary");
+  static obs::Counter& unresponsive = obs::metrics().counter(
+      "curtain_net_probes_unresponsive_total",
+      "probes whose target declines to answer (reachability policy)");
+  pings.inc();
   PingResult result;
   const auto& path = route(from, to);
   if (path.empty()) {
@@ -129,6 +140,7 @@ PingResult Topology::ping(NodeId from, NodeId to, Rng& rng) const {
   }
   if (!nodes_[to].answers_ping_from(nodes_[from].owner_tag)) {
     result.failure = PingResult::Failure::kUnresponsive;
+    unresponsive.inc();
     return result;
   }
   const ZoneId origin_zone = nodes_[from].zone;
@@ -137,6 +149,7 @@ PingResult Topology::ping(NodeId from, NodeId to, Rng& rng) const {
     const NodeId next = path[i + 1];
     if (probe_blocked_at(origin_zone, next)) {
       result.failure = PingResult::Failure::kFirewalled;
+      firewalled.inc();
       return result;
     }
     const Link& link = link_between(path[i], next);

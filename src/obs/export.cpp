@@ -1,0 +1,136 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace curtain::obs {
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 &&
+      v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_help_type(std::string& out, const std::string& name,
+                      const std::string& help, const char* type) {
+  if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& row : snapshot.counters) {
+    append_help_type(out, row.name, row.help, "counter");
+    out += row.name + " " + std::to_string(row.value) + "\n";
+  }
+  for (const auto& row : snapshot.gauges) {
+    append_help_type(out, row.name, row.help, "gauge");
+    out += row.name + " " + num(row.value) + "\n";
+  }
+  for (const auto& row : snapshot.histograms) {
+    append_help_type(out, row.name, row.help, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < row.bounds.size(); ++i) {
+      cumulative += row.buckets[i];
+      out += row.name + "_bucket{le=\"" + num(row.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += row.name + "_bucket{le=\"+Inf\"} " + std::to_string(row.count) +
+           "\n";
+    out += row.name + "_sum " + num(row.sum) + "\n";
+    out += row.name + "_count " + std::to_string(row.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot, const RunReport* report) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& row : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(row.name) +
+           "\": " + std::to_string(row.value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& row : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(row.name) + "\": " + num(row.value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& row : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(row.name) + "\": {\"count\": " +
+           std::to_string(row.count) + ", \"sum\": " + num(row.sum) +
+           ", \"buckets\": [";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < row.bounds.size(); ++i) {
+      cumulative += row.buckets[i];
+      if (i > 0) out += ", ";
+      out += "{\"le\": " + num(row.bounds[i]) +
+             ", \"count\": " + std::to_string(cumulative) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }";
+  if (report != nullptr) {
+    out += ",\n  \"report\": {\n    \"phases\": [";
+    first = true;
+    for (const auto& phase : report->phases) {
+      out += first ? "" : ", ";
+      first = false;
+      out += "{\"name\": \"" + json_escape(phase.name) +
+             "\", \"wall_ms\": " + num(phase.wall_ms) + "}";
+    }
+    out += "],\n    \"totals\": {";
+    first = true;
+    for (const auto& [name, value] : report->totals) {
+      out += first ? "" : ", ";
+      first = false;
+      out += "\"" + json_escape(name) + "\": " + num(value);
+    }
+    out += "}\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool write_metrics_file(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const RunReport* report) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  const bool prometheus =
+      path.size() > 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  out << (prometheus ? to_prometheus_text(snapshot)
+                     : to_json(snapshot, report));
+  return out.good();
+}
+
+}  // namespace curtain::obs

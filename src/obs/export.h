@@ -1,0 +1,33 @@
+// curtain::obs — metric exporters.
+//
+// Two textual formats over one MetricsSnapshot, mirroring the
+// analysis/export.cpp convention of "plain text a human or external tool
+// can consume with zero dependencies":
+//   * Prometheus exposition text (HELP/TYPE lines, cumulative `le`
+//     histogram buckets) for scrape-style tooling;
+//   * a single JSON document for everything else (and for the
+//     CURTAIN_METRICS_OUT end-of-run export).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace curtain::obs {
+
+/// Prometheus text exposition of every registered metric.
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}
+/// plus a "report" object when `report` is given.
+std::string to_json(const MetricsSnapshot& snapshot,
+                    const RunReport* report = nullptr);
+
+/// Writes the end-of-run export to `path`: Prometheus text when the path
+/// ends in ".prom", JSON otherwise. Returns false on I/O failure.
+bool write_metrics_file(const std::string& path,
+                        const MetricsSnapshot& snapshot,
+                        const RunReport* report = nullptr);
+
+}  // namespace curtain::obs

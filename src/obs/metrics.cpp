@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace curtain::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::latency_ms_buckets() {
+  return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
+}
+
+std::vector<double> Histogram::small_count_buckets() {
+  return {1, 2, 3, 4, 6, 8, 16};
+}
+
+uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  for (const auto& row : counters) {
+    if (row.name == name) return row.value;
+  }
+  return 0;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaky: refs
+  return *registry;                                          // never dangle
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = counters_[name];
+  if (!entry.metric) {
+    entry.metric = std::make_unique<Counter>();
+    entry.help = help;
+  }
+  return *entry.metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = gauges_[name];
+  if (!entry.metric) {
+    entry.metric = std::make_unique<Gauge>();
+    entry.help = help;
+  }
+  return *entry.metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = histograms_[name];
+  if (!entry.metric) {
+    entry.metric = std::make_unique<Histogram>(std::move(bounds));
+    entry.help = help;
+  }
+  return *entry.metric;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, entry] : counters_) {
+    snap.counters.push_back({name, entry.help, entry.metric->value()});
+  }
+  for (const auto& [name, entry] : gauges_) {
+    snap.gauges.push_back({name, entry.help, entry.metric->value()});
+  }
+  for (const auto& [name, entry] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.help = entry.help;
+    row.bounds = entry.metric->bounds();
+    for (size_t i = 0; i < entry.metric->num_buckets(); ++i) {
+      row.buckets.push_back(entry.metric->bucket(i));
+    }
+    row.count = entry.metric->count();
+    row.sum = entry.metric->sum();
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_for_tests() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : counters_) entry.metric->reset();
+  for (auto& [name, entry] : gauges_) entry.metric->reset();
+  for (auto& [name, entry] : histograms_) entry.metric->reset();
+}
+
+}  // namespace curtain::obs

@@ -1,0 +1,147 @@
+// curtain::obs — process-wide metrics registry.
+//
+// The simulator computes millions of resolutions per campaign; this is the
+// instrumentation that makes those runs inspectable: named counters,
+// gauges and fixed-bucket histograms that hot paths bump through lock-free
+// std::atomic operations. Registration is lazy (first use creates the
+// metric) and returned references are stable for the process lifetime, so
+// call sites cache them in function-local statics:
+//
+//   static obs::Counter& queries =
+//       obs::metrics().counter("curtain_dns_queries_total", "DNS lookups");
+//   queries.inc();
+//
+// Naming scheme: curtain_<layer>_<name>[_total] (see DESIGN.md §9).
+// reset_for_tests() zeroes every value but keeps the registered objects,
+// so cached references survive across test cases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace curtain::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can move both ways (sizes, configuration, last-seen).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// finite buckets (ascending); one implicit overflow bucket catches the
+/// rest. observe() is a linear scan over at most ~16 doubles plus two
+/// relaxed atomic adds — cheap enough for per-resolution paths.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Raw (non-cumulative) count of bucket `i`; i == bounds().size() is the
+  /// overflow bucket.
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  void reset();
+
+  /// 0.5 ms .. 5 s, the spread of one-resolution latencies in the study.
+  static std::vector<double> latency_ms_buckets();
+  /// 1 .. 16, for small set sizes (answer counts, replica sets).
+  static std::vector<double> small_count_buckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// A point-in-time copy of every registered metric, sorted by name — what
+/// the exporters and the run report consume.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name, help;
+    uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name, help;
+    double value = 0.0;
+  };
+  struct HistogramRow {
+    std::string name, help;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;  ///< raw counts; last entry = overflow
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+
+  /// Value of a counter by name; 0 when absent.
+  uint64_t counter_value(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every layer instruments against.
+  static MetricsRegistry& instance();
+
+  /// Finds or creates. References remain valid for the process lifetime.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// `bounds` applies on first registration only; later callers get the
+  /// existing histogram whatever its bounds.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric but keeps the objects (cached refs stay valid).
+  void reset_for_tests();
+
+ private:
+  MetricsRegistry() = default;
+
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> metric;
+    std::string help;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::instance().
+inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+}  // namespace curtain::obs

@@ -1,0 +1,62 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace curtain::obs {
+namespace {
+
+std::string format_value(double v) {
+  char buf[48];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void RunReport::add_phase(std::string name, double wall_ms) {
+  phases.push_back(Phase{std::move(name), wall_ms});
+}
+
+void RunReport::add_total(std::string name, double value) {
+  totals.emplace_back(std::move(name), value);
+}
+
+double RunReport::wall_ms_total() const {
+  double total = 0.0;
+  for (const auto& phase : phases) total += phase.wall_ms;
+  return total;
+}
+
+std::string RunReport::summary_suffix() const {
+  if (phases.empty()) return "";
+  std::string out = " | wall_ms:";
+  char buf[96];
+  for (const auto& phase : phases) {
+    std::snprintf(buf, sizeof(buf), " %s=%.0f", phase.name.c_str(),
+                  phase.wall_ms);
+    out += buf;
+  }
+  return out;
+}
+
+std::string RunReport::render() const {
+  std::string out = "run report\n";
+  char buf[128];
+  for (const auto& phase : phases) {
+    std::snprintf(buf, sizeof(buf), "  phase %-16s %10.1f ms\n",
+                  phase.name.c_str(), phase.wall_ms);
+    out += buf;
+  }
+  for (const auto& [name, value] : totals) {
+    std::snprintf(buf, sizeof(buf), "  %-24s %s\n", name.c_str(),
+                  format_value(value).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace curtain::obs

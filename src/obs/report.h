@@ -1,0 +1,35 @@
+// curtain::obs — end-of-run report.
+//
+// What Study::run() fills and study.summary() renders: wall-clock per
+// campaign phase plus the headline dataset totals, so every bench and
+// example answers "where did this run's time go?" without a profiler.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace curtain::obs {
+
+struct RunReport {
+  struct Phase {
+    std::string name;
+    double wall_ms = 0.0;
+  };
+  std::vector<Phase> phases;
+  /// Headline totals (records produced, key counters) in insertion order.
+  std::vector<std::pair<std::string, double>> totals;
+
+  void add_phase(std::string name, double wall_ms);
+  void add_total(std::string name, double value);
+  double wall_ms_total() const;
+  bool empty() const { return phases.empty() && totals.empty(); }
+
+  /// Compact one-line suffix for Study::summary():
+  /// " | wall_ms: campaign=812 vantage_sweep=31".
+  std::string summary_suffix() const;
+  /// Full multi-line human rendering.
+  std::string render() const;
+};
+
+}  // namespace curtain::obs

@@ -1,7 +1,9 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace curtain::util {
 namespace {
@@ -24,6 +26,34 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
+
+std::optional<LogLevel> parse_log_level(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void init_log_level_from_env() {
+  const char* raw = std::getenv("CURTAIN_LOG");
+  if (raw == nullptr) return;
+  const auto parsed = parse_log_level(raw);
+  if (parsed) {
+    set_log_level(*parsed);
+  } else {
+    log_line(LogLevel::kWarn,
+             std::string("CURTAIN_LOG=") + raw +
+                 " not understood; expected debug|info|warn|error|off");
+  }
+}
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;

@@ -4,6 +4,7 @@
 // not for correctness; default level is kWarn to keep bench output clean.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Sets the process-wide minimum level that will be emitted.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+std::optional<LogLevel> parse_log_level(const std::string& text);
+
+/// Applies CURTAIN_LOG from the environment (no-op when unset or invalid).
+void init_log_level_from_env();
 
 /// Emits one line to stderr if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);

@@ -4,6 +4,7 @@
 
 #include "analysis/figures.h"
 #include "core/study.h"
+#include "obs/metrics.h"
 
 namespace curtain {
 namespace {
@@ -34,6 +35,39 @@ TEST_F(StudyIntegrationTest, CampaignProducedSubstantialData) {
   EXPECT_GT(data().experiments.size(), 1000u);
   EXPECT_GT(data().resolutions.size(), 50000u);
   EXPECT_GT(data().probes.size(), 100000u);
+}
+
+// The obs registry saw the campaign: the headline counters every layer
+// bumps are all non-zero after a default run.
+TEST_F(StudyIntegrationTest, ObservabilityCountersPopulated) {
+  const auto snapshot = obs::metrics().snapshot();
+  EXPECT_GT(snapshot.counter_value("curtain_dns_queries_total"), 0u);
+  EXPECT_GT(snapshot.counter_value("curtain_dns_cache_hits_total"), 0u);
+  EXPECT_GT(snapshot.counter_value("curtain_cdn_mapping_lookups_total"), 0u);
+  EXPECT_GT(snapshot.counter_value("curtain_measure_experiments_total"), 0u);
+  EXPECT_GT(snapshot.counter_value("curtain_cell_client_queries_total"), 0u);
+  // And the report knows where the wall-clock went.
+  EXPECT_FALSE(study_->report().empty());
+  EXPECT_GT(study_->report().wall_ms_total(), 0.0);
+}
+
+// Sampled resolutions carry a hop-by-hop virtual-time trace whose
+// top-level spans partition the recorded resolution time exactly.
+TEST_F(StudyIntegrationTest, ResolutionTracesDecomposeLatency) {
+  ASSERT_FALSE(data().resolution_traces.empty());
+  size_t checked = 0;
+  for (const auto& row : data().resolutions) {
+    if (row.trace_index < 0) continue;
+    ASSERT_LT(static_cast<size_t>(row.trace_index),
+              data().resolution_traces.size());
+    const auto& trace =
+        data().resolution_traces[static_cast<size_t>(row.trace_index)];
+    ASSERT_GE(trace.spans.size(), 3u);
+    EXPECT_NEAR(trace.top_level_ms(), row.resolution_ms, 1e-6);
+    EXPECT_NEAR(trace.total_ms, row.resolution_ms, 1e-6);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
 }
 
 // §4.1 / Table 3: Verizon is the only carrier with 100% pairing

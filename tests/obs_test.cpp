@@ -1,0 +1,280 @@
+// curtain::obs unit tests: metric semantics, histogram bucket edges, the
+// virtual-time span tracer (driven by a fake clock) and the exporters.
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace curtain::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics().reset_for_tests();
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterIncrementsAndFindOrCreateIsStable) {
+  Counter& a = metrics().counter("obs_test_events_total", "help text");
+  EXPECT_EQ(a.value(), 0u);
+  a.inc();
+  a.inc(41);
+  EXPECT_EQ(a.value(), 42u);
+  // Same name returns the same object; help is first-registration-wins.
+  Counter& b = metrics().counter("obs_test_events_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 42u);
+}
+
+TEST_F(ObsTest, GaugeMovesBothWays) {
+  Gauge& g = metrics().gauge("obs_test_level");
+  g.set(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 5.25);
+}
+
+TEST_F(ObsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  Histogram& h = metrics().histogram("obs_test_ms", {1.0, 5.0, 10.0});
+  // Exactly at an edge lands in that edge's bucket (le semantics).
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (== 1)
+  h.observe(1.001); // bucket 1
+  h.observe(5.0);   // bucket 1 (== 5)
+  h.observe(9.0);   // bucket 2
+  h.observe(10.0);  // bucket 2 (== 10)
+  h.observe(11.0);  // overflow
+  h.observe(1e9);   // overflow
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 5.0 + 9.0 + 10.0 + 11.0 + 1e9);
+}
+
+TEST_F(ObsTest, StockBucketLayoutsAreSortedAndUnique) {
+  for (const auto& bounds :
+       {Histogram::latency_ms_buckets(), Histogram::small_count_buckets()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+TEST_F(ObsTest, ResetForTestsZeroesValuesButKeepsObjects) {
+  Counter& c = metrics().counter("obs_test_reset_total");
+  Gauge& g = metrics().gauge("obs_test_reset_gauge");
+  Histogram& h = metrics().histogram("obs_test_reset_ms", {1.0});
+  c.inc(9);
+  g.set(3.0);
+  h.observe(0.5);
+  metrics().reset_for_tests();
+  // Cached references stay valid and read zero.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(&c, &metrics().counter("obs_test_reset_total"));
+}
+
+TEST_F(ObsTest, SnapshotCarriesNamesHelpAndValues) {
+  metrics().counter("obs_test_snap_total", "a counter").inc(3);
+  metrics().gauge("obs_test_snap_gauge").set(1.5);
+  metrics().histogram("obs_test_snap_ms", {2.0}).observe(1.0);
+  const MetricsSnapshot snap = metrics().snapshot();
+  EXPECT_EQ(snap.counter_value("obs_test_snap_total"), 3u);
+  EXPECT_EQ(snap.counter_value("not_registered"), 0u);
+  bool saw_histogram = false;
+  for (const auto& row : snap.histograms) {
+    if (row.name != "obs_test_snap_ms") continue;
+    saw_histogram = true;
+    ASSERT_EQ(row.buckets.size(), 2u);
+    EXPECT_EQ(row.buckets[0], 1u);
+    EXPECT_EQ(row.count, 1u);
+  }
+  EXPECT_TRUE(saw_histogram);
+}
+
+// --- Tracer, driven by a fake virtual clock ----------------------------
+
+TEST_F(ObsTest, SpanNestingAndPartition) {
+  Tracer& tracer = Tracer::instance();
+  double now = 1000.0;  // fake virtual clock, ms
+  ASSERT_TRUE(tracer.begin(now));
+  EXPECT_FALSE(tracer.begin(now));  // no nested traces
+
+  {
+    ScopedSpan access("radio_access", now);
+    access.finish(now += 40.0);
+  }
+  {
+    ScopedSpan ldns("ldns", now);
+    {
+      ScopedSpan recursion("recursion", now);
+      {
+        ScopedSpan upstream("upstream_query", now);
+        upstream.finish(now += 25.0);
+      }
+      recursion.finish(now += 5.0);
+    }
+    ldns.finish(now);
+  }
+  {
+    ScopedSpan transport("transport", now);
+    transport.finish(now += 30.0);
+  }
+
+  const ResolutionTrace trace = tracer.end(now);
+  ASSERT_EQ(trace.spans.size(), 5u);
+  EXPECT_STREQ(trace.spans[0].name, "radio_access");
+  EXPECT_EQ(trace.spans[0].depth, 0);
+  EXPECT_DOUBLE_EQ(trace.spans[0].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(trace.spans[0].duration_ms, 40.0);
+  EXPECT_STREQ(trace.spans[1].name, "ldns");
+  EXPECT_EQ(trace.spans[1].depth, 0);
+  EXPECT_STREQ(trace.spans[2].name, "recursion");
+  EXPECT_EQ(trace.spans[2].depth, 1);
+  EXPECT_STREQ(trace.spans[3].name, "upstream_query");
+  EXPECT_EQ(trace.spans[3].depth, 2);
+  EXPECT_DOUBLE_EQ(trace.spans[3].duration_ms, 25.0);
+  EXPECT_STREQ(trace.spans[4].name, "transport");
+  EXPECT_EQ(trace.spans[4].depth, 0);
+  EXPECT_DOUBLE_EQ(trace.spans[4].duration_ms, 30.0);
+  // Depth-0 spans partition the whole trace.
+  EXPECT_DOUBLE_EQ(trace.total_ms, 100.0);
+  EXPECT_DOUBLE_EQ(trace.top_level_ms(), trace.total_ms);
+  EXPECT_FALSE(trace.render().empty());
+}
+
+TEST_F(ObsTest, SpansAreNoOpsWithoutAnActiveTrace) {
+  Tracer& tracer = Tracer::instance();
+  {
+    ScopedSpan orphan("orphan", 0.0);
+    orphan.finish(10.0);
+  }
+  EXPECT_TRUE(tracer.recent().empty());
+  ASSERT_TRUE(tracer.begin(0.0));
+  const ResolutionTrace trace = tracer.end(5.0);
+  EXPECT_TRUE(trace.spans.empty());
+  EXPECT_DOUBLE_EQ(trace.total_ms, 5.0);
+}
+
+TEST_F(ObsTest, PauseSuppressesSpanCapture) {
+  Tracer& tracer = Tracer::instance();
+  ASSERT_TRUE(tracer.begin(0.0));
+  tracer.pause();
+  {
+    ScopedSpan shadow("warm_shadow", 0.0);
+    shadow.finish(50.0);
+  }
+  tracer.resume();
+  {
+    ScopedSpan real("real_work", 0.0);
+    real.finish(10.0);
+  }
+  const ResolutionTrace trace = tracer.end(10.0);
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_STREQ(trace.spans[0].name, "real_work");
+}
+
+TEST_F(ObsTest, AbandonedSpansCloseZeroDuration) {
+  Tracer& tracer = Tracer::instance();
+  ASSERT_TRUE(tracer.begin(0.0));
+  {
+    ScopedSpan dropped("early_return", 2.0);
+    // No finish(): destructor closes it at its start.
+  }
+  const int left_open = tracer.open_span("left_open", 3.0);
+  (void)left_open;
+  const ResolutionTrace trace = tracer.end(9.0);
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.spans[0].duration_ms, 0.0);
+  EXPECT_DOUBLE_EQ(trace.spans[1].duration_ms, 0.0);
+  EXPECT_DOUBLE_EQ(trace.total_ms, 9.0);
+}
+
+TEST_F(ObsTest, RingKeepsLastTracesOldestFirst) {
+  Tracer& tracer = Tracer::instance();
+  tracer.set_ring_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tracer.begin(0.0));
+    tracer.end(static_cast<double>(i));
+  }
+  const auto recent = tracer.recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_DOUBLE_EQ(recent[0].total_ms, 2.0);
+  EXPECT_DOUBLE_EQ(recent[1].total_ms, 3.0);
+  EXPECT_DOUBLE_EQ(recent[2].total_ms, 4.0);
+  tracer.set_ring_capacity(256);  // restore the default for other tests
+}
+
+// --- Exporters ---------------------------------------------------------
+
+TEST_F(ObsTest, PrometheusTextFormat) {
+  metrics().counter("obs_test_prom_total", "events seen").inc(5);
+  metrics().gauge("obs_test_prom_gauge").set(2.5);
+  Histogram& h = metrics().histogram("obs_test_prom_ms", {1.0, 10.0}, "lat");
+  h.observe(0.5);
+  h.observe(0.7);
+  h.observe(4.0);
+  h.observe(99.0);
+  const std::string text = to_prometheus_text(metrics().snapshot());
+  EXPECT_NE(text.find("# HELP obs_test_prom_total events seen\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_gauge 2.5\n"), std::string::npos);
+  // Histogram buckets are cumulative and +Inf equals the count.
+  EXPECT_NE(text.find("obs_test_prom_ms_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_ms_bucket{le=\"10\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_ms_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_ms_count 4\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExportIncludesReport) {
+  metrics().counter("obs_test_json_total").inc(2);
+  RunReport report;
+  report.add_phase("campaign", 812.5);
+  report.add_total("experiments", 42);
+  const std::string json = to_json(metrics().snapshot(), &report);
+  EXPECT_NE(json.find("\"obs_test_json_total\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"campaign\", \"wall_ms\": 812.5}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"experiments\": 42"), std::string::npos);
+  // Without a report the key is absent entirely.
+  EXPECT_EQ(to_json(metrics().snapshot()).find("\"report\""),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, RunReportRendering) {
+  RunReport report;
+  EXPECT_TRUE(report.empty());
+  report.add_phase("world_build", 100.0);
+  report.add_phase("campaign", 900.0);
+  report.add_total("resolutions", 123456);
+  EXPECT_FALSE(report.empty());
+  EXPECT_DOUBLE_EQ(report.wall_ms_total(), 1000.0);
+  const std::string suffix = report.summary_suffix();
+  EXPECT_NE(suffix.find("world_build"), std::string::npos);
+  EXPECT_NE(suffix.find("campaign"), std::string::npos);
+  EXPECT_NE(report.render().find("resolutions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace curtain::obs
