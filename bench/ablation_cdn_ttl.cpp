@@ -19,12 +19,10 @@ int main() {
               "1st-lookup p50 (ms)", "1st-lookup p90 (ms)");
 
   for (const uint32_t ttl : {5u, 30u, 120u, 600u}) {
-    core::StudyConfig config;
-    config.seed = 424242;
-    config.scale = 0.01;
-    config.world.seed = config.seed;
-    config.world.cdn_answer_ttl_s = ttl;
-    core::Study study(config);
+    core::Study study(core::Scenario::paper_2014()
+                          .with_seed(424242)
+                          .with_scale(0.01)
+                          .with_cdn_answer_ttl(ttl));
     study.run();
 
     const auto groups = analysis::fig7_cache_effect(study.dataset());

@@ -33,7 +33,8 @@ struct Sample {
 Sample measure_path(core::World& world, size_t carrier_index,
                     net::Ipv4Addr resolver_ip, uint64_t seed) {
   auto& carrier = world.carrier(carrier_index);
-  measure::ProbeEngine probes(&world.topology(), &world.registry());
+  measure::ProbeEngine probes(
+      measure::WorldView{world.topology(), world.registry()});
   net::Rng rng(seed);
   Sample sample;
   const auto host = dns::DnsName::parse("m.yelp.com");
@@ -50,7 +51,7 @@ Sample measure_path(core::World& world, size_t carrier_index,
                                        ? snapshot.configured_resolver
                                        : resolver_ip;
       dns::StubResolver stub(device.gateway_node(), snapshot.public_ip,
-                             &world.topology(), &world.registry());
+                             world.topology(), world.registry());
       const auto result = stub.query(target, *host, dns::RRType::kA, now, rng);
       if (!result.responded || result.addresses().empty()) continue;
       const measure::ProbeOrigin origin{device.gateway_node(),
@@ -72,11 +73,8 @@ int main() {
   std::printf("================================================================\n");
   std::fprintf(stderr, "[bench] building baseline and ECS worlds...\n");
 
-  core::WorldConfig baseline_config;
-  core::World baseline(baseline_config);
-  core::WorldConfig ecs_config;
-  ecs_config.google_ecs = true;
-  core::World with_ecs(ecs_config);
+  core::World baseline(core::Scenario::paper_2014());
+  core::World with_ecs(core::Scenario::paper_2014().with_google_ecs(true));
 
   const net::Ipv4Addr google{8, 8, 8, 8};
   std::printf("  %-12s %12s %12s %12s\n", "Carrier", "cell LDNS",

@@ -28,7 +28,8 @@ struct EraStats {
 
 EraStats measure_era(core::World& world, uint64_t seed) {
   EraStats stats;
-  measure::ProbeEngine probes(&world.topology(), &world.registry());
+  measure::ProbeEngine probes(
+      measure::WorldView{world.topology(), world.registry()});
   auto& provider = world.cdn("curtaincdn");
   const auto host = dns::DnsName::parse("m.yelp.com");
   net::Rng rng(seed);
@@ -45,7 +46,7 @@ EraStats measure_era(core::World& world, uint64_t seed) {
         const auto now = net::SimTime::from_hours(hour);
         const auto snapshot = device.begin_experiment(now, rng);
         dns::StubResolver stub(device.gateway_node(), snapshot.public_ip,
-                               &world.topology(), &world.registry());
+                               world.topology(), world.registry());
         const double access = device.access_rtt_ms(now, rng);
         const auto result = stub.query(snapshot.configured_resolver, *host,
                                        dns::RRType::kA, now, rng, access);
@@ -106,9 +107,8 @@ int main() {
   std::printf("================================================================\n");
   std::fprintf(stderr, "[bench] building 3G-era and LTE worlds...\n");
 
-  core::WorldConfig xu_config;
-  xu_config.carrier_profiles = cellular::xu_era_carriers();
-  core::World xu_world(xu_config);
+  core::World xu_world(
+      core::Scenario::paper_2014().with_carriers(cellular::xu_era_carriers()));
   core::World lte_world;
 
   const EraStats g3 = measure_era(xu_world, 3);

@@ -106,10 +106,12 @@ inline std::unique_ptr<CsvSink>& csv_sink() {
 /// Builds, runs and returns the study for this bench process.
 inline core::Study& study() {
   static core::Study* instance = [] {
-    auto* s = new core::Study(core::StudyConfig::from_env());
-    std::fprintf(stderr, "[bench] running campaign: scale=%.3f seed=%llu ...\n",
-                 s->config().scale,
-                 static_cast<unsigned long long>(s->config().seed));
+    auto* s = new core::Study(core::Scenario::from_env());
+    std::fprintf(stderr,
+                 "[bench] running campaign: scale=%.3f seed=%llu shards=%d ...\n",
+                 s->scenario().scale,
+                 static_cast<unsigned long long>(s->scenario().seed),
+                 s->scenario().shards);
     s->run();
     std::fprintf(stderr, "[bench] campaign done: %s\n", s->summary().c_str());
     return s;

@@ -44,8 +44,9 @@ int main() {
   std::printf("================================================================\n");
 
   core::World world;
-  measure::PageLoadEstimator plt(&world.topology(), &world.registry());
-  measure::ProbeEngine probes(&world.topology(), &world.registry());
+  const measure::WorldView view{world.topology(), world.registry()};
+  measure::PageLoadEstimator plt(view);
+  measure::ProbeEngine probes(view);
   auto& provider = world.cdn("curtaincdn");
   const auto page = measure::PageSpec::mobile_default();
   net::Rng rng(net::hash_tag("ext-page-load"));

@@ -1,0 +1,69 @@
+// micro_shards — campaign-engine scaling sweep.
+//
+// Runs the same Scenario at shards=1,2,4 and reports the campaign-phase
+// wall-clock for each, plus the parallel speedup over the serial run.
+// Shards are per-carrier, so the ceiling is the largest carrier's share
+// of the device population (~2.5x for the six study carriers), not the
+// shard count. One `bench_record` JSON line is emitted per shard count.
+//
+// CURTAIN_SCALE (default 0.2 here — enough campaign work for threading
+// to dominate setup) and CURTAIN_SEED apply as everywhere else;
+// CURTAIN_SHARDS is ignored since the sweep sets shards itself.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/study.h"
+
+namespace {
+
+struct RunResult {
+  double campaign_ms = 0.0;
+  size_t experiments = 0;
+};
+
+RunResult run_at(const curtain::core::Scenario& base, int shards) {
+  curtain::core::Study study(curtain::core::Scenario(base).with_shards(shards));
+  study.run();
+  RunResult result;
+  result.experiments = study.dataset().experiments.size();
+  for (const auto& phase : study.report().phases) {
+    if (phase.name == "campaign") result.campaign_ms = phase.wall_ms;
+  }
+  std::printf(
+      "{\"bench_record\":\"micro_shards\",\"shards\":%d,"
+      "\"campaign_ms\":%.1f,\"experiments\":%zu}\n",
+      shards, result.campaign_ms, result.experiments);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  curtain::core::Scenario base = curtain::core::Scenario::from_env();
+  if (curtain::util::env_string("CURTAIN_SCALE", "").empty()) {
+    base.with_scale(0.2);
+  }
+  std::printf("================================================================\n");
+  std::printf("micro_shards — campaign engine scaling (scale=%.3f seed=%llu)\n",
+              base.scale, static_cast<unsigned long long>(base.seed));
+  std::printf("================================================================\n");
+
+  const RunResult serial = run_at(base, 1);
+  double best_ms = serial.campaign_ms;
+  for (const int shards : {2, 4}) {
+    const RunResult parallel = run_at(base, shards);
+    if (parallel.experiments != serial.experiments) {
+      std::printf("  DETERMINISM VIOLATION: shards=%d produced %zu "
+                  "experiments, serial produced %zu\n",
+                  shards, parallel.experiments, serial.experiments);
+      return 1;
+    }
+    if (parallel.campaign_ms < best_ms) best_ms = parallel.campaign_ms;
+    std::printf("  shards=%d speedup over serial: %.2fx\n", shards,
+                serial.campaign_ms / parallel.campaign_ms);
+  }
+  std::printf("  best campaign speedup: %.2fx (serial %.0f ms -> %.0f ms)\n",
+              serial.campaign_ms / best_ms, serial.campaign_ms, best_ms);
+  return 0;
+}

@@ -23,7 +23,7 @@ BENCHMARK(BM_WorldConstruction)->Unit(benchmark::kMillisecond);
 void BM_FullExperiment(benchmark::State& state) {
   core::World world;
   measure::ExperimentRunner runner(
-      &world.topology(), &world.registry(),
+      measure::WorldView{world.topology(), world.registry()},
       measure::ResolverIdentifier(world.research_apex()),
       measure::ExperimentConfig{});
   cellular::Device device(1, &world.carrier(0), net::GeoPoint{40.71, -74.01});
@@ -50,7 +50,7 @@ void BM_SingleCellResolution(benchmark::State& state) {
     const auto now = net::SimTime::from_seconds(second += 61);
     const auto snapshot = device.begin_experiment(now, rng);
     dns::StubResolver stub(device.gateway_node(), snapshot.public_ip,
-                           &world.topology(), &world.registry());
+                           world.topology(), world.registry());
     benchmark::DoNotOptimize(stub.query(snapshot.configured_resolver, *host,
                                         dns::RRType::kA, now, rng));
   }

@@ -23,7 +23,8 @@ int main() {
 
   core::World world;
   auto& provider = world.cdn("curtaincdn");
-  measure::ProbeEngine probes(&world.topology(), &world.registry());
+  measure::ProbeEngine probes(
+      measure::WorldView{world.topology(), world.registry()});
   net::Rng rng(net::hash_tag("cdn-operator"));
 
   std::printf("%-12s %14s %14s %14s\n", "Carrier", "resolver-based",

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   }
 
   core::Study study;
-  std::printf("running campaign (scale=%.2f)...\n", study.config().scale);
+  std::printf("running campaign (scale=%.2f)...\n", study.scenario().scale);
   study.run();
   std::printf("campaign: %s\n", study.summary().c_str());
 

@@ -10,13 +10,13 @@
 int main() {
   using namespace curtain;
   core::Study study;
-  std::cerr << "running campaign (scale=" << study.config().scale << ")...\n";
+  std::cerr << "running campaign (scale=" << study.scenario().scale << ")...\n";
   study.run();
   std::cerr << "campaign: " << study.summary() << "\n";
 
   analysis::ReportConfig config;
-  config.scale = study.config().scale;
-  config.seed = study.config().seed;
+  config.scale = study.scenario().scale;
+  config.seed = study.scenario().seed;
   analysis::write_report(study.dataset(), config, std::cout);
   return 0;
 }

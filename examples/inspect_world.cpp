@@ -11,12 +11,12 @@
 int main(int argc, char** argv) {
   using namespace curtain;
 
-  core::WorldConfig config;
+  core::Scenario scenario = core::Scenario::paper_2014();
   if (argc > 1 && std::strcmp(argv[1], "--xu-era") == 0) {
-    config.carrier_profiles = cellular::xu_era_carriers();
+    scenario.with_carriers(cellular::xu_era_carriers());
     std::printf("== 3G-era (Xu et al.) world ==\n\n");
   }
-  core::World world(config);
+  core::World world(scenario);
 
   std::printf("topology: %zu nodes, %zu zones\n\n",
               world.topology().node_count(), world.topology().zone_count());

@@ -4,7 +4,8 @@
 //   $ ./build/examples/quickstart
 //
 // Environment knobs: CURTAIN_SCALE (0..1, campaign length; default 0.05),
-// CURTAIN_SEED (RNG seed; default 20141105).
+// CURTAIN_SEED (RNG seed; default 20141105), CURTAIN_SHARDS (parallel
+// campaign workers; default 1, results identical for every value).
 #include <cstdio>
 
 #include "analysis/figures.h"
@@ -13,10 +14,11 @@
 int main() {
   using namespace curtain;
 
-  core::Study study;
-  std::printf("curtain quickstart — scale=%.2f seed=%llu\n",
-              study.config().scale,
-              static_cast<unsigned long long>(study.config().seed));
+  core::Study study;  // Scenario::from_env() by default
+  std::printf("curtain quickstart — scale=%.2f seed=%llu shards=%d\n",
+              study.scenario().scale,
+              static_cast<unsigned long long>(study.scenario().seed),
+              study.scenario().shards);
   study.run();
   std::printf("campaign: %s\n\n", study.summary().c_str());
 

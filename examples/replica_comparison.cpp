@@ -38,8 +38,9 @@ int main(int argc, char** argv) {
               snapshot.configured_resolver.to_string().c_str());
 
   dns::StubResolver stub(device.gateway_node(), snapshot.public_ip,
-                         &world.topology(), &world.registry());
-  measure::ProbeEngine probes(&world.topology(), &world.registry());
+                         world.topology(), world.registry());
+  measure::ProbeEngine probes(
+      measure::WorldView{world.topology(), world.registry()});
 
   const struct {
     const char* label;

@@ -38,7 +38,7 @@ int main() {
       const auto now = net::SimTime::from_hours(hour);
       const auto snapshot = device.begin_experiment(now, rng);
       dns::StubResolver stub(device.gateway_node(), snapshot.public_ip,
-                             &world.topology(), &world.registry());
+                             world.topology(), world.registry());
       const auto probe = identifier.probe_name(device.id(), probe_counter++);
       const auto result =
           stub.query(snapshot.configured_resolver, probe, dns::RRType::kA, now,

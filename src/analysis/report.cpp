@@ -55,7 +55,10 @@ void write_report(const Dataset& dataset, const ReportConfig& config,
       << "- set `CURTAIN_METRICS_OUT=<path>` on any run to dump the obs "
          "metrics registry (per-layer counters, latency histograms, "
          "per-phase wall-clock) as JSON — or Prometheus text with a "
-         "`.prom` path (DESIGN.md §9).\n";
+         "`.prom` path (DESIGN.md §9).\n"
+      << "- set `CURTAIN_SHARDS=<n>` to run the campaign on n worker "
+         "threads (one shard per carrier); the dataset and every number "
+         "below are byte-identical regardless (DESIGN.md §10).\n";
 
   // --- Table 1 ---------------------------------------------------------
   section(out, "Table 1 — measurement clients per carrier");

@@ -27,7 +27,8 @@ struct CdnMetrics {
 };
 
 CdnMetrics& cdn_metrics() {
-  static CdnMetrics metrics;
+  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
+  static thread_local CdnMetrics metrics;
   return metrics;
 }
 

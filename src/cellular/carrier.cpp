@@ -57,7 +57,8 @@ struct CarrierMetrics {
 };
 
 CarrierMetrics& carrier_metrics() {
-  static CarrierMetrics metrics;
+  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
+  static thread_local CarrierMetrics metrics;
   return metrics;
 }
 
@@ -506,7 +507,12 @@ int CellularNetwork::pick_gateway(const GeoPoint& location,
 
 net::Ipv4Addr CellularNetwork::assign_ip(int gateway_index, net::Rng& rng) {
   (void)rng;
-  return allocator_->alloc_host(gateways_[gateway_index].nat_pool);
+  // Same walk as IpAllocator::alloc_host, but on a per-gateway cursor:
+  // subscriber address churn is carrier-private runtime state, kept out of
+  // the shared (post-construction immutable) world allocator.
+  Gateway& gateway = gateways_[static_cast<size_t>(gateway_index)];
+  gateway.nat_cursor = gateway.nat_cursor % (gateway.nat_pool.size() - 1) + 1;
+  return gateway.nat_pool.host(gateway.nat_cursor);
 }
 
 int CellularNetwork::gateway_of_ip(net::Ipv4Addr public_ip) const {

@@ -133,6 +133,10 @@ class CellularNetwork {
     net::NodeId node = net::kInvalidNode;
     int region = 0;
     net::Prefix nat_pool;
+    /// NAT host cursor, advanced by assign_ip. Lives here (not in the
+    /// world's IpAllocator) so address churn is carrier-private state a
+    /// campaign shard can mutate without touching the shared world.
+    uint64_t nat_cursor = 0;
   };
   struct Region {
     net::GeoPoint location;

@@ -1,0 +1,66 @@
+#include "core/scenario.h"
+
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace curtain::core {
+
+Scenario Scenario::paper_2014() { return Scenario{}; }
+
+Scenario Scenario::from_env() {
+  util::init_log_level_from_env();
+  Scenario scenario;
+  scenario.seed = util::study_seed();
+  scenario.scale = util::campaign_scale();
+  scenario.shards = util::campaign_shards();
+  scenario.metrics_out = util::env_string("CURTAIN_METRICS_OUT", "");
+  return scenario;
+}
+
+Scenario& Scenario::with_seed(uint64_t value) {
+  seed = value;
+  return *this;
+}
+
+Scenario& Scenario::with_scale(double value) {
+  if (value <= 0.0) value = 0.05;
+  scale = value > 1.0 ? 1.0 : value;
+  return *this;
+}
+
+Scenario& Scenario::with_shards(int value) {
+  shards = value < 1 ? 1 : value;
+  return *this;
+}
+
+Scenario& Scenario::with_metrics_out(std::string path) {
+  metrics_out = std::move(path);
+  return *this;
+}
+
+Scenario& Scenario::with_google_ecs(bool enabled) {
+  google_ecs = enabled;
+  return *this;
+}
+
+Scenario& Scenario::with_cdn_answer_ttl(uint32_t ttl_s) {
+  cdn_answer_ttl_s = ttl_s;
+  return *this;
+}
+
+Scenario& Scenario::with_carriers(
+    std::vector<cellular::CarrierProfile> profiles) {
+  carrier_profiles = std::move(profiles);
+  return *this;
+}
+
+measure::CampaignConfig Scenario::campaign_config() const {
+  return measure::CampaignConfig::scaled(scale);
+}
+
+size_t Scenario::carrier_count() const {
+  return carrier_profiles.empty() ? cellular::study_carriers().size()
+                                  : carrier_profiles.size();
+}
+
+}  // namespace curtain::core

@@ -2,9 +2,9 @@
 
 #include <chrono>
 
+#include "measure/vantage.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
-#include "util/flags.h"
 #include "util/logging.h"
 
 namespace curtain::core {
@@ -18,33 +18,25 @@ double wall_ms_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-StudyConfig StudyConfig::from_env() {
-  util::init_log_level_from_env();
-  StudyConfig config;
-  config.seed = util::study_seed();
-  config.scale = util::campaign_scale();
-  config.world.seed = config.seed;
-  config.metrics_out = util::env_string("CURTAIN_METRICS_OUT", "");
-  return config;
-}
-
-Study::Study(StudyConfig config)
-    : config_(config),
-      campaign_(measure::CampaignConfig::scaled(config.scale, config.seed)) {
+Study::Study(Scenario scenario)
+    : scenario_(std::move(scenario)), campaign_(scenario_.campaign_config()) {
   const auto build_start = std::chrono::steady_clock::now();
-  world_ = std::make_unique<World>(config.world);
+  world_ = std::make_unique<World>(scenario_);
   report_.add_phase("world_build", wall_ms_since(build_start));
-  runner_ = std::make_unique<measure::ExperimentRunner>(
-      &world_->topology(), &world_->registry(),
-      measure::ResolverIdentifier(world_->research_apex()), config.experiment);
 
-  std::vector<measure::Fleet::CarrierEntry> entries;
+  exec::EngineConfig engine_config;
+  engine_config.seed = scenario_.seed;
+  engine_config.workers = scenario_.shards;
+  engine_config.campaign = campaign_;
+  engine_config.experiment = scenario_.experiment;
+  std::vector<exec::CampaignEngine::CarrierRef> carriers;
   for (size_t c = 0; c < world_->carriers().size(); ++c) {
-    entries.push_back(
-        measure::Fleet::CarrierEntry{&world_->carrier(c), static_cast<int>(c)});
+    carriers.push_back(exec::CampaignEngine::CarrierRef{
+        world_->carrier(c), static_cast<int>(c)});
   }
-  fleet_ = std::make_unique<measure::Fleet>(std::move(entries), runner_.get(),
-                                            campaign_);
+  engine_ = std::make_unique<exec::CampaignEngine>(
+      measure::WorldView{world_->topology(), world_->registry()},
+      world_->research_apex(), std::move(carriers), engine_config);
 }
 
 Study::~Study() = default;
@@ -54,15 +46,16 @@ void Study::run() {
   ran_ = true;
 
   const auto campaign_start = std::chrono::steady_clock::now();
-  fleet_->run_campaign(dataset_);
+  engine_->run(dataset_);
   report_.add_phase("campaign", wall_ms_since(campaign_start));
 
   // Table 4's sweep: probe every observed external resolver from the
   // wired vantage point at the end of the campaign.
   const auto sweep_start = std::chrono::steady_clock::now();
-  net::Rng vantage_rng(net::mix_key(config_.seed, net::hash_tag("vantage")));
-  measure::VantageProber prober(&world_->topology(), &world_->registry(),
-                                world_->vantage_node(), world_->vantage_ip());
+  net::Rng vantage_rng(net::mix_key(scenario_.seed, net::hash_tag("vantage")));
+  measure::VantageProber prober(
+      measure::WorldView{world_->topology(), world_->registry()},
+      world_->vantage_node(), world_->vantage_ip());
   prober.probe_observed_resolvers(
       dataset_, net::SimTime::from_days(campaign_.duration_days), vantage_rng);
   report_.add_phase("vantage_sweep", wall_ms_since(sweep_start));
@@ -72,20 +65,20 @@ void Study::run() {
   report_.add_total("probes", static_cast<double>(dataset_.total_probes()));
   report_.add_total("traces", static_cast<double>(dataset_.resolution_traces.size()));
 
-  if (!config_.metrics_out.empty()) {
-    const bool ok = obs::write_metrics_file(config_.metrics_out,
+  if (!scenario_.metrics_out.empty()) {
+    const bool ok = obs::write_metrics_file(scenario_.metrics_out,
                                             obs::metrics().snapshot(), &report_);
     if (!ok) {
-      CURTAIN_WARN() << "failed to write metrics to " << config_.metrics_out;
+      CURTAIN_WARN() << "failed to write metrics to " << scenario_.metrics_out;
     } else {
-      CURTAIN_INFO() << "wrote metrics to " << config_.metrics_out;
+      CURTAIN_INFO() << "wrote metrics to " << scenario_.metrics_out;
     }
   }
 }
 
 std::string Study::summary() const {
   std::string out;
-  out += "devices=" + std::to_string(fleet_->device_count());
+  out += "devices=" + std::to_string(device_count());
   out += " experiments=" + std::to_string(dataset_.experiments.size());
   out += " resolutions=" + std::to_string(dataset_.resolutions.size());
   out += " probes=" + std::to_string(dataset_.probes.size());

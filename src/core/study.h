@@ -1,47 +1,38 @@
-// Study: the top-level entry point tying world, fleet and campaign
-// together. This is what examples and benches instantiate.
+// Study: the top-level entry point tying world, campaign engine and
+// vantage sweep together. This is what examples and benches instantiate.
+//
+//   core::Study study(core::Scenario::paper_2014().with_shards(4));
+//   study.run();
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "core/scenario.h"
 #include "core/world.h"
-#include "measure/fleet.h"
-#include "measure/vantage.h"
+#include "exec/engine.h"
 #include "obs/report.h"
 
 namespace curtain::core {
 
-struct StudyConfig {
-  uint64_t seed = 20141105;
-  /// Campaign scale in (0,1]: 1.0 reproduces the paper's five-month,
-  /// ~28k-experiment campaign; smaller values shorten the window.
-  double scale = 0.05;
-  measure::ExperimentConfig experiment;
-  WorldConfig world;
-  /// When non-empty, run() writes the metrics registry there on completion
-  /// (".prom" suffix: Prometheus text; anything else: JSON).
-  std::string metrics_out;
-
-  /// Reads CURTAIN_SEED / CURTAIN_SCALE / CURTAIN_METRICS_OUT from the
-  /// environment and applies CURTAIN_LOG to the logger.
-  static StudyConfig from_env();
-};
-
 class Study {
  public:
-  explicit Study(StudyConfig config = StudyConfig::from_env());
+  explicit Study(Scenario scenario = Scenario::from_env());
   ~Study();
   Study(const Study&) = delete;
   Study& operator=(const Study&) = delete;
 
-  /// Runs the full campaign plus the vantage-point reachability sweep.
+  /// Runs the full sharded campaign plus the vantage-point reachability
+  /// sweep; the merged dataset is identical for every Scenario::shards.
   void run();
 
   World& world() { return *world_; }
   const measure::Dataset& dataset() const { return dataset_; }
-  measure::Fleet& fleet() { return *fleet_; }
-  const StudyConfig& config() const { return config_; }
+  /// Devices enrolled across every campaign shard (Table 1 totals).
+  size_t device_count() const { return engine_->device_count(); }
+  const Scenario& scenario() const { return scenario_; }
+  /// Deprecated spelling of scenario(), kept for old call sites.
+  const Scenario& config() const { return scenario_; }
   const measure::CampaignConfig& campaign() const { return campaign_; }
 
   /// One-line dataset summary (§3.1-style totals), with per-phase
@@ -52,11 +43,10 @@ class Study {
   const obs::RunReport& report() const { return report_; }
 
  private:
-  StudyConfig config_;
+  Scenario scenario_;
   std::unique_ptr<World> world_;
-  std::unique_ptr<measure::ExperimentRunner> runner_;
   measure::CampaignConfig campaign_;
-  std::unique_ptr<measure::Fleet> fleet_;
+  std::unique_ptr<exec::CampaignEngine> engine_;
   measure::Dataset dataset_;
   obs::RunReport report_;
   bool ran_ = false;

@@ -27,8 +27,8 @@ std::string metro_country(const std::string& metro_name) {
 
 }  // namespace
 
-World::World(WorldConfig config)
-    : config_(config),
+World::World(Scenario config)
+    : config_(std::move(config)),
       allocator_(std::make_unique<net::IpAllocator>(
           net::Prefix(net::Ipv4Addr{20, 0, 0, 0}, 6))),
       vantage_ip_(kVantageIp) {
@@ -39,6 +39,10 @@ World::World(WorldConfig config)
   build_public_dns();
   build_carriers();
   register_cdn_hints();
+  // Campaign shards run one per carrier (exec/engine.h); partition the
+  // shared route cache so concurrent shards never contend (slot 0 stays
+  // reserved for the main thread).
+  topology_.set_route_cache_ways(carriers_.size() + 1);
 }
 
 World::~World() = default;
@@ -160,6 +164,9 @@ void World::build_public_dns() {
   };
   context.root_dns_ip = hierarchy_->root_ip();
   context.build_seed = config_.seed;
+  // One mutable-state slot per campaign shard (carrier) plus the main
+  // thread's slot 0: public resolvers serve every carrier concurrently.
+  context.shard_slots = static_cast<int>(config_.carrier_count()) + 1;
   const dns::DnsName research = research_apex_;
   context.warm_eligible = [research](const dns::DnsName& name) {
     return !name.is_within(research);

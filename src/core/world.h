@@ -19,31 +19,18 @@
 #include "cdn/cdn.h"
 #include "cdn/domains.h"
 #include "cellular/carrier.h"
+#include "core/scenario.h"
 #include "dns/hierarchy.h"
 #include "measure/resolver_ident.h"
 #include "publicdns/public_dns.h"
 
 namespace curtain::core {
 
-struct WorldConfig {
-  uint64_t seed = 20141105;
-  int google_sites = 30;  ///< paper §6.1: 30 distributed /24s
-  int google_instances_per_site = 8;
-  int opendns_sites = 20;
-  int opendns_instances_per_site = 6;
-  int replicas_per_cluster = 3;
-  uint32_t cdn_answer_ttl_s = 30;  ///< the short TTLs behind Fig. 7
-  /// Enable EDNS client-subnet on Google Public DNS (RFC 7871) — the
-  /// "natural evolution of DNS" remedy; off in the paper-era baseline.
-  bool google_ecs = false;
-  /// Carrier set to build; empty = the six study carriers. Pass
-  /// cellular::xu_era_carriers() to build the 3G-era baseline world.
-  std::vector<cellular::CarrierProfile> carrier_profiles;
-};
-
 class World {
  public:
-  explicit World(WorldConfig config = {});
+  /// Builds the world a Scenario describes (only the seed and world-shape
+  /// fields are read; scale/shards belong to execution).
+  explicit World(Scenario config = {});
   ~World();
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -75,7 +62,7 @@ class World {
   net::Ipv4Addr vantage_ip() const { return vantage_ip_; }
   net::Ipv4Addr root_dns_ip() const { return hierarchy_->root_ip(); }
 
-  const WorldConfig& config() const { return config_; }
+  const Scenario& config() const { return config_; }
 
  private:
   void build_backbone();
@@ -88,7 +75,7 @@ class World {
 
   dns::HostFactory host_factory();
 
-  WorldConfig config_;
+  Scenario config_;
   net::Topology topology_;
   dns::ServerRegistry registry_;
   std::unique_ptr<net::IpAllocator> allocator_;

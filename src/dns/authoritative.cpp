@@ -128,9 +128,10 @@ void AuthoritativeServer::answer_question(
 ServedResponse AuthoritativeServer::handle_query(
     std::span<const uint8_t> query_wire, net::Ipv4Addr source_ip,
     net::SimTime now, net::Rng& rng) {
-  ++queries_served_;
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
   {
-    static obs::Counter& adns_queries = obs::metrics().counter(
+    // Per thread: binds to the shard's sheaf (obs/metrics.h).
+    static thread_local obs::Counter& adns_queries = obs::metrics().counter(
         "curtain_dns_authoritative_queries_total",
         "queries answered by authoritative servers");
     adns_queries.inc();

@@ -24,7 +24,8 @@ struct CacheMetrics {
 };
 
 CacheMetrics& cache_metrics() {
-  static CacheMetrics metrics;
+  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
+  static thread_local CacheMetrics metrics;
   return metrics;
 }
 

@@ -36,7 +36,8 @@ struct ResolverMetrics {
 };
 
 ResolverMetrics& resolver_metrics() {
-  static ResolverMetrics metrics;
+  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
+  static thread_local ResolverMetrics metrics;
   return metrics;
 }
 
@@ -61,16 +62,26 @@ RecursiveResolver::RecursiveResolver(std::string name, net::NodeId node,
       topology_(topology),
       registry_(registry),
       root_ip_(root_ip) {
-  // CDN-era resolvers honor short TTLs; cap at a day like common software.
-  cache_.set_ttl_bounds(0, 86400);
+  set_shard_slots(1);
+}
+
+void RecursiveResolver::set_shard_slots(size_t slots) {
+  slots_.clear();
+  for (size_t s = 0; s < (slots == 0 ? 1 : slots); ++s) {
+    auto state = std::make_unique<SlotState>();
+    // CDN-era resolvers honor short TTLs; cap at a day like common software.
+    state->cache.set_ttl_bounds(0, 86400);
+    slots_.push_back(std::move(state));
+  }
 }
 
 ResolutionResult RecursiveResolver::resolve(const DnsName& name, RRType type,
                                             net::SimTime now, net::Rng& rng,
                                             net::Ipv4Addr ecs_client) {
+  SlotState& state = slot_state();
   ResolutionResult result;
   result.rcode = Rcode::kNoError;
-  if (!warming_) resolver_metrics().queries.inc();
+  if (!state.warming) resolver_metrics().queries.inc();
   obs::ScopedSpan span("recursion", now.millis());
   const uint32_t scope = (ecs_enabled_ && !ecs_client.is_unspecified())
                              ? ecs_client.slash24().value()
@@ -85,7 +96,7 @@ ResolutionResult RecursiveResolver::resolve(const DnsName& name, RRType type,
   }
   if (!resolved) result.rcode = Rcode::kServFail;  // CNAME chain too long
   span.finish(now.millis() + result.upstream_ms);
-  if (!warming_) {
+  if (!state.warming) {
     resolver_metrics().upstream_ms.observe(result.upstream_ms);
     if (result.rcode == Rcode::kNxDomain) {
       resolver_metrics().nxdomain.inc();
@@ -99,8 +110,9 @@ ResolutionResult RecursiveResolver::resolve(const DnsName& name, RRType type,
 std::optional<DnsName> RecursiveResolver::resolve_step(
     const DnsName& qname, RRType type, net::SimTime now, net::Rng& rng,
     net::Ipv4Addr ecs_client, uint32_t scope, ResolutionResult& result) {
+  SlotState& state = slot_state();
   // Terminal rrset cached (within this client's subnet partition)?
-  if (auto cached = cache_.lookup(qname, type, now, scope)) {
+  if (auto cached = state.cache.lookup(qname, type, now, scope)) {
     if (cached->negative) {
       result.rcode = Rcode::kNxDomain;
       return std::nullopt;
@@ -110,7 +122,7 @@ std::optional<DnsName> RecursiveResolver::resolve_step(
   }
   // Cached CNAME link?
   if (type != RRType::kCNAME) {
-    if (auto cached = cache_.lookup(qname, RRType::kCNAME, now, scope);
+    if (auto cached = state.cache.lookup(qname, RRType::kCNAME, now, scope);
         cached && !cached->negative && !cached->records.empty()) {
       result.answers.push_back(cached->records.front());
       return std::get<CnameRecord>(cached->records.front().rdata).target;
@@ -120,16 +132,16 @@ std::optional<DnsName> RecursiveResolver::resolve_step(
   // already, in which case our query is a hit at zero charged latency.
   // Applies only to subnet-independent data — an ECS-scoped answer is
   // specific to this client's subnet, which background users don't share.
-  if (scope == 0 && !warming_ &&
+  if (scope == 0 && !state.warming &&
       (warm_hit_p_ > 0.0 || bg_interarrival_s_ > 0.0) &&
       (!warm_eligible_ || warm_eligible_(qname))) {
-    warming_ = true;
+    state.warming = true;
     // The shadow recursion models work other subscribers already did; its
     // spans are not part of this client's resolution timeline.
     obs::Tracer::instance().pause();
     ResolutionResult shadow = resolve(qname, type, now, rng);
     obs::Tracer::instance().resume();
-    warming_ = false;
+    state.warming = false;
     // Warm probability: fixed, or TTL-driven — an entry with TTL T that
     // background users re-fetch every I seconds is fresh a T/(T+I)
     // fraction of the time.
@@ -157,15 +169,16 @@ std::optional<DnsName> RecursiveResolver::resolve_step(
 
 net::Ipv4Addr RecursiveResolver::best_server_for(const DnsName& qname,
                                                  net::SimTime now) {
+  Cache& cache = slot_state().cache;
   // Walk qname, qname's parent, ... looking for a cached NS whose glue we
   // also have. The root primes the walk when nothing deeper is known.
   DnsName zone = qname;
   while (true) {
-    if (auto ns_set = cache_.lookup(zone, RRType::kNS, now);
+    if (auto ns_set = cache.lookup(zone, RRType::kNS, now);
         ns_set && !ns_set->negative) {
       for (const auto& rr : ns_set->records) {
         const auto& ns_name = std::get<NsRecord>(rr.rdata).nameserver;
-        if (auto glue = cache_.lookup(ns_name, RRType::kA, now);
+        if (auto glue = cache.lookup(ns_name, RRType::kA, now);
             glue && !glue->negative && !glue->records.empty()) {
           return std::get<ARecord>(glue->records.front().rdata).address;
         }
@@ -196,7 +209,7 @@ std::optional<Message> RecursiveResolver::query_server(
     span.finish(now.millis() + result.upstream_ms);
     return std::nullopt;
   }
-  Message query = Message::query(next_query_id_++, qname, type);
+  Message query = Message::query(slot_state().next_query_id++, qname, type);
   if (ecs_enabled_ && !ecs_client.is_unspecified()) {
     query.ecs = EdnsClientSubnet{ecs_client.slash24(), ecs_prefix_len_, 0};
   }
@@ -224,12 +237,13 @@ void RecursiveResolver::cache_response_sections(const Message& response,
   }
   // Tailored answers are valid only for this client's subnet; referral
   // metadata (NS, glue) is subnet-independent.
+  Cache& cache = slot_state().cache;
   for (auto& [key, rrs] : answers) {
-    cache_.insert(key.first, key.second, std::move(rrs), now, answer_scope);
+    cache.insert(key.first, key.second, std::move(rrs), now, answer_scope);
   }
   for (auto& [key, rrs] : metadata) {
     if (key.second == RRType::kSOA) continue;  // negative-caching metadata
-    cache_.insert(key.first, key.second, std::move(rrs), now);
+    cache.insert(key.first, key.second, std::move(rrs), now);
   }
 }
 
@@ -266,7 +280,7 @@ std::optional<DnsName> RecursiveResolver::iterate(
           neg_ttl = std::min(rr.ttl, soa->minimum);
         }
       }
-      cache_.insert_negative(qname, type, neg_ttl, now, scope);
+      slot_state().cache.insert_negative(qname, type, neg_ttl, now, scope);
       result.rcode = Rcode::kNxDomain;
       return std::nullopt;
     }

@@ -9,11 +9,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "dns/cache.h"
 #include "dns/message.h"
 #include "dns/server.h"
+#include "net/shard_slot.h"
 
 namespace curtain::dns {
 
@@ -62,8 +65,18 @@ class RecursiveResolver : public DnsServer {
   net::Ipv4Addr ip() const override { return ip_; }
 
   const std::string& name() const { return name_; }
-  Cache& cache() { return cache_; }
-  const Cache& cache() const { return cache_; }
+  Cache& cache() { return slot_state().cache; }
+  const Cache& cache() const { return slot_state().cache; }
+
+  /// Partitions the resolver's mutable state (cache, query-id counter,
+  /// warm-hit guard) into `slots` independent copies indexed by the
+  /// calling thread's shard slot (net/shard_slot.h). Resolvers shared
+  /// across carriers — the public DNS instances — are given one slot per
+  /// shard so concurrent shards neither race nor observe each other's
+  /// cache warm-up; the slot mapping follows the fixed carrier partition,
+  /// so results are identical at any worker-thread count. Call at build
+  /// time, before queries; drops previously cached data.
+  void set_shard_slots(size_t slots);
 
   /// Background-load model. Production resolvers serve whole subscriber
   /// populations, so a popular name is usually still cached when our
@@ -127,20 +140,29 @@ class RecursiveResolver : public DnsServer {
   void cache_response_sections(const Message& response, net::SimTime now,
                                uint32_t answer_scope);
 
+  /// Mutable query-time state, one copy per shard slot.
+  struct SlotState {
+    Cache cache;
+    uint16_t next_query_id = 1;
+    bool warming = false;  ///< reentrancy guard for the warm-hit path
+  };
+  SlotState& slot_state() const {
+    const auto slot = static_cast<size_t>(net::current_shard_slot());
+    return *slots_[slot < slots_.size() ? slot : 0];
+  }
+
   std::string name_;
   net::NodeId node_;
   net::Ipv4Addr ip_;
   const net::Topology* topology_;
   const ServerRegistry* registry_;
   net::Ipv4Addr root_ip_;
-  Cache cache_;
-  uint16_t next_query_id_ = 1;
+  std::vector<std::unique_ptr<SlotState>> slots_;
   double warm_hit_p_ = 0.0;
   double bg_interarrival_s_ = 0.0;
   bool ecs_enabled_ = false;
   uint8_t ecs_prefix_len_ = 24;
   std::function<bool(const DnsName&)> warm_eligible_;
-  bool warming_ = false;  ///< reentrancy guard for the warm-hit path
 };
 
 }  // namespace curtain::dns

@@ -13,8 +13,8 @@ std::vector<net::Ipv4Addr> StubResult::addresses() const {
 }
 
 StubResolver::StubResolver(net::NodeId node, net::Ipv4Addr client_ip,
-                           const net::Topology* topology,
-                           const ServerRegistry* registry)
+                           const net::Topology& topology,
+                           const ServerRegistry& registry)
     : node_(node), client_ip_(client_ip), topology_(topology),
       registry_(registry) {}
 
@@ -31,10 +31,10 @@ StubResult StubResolver::query(net::Ipv4Addr resolver_ip, const DnsName& name,
     obs::ScopedSpan access("radio_access", t0);
     access.finish(t0 + extra_latency_ms);
   }
-  DnsServer* server = registry_->find(resolver_ip);
+  DnsServer* server = registry_.find(resolver_ip);
   if (server == nullptr) return result;
   const auto rtt =
-      topology_->transport_rtt_ms(node_, server->node_for(client_ip_, now), rng);
+      topology_.transport_rtt_ms(node_, server->node_for(client_ip_, now), rng);
   if (!rtt) return result;
 
   const Message query = Message::query(next_id_++, name, type);

@@ -23,9 +23,9 @@ struct StubResult {
 class StubResolver {
  public:
   /// `node` is where the client attaches to the wired topology (a device's
-  /// gateway, or a vantage-point host). Borrowed pointers must outlive us.
+  /// gateway, or a vantage-point host). Borrowed references must outlive us.
   StubResolver(net::NodeId node, net::Ipv4Addr client_ip,
-               const net::Topology* topology, const ServerRegistry* registry);
+               const net::Topology& topology, const ServerRegistry& registry);
 
   /// Queries the server at `resolver_ip` for (name, type).
   /// `extra_latency_ms` is prepended latency the transport cannot see
@@ -37,8 +37,8 @@ class StubResolver {
  private:
   net::NodeId node_;
   net::Ipv4Addr client_ip_;
-  const net::Topology* topology_;
-  const ServerRegistry* registry_;
+  const net::Topology& topology_;
+  const ServerRegistry& registry_;
   uint16_t next_id_ = 1;
 };
 

@@ -1,0 +1,102 @@
+#include "exec/engine.h"
+
+#include <semaphore>
+#include <thread>
+
+#include "net/shard_slot.h"
+
+namespace curtain::exec {
+namespace {
+
+/// Appends `in` to `out`, renumbering experiment ids and trace indices as
+/// if `in`'s records had been produced right after `out`'s.
+void append_shard(measure::Dataset& out, measure::Dataset& in) {
+  const auto experiment_base = static_cast<uint32_t>(out.experiments.size());
+  const auto trace_base = static_cast<int32_t>(out.resolution_traces.size());
+
+  out.experiments.reserve(out.experiments.size() + in.experiments.size());
+  for (auto& record : in.experiments) {
+    record.experiment_id += experiment_base;
+    out.experiments.push_back(std::move(record));
+  }
+  out.resolutions.reserve(out.resolutions.size() + in.resolutions.size());
+  for (auto& record : in.resolutions) {
+    record.experiment_id += experiment_base;
+    if (record.trace_index >= 0) record.trace_index += trace_base;
+    out.resolutions.push_back(std::move(record));
+  }
+  out.probes.reserve(out.probes.size() + in.probes.size());
+  for (auto& record : in.probes) {
+    record.experiment_id += experiment_base;
+    out.probes.push_back(std::move(record));
+  }
+  out.traceroutes.reserve(out.traceroutes.size() + in.traceroutes.size());
+  for (auto& record : in.traceroutes) {
+    record.experiment_id += experiment_base;
+    out.traceroutes.push_back(std::move(record));
+  }
+  for (auto& record : in.resolver_observations) {
+    record.experiment_id += experiment_base;
+    out.resolver_observations.push_back(std::move(record));
+  }
+  for (auto& record : in.vantage_probes) {
+    out.vantage_probes.push_back(std::move(record));
+  }
+  for (auto& trace : in.resolution_traces) {
+    out.resolution_traces.push_back(std::move(trace));
+  }
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(measure::WorldView world,
+                               const dns::DnsName& research_apex,
+                               std::vector<CarrierRef> carriers,
+                               EngineConfig config)
+    : config_(config) {
+  if (config_.workers < 1) config_.workers = 1;
+  int shard_index = 0;
+  for (const CarrierRef& carrier : carriers) {
+    shards_.push_back(std::make_unique<Shard>(
+        shard_index++, carrier.carrier_index, carrier.network, world,
+        research_apex, config_.campaign, config_.experiment, config_.seed));
+  }
+}
+
+CampaignEngine::~CampaignEngine() = default;
+
+size_t CampaignEngine::device_count() const {
+  size_t count = 0;
+  for (const auto& shard : shards_) count += shard->device_count();
+  return count;
+}
+
+void CampaignEngine::run(measure::Dataset& dataset) {
+  // One fresh thread per shard: thread-local metric handle caches bind to
+  // exactly one sheaf over a thread's lifetime, so shard threads are never
+  // reused across shards. The semaphore caps concurrency at `workers`.
+  std::counting_semaphore<> slots(config_.workers);
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (auto& shard_ptr : shards_) {
+    Shard* shard = shard_ptr.get();
+    threads.emplace_back([&slots, shard] {
+      slots.acquire();
+      net::ShardSlotGuard slot(shard->shard_index() + 1);
+      obs::ScopedMetricsSheaf sheaf(shard->sheaf());
+      shard->run();
+      slots.release();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Deterministic merge: shard-index order, independent of which worker
+  // finished when. This is what makes workers=1 and workers=N exports
+  // byte-identical.
+  for (auto& shard : shards_) append_shard(dataset, shard->dataset());
+  for (auto& shard : shards_) {
+    obs::metrics().merge_snapshot(shard->sheaf().snapshot());
+  }
+}
+
+}  // namespace curtain::exec

@@ -1,0 +1,64 @@
+// CampaignEngine: sharded parallel execution of the measurement campaign.
+//
+// The engine always partitions the fleet into one shard per carrier; the
+// `workers` knob (CURTAIN_SHARDS) only caps how many shard threads run
+// concurrently. Because every shard's inputs are (immutable world,
+// seed-mixed RNG streams keyed by shard index) and the merge happens in
+// shard-index order, the merged dataset and metrics are byte-identical
+// for every worker count — parallelism is purely a wall-clock lever.
+//
+// Merge semantics:
+//   * datasets are concatenated in shard order, renumbering experiment_id
+//     and trace_index so the result is indistinguishable from one
+//     sequential run over the same shard order;
+//   * each shard's metrics sheaf is summed into the calling thread's
+//     registry (normally the global one), in shard order, so even
+//     floating-point sums are reproducible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/shard.h"
+
+namespace curtain::exec {
+
+/// Tunables for one campaign execution.
+struct EngineConfig {
+  uint64_t seed = 20141105;
+  /// Max shards running concurrently (>=1); shard *count* is always the
+  /// carrier count, so this only trades wall-clock for threads.
+  int workers = 1;
+  measure::CampaignConfig campaign;
+  measure::ExperimentConfig experiment;
+};
+
+class CampaignEngine {
+ public:
+  /// One carrier entry: the network plus its index into the study's
+  /// carrier table (references: a null carrier was never a valid state).
+  struct CarrierRef {
+    cellular::CellularNetwork& network;
+    int carrier_index;
+  };
+
+  CampaignEngine(measure::WorldView world, const dns::DnsName& research_apex,
+                 std::vector<CarrierRef> carriers, EngineConfig config);
+  ~CampaignEngine();
+  CampaignEngine(const CampaignEngine&) = delete;
+  CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+  /// Devices enrolled across all shards (Table 1 totals).
+  size_t device_count() const;
+
+  /// Runs every shard (at most config.workers concurrently), then merges
+  /// shard datasets into `dataset` and shard metric sheaves into the
+  /// calling thread's registry, both in shard-index order.
+  void run(measure::Dataset& dataset);
+
+ private:
+  EngineConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace curtain::exec

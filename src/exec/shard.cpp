@@ -1,0 +1,96 @@
+#include "exec/shard.h"
+
+#include <functional>
+
+#include "net/clock.h"
+#include "net/geo.h"
+
+namespace curtain::exec {
+namespace {
+
+struct ShardMetrics {
+  obs::Gauge& devices = obs::metrics().gauge(
+      "curtain_fleet_devices", "devices enrolled in the campaign fleet");
+  obs::Counter& wakeups = obs::metrics().counter(
+      "curtain_fleet_wakeups_total",
+      "hourly device wake-ups (participation coin tosses)");
+};
+
+ShardMetrics& shard_metrics() {
+  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
+  static thread_local ShardMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+Shard::Shard(int shard_index, int carrier_index,
+             cellular::CellularNetwork& network, measure::WorldView world,
+             const dns::DnsName& research_apex,
+             measure::CampaignConfig campaign,
+             measure::ExperimentConfig experiment, uint64_t seed)
+    : shard_index_(shard_index),
+      carrier_index_(carrier_index),
+      network_(network),
+      campaign_(campaign),
+      seed_(seed),
+      runner_(world, measure::ResolverIdentifier(research_apex), experiment) {
+  // Per-carrier device stream: volunteers cluster in large metros, with
+  // scatter within a suburb. Keying by carrier index (not a fleet-wide
+  // cursor) keeps every shard's draws independent of the others'.
+  net::Rng rng(net::mix_key(net::mix_key(seed_, net::hash_tag("fleet")),
+                            static_cast<uint64_t>(carrier_index_)));
+  const auto& profile = network_.profile();
+  const auto& metros =
+      profile.country == "KR" ? net::kr_metros() : net::us_metros();
+  for (int d = 0; d < profile.study_clients; ++d) {
+    const auto& metro =
+        metros[static_cast<size_t>(rng.uniform_u64(0, metros.size() - 1))];
+    const net::GeoPoint home = net::offset_km(
+        metro.location, rng.uniform(-15, 15), rng.uniform(-15, 15));
+    // Device ids are carrier-banded so they stay stable and unique no
+    // matter which shards run or in which order.
+    const uint64_t device_id =
+        static_cast<uint64_t>(carrier_index_) * 1000 + d + 1;
+    devices_.push_back(
+        std::make_unique<cellular::Device>(device_id, &network_, home));
+  }
+}
+
+void Shard::run() {
+  shard_metrics().devices.set(static_cast<double>(devices_.size()));
+
+  net::SimClock clock;
+  net::EventQueue queue;
+  net::Rng campaign_rng(
+      net::mix_key(net::mix_key(seed_, net::hash_tag("campaign")),
+                   static_cast<uint64_t>(shard_index_)));
+  const net::SimTime horizon = net::SimTime::from_days(campaign_.duration_days);
+
+  // Each device wakes hourly with a per-device phase; on each wake it
+  // tosses the participation coin and possibly runs one experiment.
+  for (auto& device_ptr : devices_) {
+    cellular::Device* device = device_ptr.get();
+    auto device_rng = std::make_shared<net::Rng>(
+        campaign_rng.derive("device-stream", device->id()));
+    const net::SimTime phase =
+        net::SimTime::from_seconds(device_rng->uniform(0.0, 3600.0));
+
+    // Self-rescheduling hourly wake-up.
+    auto wake = std::make_shared<std::function<void(net::SimTime)>>();
+    *wake = [this, device, device_rng, wake, &queue, horizon](net::SimTime at) {
+      shard_metrics().wakeups.inc();
+      if (device_rng->bernoulli(campaign_.participation)) {
+        runner_.run(*device, carrier_index_, at, *device_rng, dataset_);
+      }
+      const net::SimTime next = at + net::SimTime::from_hours(1.0);
+      if (next < horizon) queue.schedule(next, *wake);
+    };
+    queue.schedule(phase, *wake);
+  }
+
+  while (queue.run_next(clock)) {
+  }
+}
+
+}  // namespace curtain::exec

@@ -1,0 +1,67 @@
+// Shard: one carrier's slice of the campaign.
+//
+// The campaign partitions cleanly along carrier lines — devices only ever
+// talk to their own carrier's gateways and resolvers, plus the immutable
+// world substrate (backbone, hierarchy, CDNs, public DNS). A shard
+// therefore owns everything mutable its devices touch during the run:
+//
+//   * a private virtual clock and event queue,
+//   * RNG streams mixed from (study seed, shard index) — never shared,
+//   * the carrier's device fleet (built from a per-carrier stream),
+//   * an ExperimentRunner with its own sampling counters,
+//   * a private Dataset the measurements append to, and
+//   * a private metrics sheaf (obs::MetricsRegistry) all metric handles on
+//     the shard's thread bind to.
+//
+// Carrier-private world state (NAT cursors, resolver caches) is already
+// partitioned per shard slot (net/shard_slot.h), so shards never contend;
+// CampaignEngine merges their outputs in shard-index order, which makes
+// the merged dataset byte-identical for any worker count.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cellular/carrier.h"
+#include "cellular/device.h"
+#include "measure/campaign.h"
+#include "measure/experiment.h"
+#include "measure/records.h"
+#include "measure/worldview.h"
+#include "obs/metrics.h"
+
+namespace curtain::exec {
+
+class Shard {
+ public:
+  Shard(int shard_index, int carrier_index, cellular::CellularNetwork& network,
+        measure::WorldView world, const dns::DnsName& research_apex,
+        measure::CampaignConfig campaign, measure::ExperimentConfig experiment,
+        uint64_t seed);
+
+  int shard_index() const { return shard_index_; }
+  int carrier_index() const { return carrier_index_; }
+  size_t device_count() const { return devices_.size(); }
+
+  /// The shard's private outputs; owned here until the engine merges them.
+  measure::Dataset& dataset() { return dataset_; }
+  obs::MetricsRegistry& sheaf() { return sheaf_; }
+
+  /// Runs the shard's whole campaign into its private dataset. Must run on
+  /// the shard's worker thread with the shard slot (net::ShardSlotGuard)
+  /// and the sheaf (obs::ScopedMetricsSheaf) bound.
+  void run();
+
+ private:
+  int shard_index_;
+  int carrier_index_;
+  cellular::CellularNetwork& network_;
+  measure::CampaignConfig campaign_;
+  uint64_t seed_;
+  measure::ExperimentRunner runner_;
+  std::vector<std::unique_ptr<cellular::Device>> devices_;
+  measure::Dataset dataset_;
+  obs::MetricsRegistry sheaf_;
+};
+
+}  // namespace curtain::exec

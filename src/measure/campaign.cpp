@@ -1,0 +1,18 @@
+#include "measure/campaign.h"
+
+#include <algorithm>
+
+namespace curtain::measure {
+
+CampaignConfig CampaignConfig::scaled(double scale) {
+  CampaignConfig config;
+  if (scale <= 0.0) scale = 0.05;
+  if (scale > 1.0) scale = 1.0;
+  config.duration_days = 153.0 * scale;
+  // Short campaigns keep per-carrier sample counts useful by boosting the
+  // duty cycle (bounded well below always-on).
+  config.participation = scale >= 0.5 ? 0.048 : std::min(0.25, 0.048 * 4.0);
+  return config;
+}
+
+}  // namespace curtain::measure

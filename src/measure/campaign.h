@@ -1,0 +1,23 @@
+// Campaign shape: how long the fleet measures and how eagerly.
+//
+// The paper's campaign ran Mar 1 - Aug 1, 2014 (153 days) with 158
+// volunteer devices waking hourly and running an experiment with the duty
+// cycle of a background measurement app (~5%). These are *derived*
+// tunables: Study computes them from Scenario::scale (core/scenario.h).
+// There is deliberately no seed here — the single study seed lives in
+// Scenario::seed, and execution shards receive mixed sub-streams of it
+// (net::mix_key / net::hash_tag), never the raw value.
+#pragma once
+
+namespace curtain::measure {
+
+struct CampaignConfig {
+  double duration_days = 153.0;  ///< Mar 1 - Aug 1, 2014
+  double participation = 0.048;  ///< per-device per-hour experiment odds
+
+  /// Scale factor in (0,1]: scales duration (churn horizons) while
+  /// boosting participation to keep per-carrier sample counts useful.
+  static CampaignConfig scaled(double scale);
+};
+
+}  // namespace curtain::measure

@@ -32,7 +32,8 @@ struct ExperimentMetrics {
 };
 
 ExperimentMetrics& experiment_metrics() {
-  static ExperimentMetrics metrics;
+  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
+  static thread_local ExperimentMetrics metrics;
   return metrics;
 }
 
@@ -47,13 +48,11 @@ const char* resolver_kind_name(ResolverKind kind) {
   return "?";
 }
 
-ExperimentRunner::ExperimentRunner(const net::Topology* topology,
-                                   const dns::ServerRegistry* registry,
+ExperimentRunner::ExperimentRunner(WorldView world,
                                    ResolverIdentifier identifier,
                                    ExperimentConfig config)
-    : topology_(topology),
-      registry_(registry),
-      probes_(topology, registry),
+    : world_(world),
+      probes_(world),
       identifier_(std::move(identifier)),
       config_(config) {}
 
@@ -129,7 +128,7 @@ void ExperimentRunner::measure_domains(cellular::Device& device,
   for (uint16_t d = 0; d < domains.size(); ++d) {
     const auto host = dns::DnsName::parse(domains[d].host);
     dns::StubResolver stub(device.gateway_node(), device.snapshot().public_ip,
-                           topology_, registry_);
+                           world_.topology, world_.registry);
     // First lookup, then an immediate back-to-back repeat (Fig. 7).
     for (const bool second : {false, true}) {
       const double access = device.access_rtt_ms(now, rng);
@@ -193,7 +192,7 @@ void ExperimentRunner::identify_resolver(cellular::Device& device,
   const dns::DnsName probe =
       identifier_.probe_name(device.id(), ident_counter_++);
   dns::StubResolver stub(device.gateway_node(), device.snapshot().public_ip,
-                         topology_, registry_);
+                         world_.topology, world_.registry);
   const double access = device.access_rtt_ms(now, rng);
   const dns::StubResult result =
       stub.query(resolver_ip, probe, dns::RRType::kA, now, rng, access);

@@ -33,9 +33,8 @@ struct ExperimentConfig {
 
 class ExperimentRunner {
  public:
-  ExperimentRunner(const net::Topology* topology,
-                   const dns::ServerRegistry* registry,
-                   ResolverIdentifier identifier, ExperimentConfig config);
+  ExperimentRunner(WorldView world, ResolverIdentifier identifier,
+                   ExperimentConfig config);
 
   /// Runs one experiment for `device` starting at `start`; appends all
   /// records to `dataset` and returns the experiment's end time.
@@ -61,8 +60,7 @@ class ExperimentRunner {
   ProbeOrigin origin_for(cellular::Device& device, net::SimTime now,
                          net::Rng& rng) const;
 
-  const net::Topology* topology_;
-  const dns::ServerRegistry* registry_;
+  WorldView world_;
   ProbeEngine probes_;
   ResolverIdentifier identifier_;
   ExperimentConfig config_;

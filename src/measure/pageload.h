@@ -38,9 +38,7 @@ struct PageLoadOutcome {
 
 class PageLoadEstimator {
  public:
-  PageLoadEstimator(const net::Topology* topology,
-                    const dns::ServerRegistry* registry)
-      : probes_(topology, registry) {}
+  explicit PageLoadEstimator(WorldView world) : probes_(world) {}
 
   /// Models loading `page` from `replica`: `resolution_ms` is the DNS time
   /// already measured; every request wave pays a radio access RTT plus the

@@ -5,10 +5,10 @@ namespace curtain::measure {
 net::NodeId ProbeEngine::target_node(const ProbeOrigin& origin,
                                      net::Ipv4Addr target,
                                      net::SimTime now) const {
-  if (const dns::DnsServer* server = registry_->find(target)) {
+  if (const dns::DnsServer* server = world_.registry.find(target)) {
     return server->node_for(origin.source_ip, now);
   }
-  return topology_->find_by_ip(target);
+  return world_.topology.find_by_ip(target);
 }
 
 PingOutcome ProbeEngine::ping(const ProbeOrigin& origin, net::Ipv4Addr target,
@@ -16,7 +16,7 @@ PingOutcome ProbeEngine::ping(const ProbeOrigin& origin, net::Ipv4Addr target,
   PingOutcome outcome;
   const net::NodeId node = target_node(origin, target, now);
   if (node == net::kInvalidNode) return outcome;
-  const net::PingResult result = topology_->ping(origin.anchor, node, rng);
+  const net::PingResult result = world_.topology.ping(origin.anchor, node, rng);
   if (!result.responded) return outcome;
   outcome.responded = true;
   outcome.rtt_ms = origin.access_rtt_ms + result.rtt_ms;
@@ -30,9 +30,9 @@ HttpOutcome ProbeEngine::http_get(const ProbeOrigin& origin,
   const net::NodeId node = target_node(origin, target, now);
   if (node == net::kInvalidNode) return outcome;
   // TCP handshake round trip (no server think time)...
-  const auto syn = topology_->transport_rtt_ms(origin.anchor, node, rng);
+  const auto syn = world_.topology.transport_rtt_ms(origin.anchor, node, rng);
   // ...then GET -> first byte (server processing included in transport).
-  const auto get = topology_->transport_rtt_ms(origin.anchor, node, rng);
+  const auto get = world_.topology.transport_rtt_ms(origin.anchor, node, rng);
   if (!syn || !get) return outcome;
   outcome.responded = true;
   outcome.ttfb_ms = 2.0 * origin.access_rtt_ms + *syn + *get;
@@ -47,18 +47,18 @@ TracerouteOutcome ProbeEngine::traceroute(const ProbeOrigin& origin,
   const net::NodeId node = target_node(origin, target, now);
   if (node == net::kInvalidNode) return outcome;
   const net::TracerouteResult result =
-      topology_->traceroute(origin.anchor, node, rng);
+      world_.topology.traceroute(origin.anchor, node, rng);
   outcome.reached = result.reached_destination;
   outcome.hop_names.reserve(result.hops.size() + 1);
   // A cellular client's first visible hop is its gateway (the NAT/PGW box
   // anchoring the device); the radio segment itself never answers TTLs.
-  const net::Node& anchor = topology_->node(origin.anchor);
+  const net::Node& anchor = world_.topology.node(origin.anchor);
   if (anchor.kind == net::NodeKind::kGateway) {
     outcome.hop_names.push_back(anchor.name);
   }
   for (const auto& hop : result.hops) {
     outcome.hop_names.push_back(
-        hop.responded ? topology_->node(hop.node).name : "*");
+        hop.responded ? world_.topology.node(hop.node).name : "*");
   }
   return outcome;
 }

@@ -8,8 +8,7 @@
 // on top of every wired round trip.
 #pragma once
 
-#include "dns/server.h"
-#include "net/topology.h"
+#include "measure/worldview.h"
 
 namespace curtain::measure {
 
@@ -38,8 +37,7 @@ struct TracerouteOutcome {
 
 class ProbeEngine {
  public:
-  ProbeEngine(const net::Topology* topology, const dns::ServerRegistry* registry)
-      : topology_(topology), registry_(registry) {}
+  explicit ProbeEngine(WorldView world) : world_(world) {}
 
   PingOutcome ping(const ProbeOrigin& origin, net::Ipv4Addr target,
                    net::SimTime now, net::Rng& rng) const;
@@ -58,8 +56,7 @@ class ProbeEngine {
                           net::SimTime now) const;
 
  private:
-  const net::Topology* topology_;
-  const dns::ServerRegistry* registry_;
+  WorldView world_;
 };
 
 }  // namespace curtain::measure

@@ -4,10 +4,9 @@
 
 namespace curtain::measure {
 
-VantageProber::VantageProber(const net::Topology* topology,
-                             const dns::ServerRegistry* registry,
-                             net::NodeId vantage_node, net::Ipv4Addr vantage_ip)
-    : probes_(topology, registry),
+VantageProber::VantageProber(WorldView world, net::NodeId vantage_node,
+                             net::Ipv4Addr vantage_ip)
+    : probes_(world),
       vantage_node_(vantage_node),
       vantage_ip_(vantage_ip) {}
 

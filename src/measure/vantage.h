@@ -14,8 +14,7 @@ namespace curtain::measure {
 
 class VantageProber {
  public:
-  VantageProber(const net::Topology* topology,
-                const dns::ServerRegistry* registry, net::NodeId vantage_node,
+  VantageProber(WorldView world, net::NodeId vantage_node,
                 net::Ipv4Addr vantage_ip);
 
   /// Pings and traceroutes every distinct external resolver address the

@@ -1,0 +1,21 @@
+// WorldView: the read-only world substrate measurement code runs against.
+//
+// After construction the world is immutable (core/world.h); everything a
+// measurement component needs from it is the wired topology and the DNS
+// server registry. Bundling the two as references removes the null states
+// the old raw-pointer constructors admitted but never meant: a WorldView
+// is valid by construction and can be copied freely into probers, runners
+// and campaign shards.
+#pragma once
+
+#include "dns/server.h"
+#include "net/topology.h"
+
+namespace curtain::measure {
+
+struct WorldView {
+  const net::Topology& topology;
+  const dns::ServerRegistry& registry;
+};
+
+}  // namespace curtain::measure

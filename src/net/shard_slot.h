@@ -1,0 +1,36 @@
+// Shard slots: which campaign shard the current thread is executing.
+//
+// The sharded campaign engine (curtain::exec) partitions the fleet at the
+// carrier boundary; world components that keep per-carrier runtime state
+// behind a shared facade (public-DNS resolver caches, the topology route
+// cache) partition that state by *slot* instead of by lock. Slot 0 is the
+// main thread (world construction, the vantage sweep, tests and tools);
+// shard i runs with slot i+1. Because the shard→slot mapping is fixed by
+// the carrier partition — never by how many worker threads execute it —
+// slot-partitioned state behaves identically at any CURTAIN_SHARDS value,
+// which is what makes sharded runs byte-identical to serial ones.
+#pragma once
+
+namespace curtain::net {
+namespace detail {
+inline thread_local int tls_shard_slot = 0;
+}  // namespace detail
+
+/// Slot of the calling thread: 0 outside any shard, shard_index+1 inside.
+inline int current_shard_slot() { return detail::tls_shard_slot; }
+
+/// RAII slot binding for a shard worker thread.
+class ShardSlotGuard {
+ public:
+  explicit ShardSlotGuard(int slot) : previous_(detail::tls_shard_slot) {
+    detail::tls_shard_slot = slot;
+  }
+  ~ShardSlotGuard() { detail::tls_shard_slot = previous_; }
+  ShardSlotGuard(const ShardSlotGuard&) = delete;
+  ShardSlotGuard& operator=(const ShardSlotGuard&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace curtain::net

@@ -4,6 +4,7 @@
 #include <limits>
 #include <queue>
 
+#include "net/shard_slot.h"
 #include "obs/metrics.h"
 
 namespace curtain::net {
@@ -31,7 +32,7 @@ NodeId Topology::add_node(Node node) {
   if (!node.ip.is_unspecified()) ip_index_[node.ip.value()] = id;
   nodes_.push_back(std::move(node));
   adjacency_.emplace_back();
-  route_cache_.clear();
+  for (auto& cache : route_caches_) cache.clear();
   return id;
 }
 
@@ -41,7 +42,11 @@ void Topology::add_link(NodeId a, NodeId b, LatencyModel latency, double loss,
   links_.push_back(Link{a, b, latency, loss, tunneled});
   adjacency_[a].push_back(Edge{b, index});
   adjacency_[b].push_back(Edge{a, index});
-  route_cache_.clear();
+  for (auto& cache : route_caches_) cache.clear();
+}
+
+void Topology::set_route_cache_ways(size_t ways) {
+  route_caches_.assign(ways == 0 ? 1 : ways, {});
 }
 
 NodeId Topology::find_by_ip(Ipv4Addr ip) const {
@@ -50,9 +55,11 @@ NodeId Topology::find_by_ip(Ipv4Addr ip) const {
 }
 
 const std::vector<NodeId>& Topology::route(NodeId from, NodeId to) const {
+  const auto slot = static_cast<size_t>(current_shard_slot());
+  auto& route_cache = route_caches_[slot < route_caches_.size() ? slot : 0];
   const uint64_t key = route_key(from, to);
-  const auto cached = route_cache_.find(key);
-  if (cached != route_cache_.end()) return cached->second;
+  const auto cached = route_cache.find(key);
+  if (cached != route_cache.end()) return cached->second;
 
   // Dijkstra over typical link latency from `from`; we cache only the
   // requested pair (worlds have few distinct probe sources, many targets,
@@ -88,7 +95,7 @@ const std::vector<NodeId>& Topology::route(NodeId from, NodeId to) const {
     std::reverse(path.begin(), path.end());
     if (path.empty() || path.front() != from) path.clear();
   }
-  return route_cache_.emplace(key, std::move(path)).first->second;
+  return route_cache.emplace(key, std::move(path)).first->second;
 }
 
 const Link& Topology::link_between(NodeId a, NodeId b) const {
@@ -123,12 +130,14 @@ std::optional<double> Topology::transport_rtt_ms(NodeId from, NodeId to,
 }
 
 PingResult Topology::ping(NodeId from, NodeId to, Rng& rng) const {
-  static obs::Counter& pings = obs::metrics().counter(
+  // thread_local: under the sharded engine each shard thread carries its
+  // own metrics sheaf, so handles must bind per thread (see obs/metrics.h).
+  static thread_local obs::Counter& pings = obs::metrics().counter(
       "curtain_net_pings_total", "ping probes attempted across the topology");
-  static obs::Counter& firewalled = obs::metrics().counter(
+  static thread_local obs::Counter& firewalled = obs::metrics().counter(
       "curtain_net_probes_firewalled_total",
       "probes dropped at a NAT/firewall zone boundary");
-  static obs::Counter& unresponsive = obs::metrics().counter(
+  static thread_local obs::Counter& unresponsive = obs::metrics().counter(
       "curtain_net_probes_unresponsive_total",
       "probes whose target declines to answer (reachability policy)");
   pings.inc();

@@ -123,6 +123,13 @@ class Topology {
   /// if unreachable. Cached; cache resets on mutation.
   const std::vector<NodeId>& route(NodeId from, NodeId to) const;
 
+  /// Partitions the route cache into `ways` independent maps indexed by
+  /// the calling thread's shard slot, so concurrent shards fill disjoint
+  /// caches instead of racing on one. Routes are deterministic, so the
+  /// partitioning never changes results. Call before campaign threads
+  /// start; resets cached routes.
+  void set_route_cache_ways(size_t ways);
+
   /// Round-trip time as measured by a transport exchange (no firewall or
   /// responsiveness checks — used for protocol traffic like DNS, which is
   /// solicited and therefore NAT-traversing). nullopt if no route.
@@ -154,7 +161,10 @@ class Topology {
   std::vector<Link> links_;
   std::vector<std::vector<Edge>> adjacency_;
   std::unordered_map<uint32_t, NodeId> ip_index_;
-  mutable std::unordered_map<uint64_t, std::vector<NodeId>> route_cache_;
+  /// One route cache per shard slot (see net/shard_slot.h); size 1 until
+  /// set_route_cache_ways() widens it for a sharded campaign.
+  mutable std::vector<std::unordered_map<uint64_t, std::vector<NodeId>>>
+      route_caches_{1};
 };
 
 }  // namespace curtain::net

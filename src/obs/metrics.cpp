@@ -19,6 +19,16 @@ void Histogram::observe(double v) {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+void Histogram::merge_counts(const std::vector<uint64_t>& buckets,
+                             uint64_t count, double sum) {
+  const size_t n = std::min(buckets.size(), bounds_.size() + 1);
+  for (size_t i = 0; i < n; ++i) {
+    buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+}
+
 void Histogram::reset() {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
@@ -42,10 +52,25 @@ uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
   return 0;
 }
 
+namespace {
+thread_local MetricsRegistry* tls_current_registry = nullptr;
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry* registry = new MetricsRegistry();  // leaky: refs
   return *registry;                                          // never dangle
 }
+
+MetricsRegistry& MetricsRegistry::current() {
+  return tls_current_registry != nullptr ? *tls_current_registry : instance();
+}
+
+ScopedMetricsSheaf::ScopedMetricsSheaf(MetricsRegistry& sheaf)
+    : previous_(tls_current_registry) {
+  tls_current_registry = &sheaf;
+}
+
+ScopedMetricsSheaf::~ScopedMetricsSheaf() { tls_current_registry = previous_; }
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
@@ -102,6 +127,20 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.histograms.push_back(std::move(row));
   }
   return snap;
+}
+
+void MetricsRegistry::merge_snapshot(const MetricsSnapshot& snap) {
+  for (const auto& row : snap.counters) {
+    if (row.value != 0) counter(row.name, row.help).inc(row.value);
+  }
+  for (const auto& row : snap.gauges) {
+    if (row.value != 0.0) gauge(row.name, row.help).add(row.value);
+  }
+  for (const auto& row : snap.histograms) {
+    if (row.count == 0) continue;
+    histogram(row.name, row.bounds, row.help)
+        .merge_counts(row.buckets, row.count, row.sum);
+  }
 }
 
 void MetricsRegistry::reset_for_tests() {

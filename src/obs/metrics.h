@@ -1,15 +1,22 @@
-// curtain::obs — process-wide metrics registry.
+// curtain::obs — metrics registries and per-shard sheaves.
 //
 // The simulator computes millions of resolutions per campaign; this is the
 // instrumentation that makes those runs inspectable: named counters,
 // gauges and fixed-bucket histograms that hot paths bump through lock-free
 // std::atomic operations. Registration is lazy (first use creates the
-// metric) and returned references are stable for the process lifetime, so
-// call sites cache them in function-local statics:
+// metric) and returned references are stable for the registry lifetime, so
+// call sites cache them in function-local thread_local statics:
 //
-//   static obs::Counter& queries =
+//   static thread_local obs::Counter& queries =
 //       obs::metrics().counter("curtain_dns_queries_total", "DNS lookups");
 //   queries.inc();
+//
+// obs::metrics() resolves to the *current* registry: the process-wide one
+// by default, or — inside a campaign shard — that shard's private sheaf
+// (see ScopedMetricsSheaf). Sheaves keep hot-path instrumentation
+// contention-free under concurrent shards and are summed into the global
+// registry in deterministic shard order by merge_snapshot(). The
+// thread_local on cached handles is what re-binds them per shard thread.
 //
 // Naming scheme: curtain_<layer>_<name>[_total] (see DESIGN.md §9).
 // reset_for_tests() zeroes every value but keeps the registered objects,
@@ -70,6 +77,11 @@ class Histogram {
   size_t num_buckets() const { return bounds_.size() + 1; }
   void reset();
 
+  /// Adds previously captured raw counts (a snapshot row of a histogram
+  /// with the same bounds) into this histogram — the sheaf-merge path.
+  void merge_counts(const std::vector<uint64_t>& buckets, uint64_t count,
+                    double sum);
+
   /// 0.5 ms .. 5 s, the spread of one-resolution latencies in the study.
   static std::vector<double> latency_ms_buckets();
   /// 1 .. 16, for small set sizes (answer counts, replica sets).
@@ -110,8 +122,16 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
+  /// A standalone registry — a shard's private metrics sheaf. Most code
+  /// never constructs one; it reaches the current registry via metrics().
+  MetricsRegistry() = default;
+
   /// The process-wide registry every layer instruments against.
   static MetricsRegistry& instance();
+
+  /// The calling thread's current registry: the sheaf bound by a
+  /// ScopedMetricsSheaf, or instance() when none is bound.
+  static MetricsRegistry& current();
 
   /// Finds or creates. References remain valid for the process lifetime.
   Counter& counter(const std::string& name, const std::string& help = "");
@@ -123,12 +143,16 @@ class MetricsRegistry {
 
   MetricsSnapshot snapshot() const;
 
+  /// Adds every value of `snap` into this registry (find-or-create by
+  /// name): counters and gauges accumulate, histogram bucket counts and
+  /// sums add up. Merging shard sheaves in a fixed order keeps even the
+  /// floating-point sums deterministic.
+  void merge_snapshot(const MetricsSnapshot& snap);
+
   /// Zeroes every metric but keeps the objects (cached refs stay valid).
   void reset_for_tests();
 
  private:
-  MetricsRegistry() = default;
-
   template <typename T>
   struct Entry {
     std::unique_ptr<T> metric;
@@ -141,7 +165,22 @@ class MetricsRegistry {
   std::map<std::string, Entry<Histogram>> histograms_;
 };
 
-/// Shorthand for MetricsRegistry::instance().
-inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+/// Binds `sheaf` as the calling thread's current registry for the guard's
+/// lifetime. The sharded campaign engine installs one per shard thread so
+/// hot paths instrument into private, contention-free storage.
+class ScopedMetricsSheaf {
+ public:
+  explicit ScopedMetricsSheaf(MetricsRegistry& sheaf);
+  ~ScopedMetricsSheaf();
+  ScopedMetricsSheaf(const ScopedMetricsSheaf&) = delete;
+  ScopedMetricsSheaf& operator=(const ScopedMetricsSheaf&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Shorthand for MetricsRegistry::current() (the thread's sheaf when one
+/// is bound, otherwise the process-wide registry).
+inline MetricsRegistry& metrics() { return MetricsRegistry::current(); }
 
 }  // namespace curtain::obs

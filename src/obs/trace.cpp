@@ -28,8 +28,11 @@ std::string ResolutionTrace::render() const {
 }
 
 Tracer& Tracer::instance() {
-  static Tracer* tracer = new Tracer();  // leaky: refs never dangle
-  return *tracer;
+  // One tracer per thread: traces decompose a single resolution executing
+  // on the calling thread, so concurrent campaign shards each get their
+  // own span stack and ring (no locks on the span hot path).
+  static thread_local Tracer tracer;
+  return tracer;
 }
 
 bool Tracer::begin(double now_ms) {

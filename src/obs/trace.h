@@ -46,6 +46,10 @@ struct ResolutionTrace {
 
 class Tracer {
  public:
+  /// The calling thread's tracer. Thread-local: a trace decomposes one
+  /// resolution executing on one thread, and concurrent campaign shards
+  /// must not interleave span stacks. Each shard's sampled traces are
+  /// returned through its private Dataset and merged in shard order.
   static Tracer& instance();
 
   /// Starts a trace at virtual time `now_ms`. Returns false (and does

@@ -35,4 +35,10 @@ double campaign_scale() {
 
 uint64_t study_seed() { return env_u64("CURTAIN_SEED", 20141105); }
 
+int campaign_shards() {
+  const uint64_t shards = env_u64("CURTAIN_SHARDS", 1);
+  if (shards < 1) return 1;
+  return shards > 64 ? 64 : static_cast<int>(shards);
+}
+
 }  // namespace curtain::util

@@ -21,4 +21,9 @@ double campaign_scale();
 /// CURTAIN_SEED: study-wide RNG seed (default 20141105, the IMC'14 date).
 uint64_t study_seed();
 
+/// CURTAIN_SHARDS in [1, 64]: max campaign shards running concurrently
+/// (default 1). Purely a wall-clock knob; results are identical for every
+/// value (see exec/engine.h).
+int campaign_shards();
+
 }  // namespace curtain::util

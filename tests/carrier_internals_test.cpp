@@ -166,9 +166,8 @@ TEST(XuEra, FourUsCarriers) {
 }
 
 TEST(XuEra, BuildableWorld) {
-  core::WorldConfig config;
-  config.carrier_profiles = xu_era_carriers();
-  core::World world(config);
+  core::World world(
+      core::Scenario::paper_2014().with_carriers(xu_era_carriers()));
   ASSERT_EQ(world.carriers().size(), 4u);
   net::Rng rng(99);
   // A device can attach and resolve through the 3G deployment.

@@ -318,8 +318,8 @@ TEST_F(DnsWorldTest, UnknownTldServfails) {
 // --- stub ----------------------------------------------------------------
 
 TEST_F(DnsWorldTest, StubEndToEnd) {
-  StubResolver stub(client_node_, net::Ipv4Addr{7, 7, 7, 7}, &topo_,
-                    &registry_);
+  StubResolver stub(client_node_, net::Ipv4Addr{7, 7, 7, 7}, topo_,
+                    registry_);
   const auto result =
       stub.query(net::Ipv4Addr{9, 9, 9, 9}, name("static.example.com"),
                  RRType::kA, net::SimTime::zero(), rng_, /*extra=*/25.0);
@@ -331,8 +331,8 @@ TEST_F(DnsWorldTest, StubEndToEnd) {
 }
 
 TEST_F(DnsWorldTest, StubUnknownResolverFails) {
-  StubResolver stub(client_node_, net::Ipv4Addr{7, 7, 7, 7}, &topo_,
-                    &registry_);
+  StubResolver stub(client_node_, net::Ipv4Addr{7, 7, 7, 7}, topo_,
+                    registry_);
   const auto result =
       stub.query(net::Ipv4Addr{203, 0, 113, 1}, name("static.example.com"),
                  RRType::kA, net::SimTime::zero(), rng_);

@@ -95,9 +95,8 @@ TEST(EcsCache, ScopesAreIndependent) {
 class EcsWorldTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    core::WorldConfig config;
-    config.google_ecs = true;
-    world_ = new core::World(config);
+    world_ = new core::World(
+        core::Scenario::paper_2014().with_google_ecs(true));
   }
   static void TearDownTestSuite() {
     delete world_;

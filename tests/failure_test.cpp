@@ -122,7 +122,7 @@ TEST_F(FailureTest, StubSurvivesGarbageResponder) {
   GarbageServer garbage(gnode, net::Ipv4Addr{6, 6, 6, 6});
   registry_.add(&garbage);
 
-  StubResolver stub(client_, net::Ipv4Addr{7, 7, 7, 7}, &topo_, &registry_);
+  StubResolver stub(client_, net::Ipv4Addr{7, 7, 7, 7}, topo_, registry_);
   const auto result = stub.query(net::Ipv4Addr{6, 6, 6, 6},
                                  name("www.example.com"), RRType::kA,
                                  net::SimTime::zero(), rng_);
@@ -156,7 +156,7 @@ TEST_F(FailureTest, MismatchedQueryIdRejected) {
   WrongIdServer wrong(wnode, net::Ipv4Addr{6, 6, 6, 7});
   registry_.add(&wrong);
 
-  StubResolver stub(client_, net::Ipv4Addr{7, 7, 7, 7}, &topo_, &registry_);
+  StubResolver stub(client_, net::Ipv4Addr{7, 7, 7, 7}, topo_, registry_);
   const auto result =
       stub.query(net::Ipv4Addr{6, 6, 6, 7}, name("www.example.com"),
                  RRType::kA, net::SimTime::zero(), rng_);
@@ -179,7 +179,7 @@ TEST_F(FailureTest, LossyLinkStillResolvesTransport) {
 }
 
 TEST_F(FailureTest, ProbeEngineUnknownTarget) {
-  measure::ProbeEngine probes(&topo_, &registry_);
+  measure::ProbeEngine probes(measure::WorldView{topo_, registry_});
   const measure::ProbeOrigin origin{client_, net::Ipv4Addr{7, 7, 7, 7}, 10.0};
   const auto ping =
       probes.ping(origin, net::Ipv4Addr{203, 0, 113, 200}, net::SimTime::zero(),
@@ -195,7 +195,7 @@ TEST_F(FailureTest, ProbeEngineUnknownTarget) {
 }
 
 TEST_F(FailureTest, ProbeEngineAddsAccessLatency) {
-  measure::ProbeEngine probes(&topo_, &registry_);
+  measure::ProbeEngine probes(measure::WorldView{topo_, registry_});
   const measure::ProbeOrigin wired{client_, net::Ipv4Addr{7, 7, 7, 7}, 0.0};
   const measure::ProbeOrigin radio{client_, net::Ipv4Addr{7, 7, 7, 7}, 50.0};
   const auto a = probes.ping(wired, net::Ipv4Addr{50, 0, 0, 1},
@@ -207,7 +207,7 @@ TEST_F(FailureTest, ProbeEngineAddsAccessLatency) {
 }
 
 TEST_F(FailureTest, HttpTtfbCountsTwoRoundTrips) {
-  measure::ProbeEngine probes(&topo_, &registry_);
+  measure::ProbeEngine probes(measure::WorldView{topo_, registry_});
   const measure::ProbeOrigin radio{client_, net::Ipv4Addr{7, 7, 7, 7}, 25.0};
   const auto http = probes.http_get(radio, net::Ipv4Addr{50, 0, 0, 1},
                                     net::SimTime::zero(), rng_);

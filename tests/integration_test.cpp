@@ -14,11 +14,9 @@ using analysis::Ecdf;
 class StudyIntegrationTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    core::StudyConfig config;
-    config.seed = 20141105;
-    config.scale = 0.02;  // ~3 days, ~2k experiments
-    config.world.seed = config.seed;
-    study_ = new core::Study(config);
+    // ~3 days, ~2k experiments
+    study_ = new core::Study(
+        core::Scenario::paper_2014().with_seed(20141105).with_scale(0.02));
     study_->run();
   }
   static void TearDownTestSuite() {

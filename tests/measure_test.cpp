@@ -34,10 +34,10 @@ TEST(ResolverKindNames, Stable) {
 }
 
 TEST(CampaignConfig, ScaledShortensDuration) {
-  const auto full = CampaignConfig::scaled(1.0, 1);
+  const auto full = CampaignConfig::scaled(1.0);
   EXPECT_DOUBLE_EQ(full.duration_days, 153.0);
   EXPECT_DOUBLE_EQ(full.participation, 0.048);
-  const auto small = CampaignConfig::scaled(0.05, 1);
+  const auto small = CampaignConfig::scaled(0.05);
   EXPECT_NEAR(small.duration_days, 7.65, 0.01);
   EXPECT_GT(small.participation, full.participation);
 }
@@ -46,11 +46,9 @@ TEST(CampaignConfig, ScaledShortensDuration) {
 class MeasurePipelineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    core::StudyConfig config;
-    config.seed = 7;
-    config.scale = 0.004;  // ~0.6 days, a few hundred experiments
-    config.world.seed = 7;
-    study_ = new core::Study(config);
+    // ~0.6 days, a few hundred experiments
+    study_ = new core::Study(
+        core::Scenario::paper_2014().with_seed(7).with_scale(0.004));
     study_->run();
   }
   static void TearDownTestSuite() {
@@ -63,7 +61,7 @@ class MeasurePipelineTest : public ::testing::Test {
 core::Study* MeasurePipelineTest::study_ = nullptr;
 
 TEST_F(MeasurePipelineTest, FleetMatchesTableOne) {
-  EXPECT_EQ(study_->fleet().device_count(), 158u);
+  EXPECT_EQ(study_->device_count(), 158u);
 }
 
 TEST_F(MeasurePipelineTest, ExperimentsProduced) {
@@ -188,11 +186,8 @@ TEST_F(MeasurePipelineTest, VantageProbesCoverObservedResolvers) {
 }
 
 TEST_F(MeasurePipelineTest, DeterministicForSeed) {
-  core::StudyConfig config;
-  config.seed = 7;
-  config.scale = 0.004;
-  config.world.seed = 7;
-  core::Study replay(config);
+  core::Study replay(
+      core::Scenario::paper_2014().with_seed(7).with_scale(0.004));
   replay.run();
   const auto& a = study_->dataset();
   const auto& b = replay.dataset();

@@ -36,7 +36,7 @@ TEST_F(PageLoadTest, DownlinkOrderedByGeneration) {
 }
 
 TEST_F(PageLoadTest, LoadCompletesAndDecomposes) {
-  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  PageLoadEstimator plt(measure::WorldView{world_->topology(), world_->registry()});
   const auto outcome =
       plt.load(wired_origin(), a_replica(), cellular::RadioTech::kLte, 40.0,
                PageSpec::mobile_default(), net::SimTime::zero(), rng_);
@@ -48,7 +48,7 @@ TEST_F(PageLoadTest, LoadCompletesAndDecomposes) {
 }
 
 TEST_F(PageLoadTest, SlowerRadioSlowerPage) {
-  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  PageLoadEstimator plt(measure::WorldView{world_->topology(), world_->registry()});
   const auto page = PageSpec::mobile_default();
   double lte_sum = 0.0;
   double g2_sum = 0.0;
@@ -64,7 +64,7 @@ TEST_F(PageLoadTest, SlowerRadioSlowerPage) {
 }
 
 TEST_F(PageLoadTest, FartherReplicaSlowerPage) {
-  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  PageLoadEstimator plt(measure::WorldView{world_->topology(), world_->registry()});
   const auto& provider = world_->cdn("curtaincdn");
   // Vantage is near Chicago; compare the Chicago cluster vs Seoul.
   const auto& near = provider.nearest_cluster({42.05, -87.68}, "US");
@@ -86,7 +86,7 @@ TEST_F(PageLoadTest, FartherReplicaSlowerPage) {
 }
 
 TEST_F(PageLoadTest, UnknownReplicaFails) {
-  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  PageLoadEstimator plt(measure::WorldView{world_->topology(), world_->registry()});
   const auto outcome =
       plt.load(wired_origin(), net::Ipv4Addr{203, 0, 113, 222},
                cellular::RadioTech::kLte, 40.0, PageSpec::mobile_default(),
@@ -96,7 +96,7 @@ TEST_F(PageLoadTest, UnknownReplicaFails) {
 }
 
 TEST_F(PageLoadTest, MoreObjectsMoreWaves) {
-  PageLoadEstimator plt(&world_->topology(), &world_->registry());
+  PageLoadEstimator plt(measure::WorldView{world_->topology(), world_->registry()});
   PageSpec heavy;
   heavy.num_objects = 60;
   const auto outcome =

@@ -83,8 +83,8 @@ TEST_F(PublicDnsTest, IngressDriftsAcrossEpochs) {
 TEST_F(PublicDnsTest, ResolvesStudyDomainEndToEnd) {
   auto& att = world_->carrier(0);
   const net::Ipv4Addr src = att.assign_ip(3, rng_);
-  dns::StubResolver stub(att.gateway_node(0), src, &world_->topology(),
-                         &world_->registry());
+  dns::StubResolver stub(att.gateway_node(0), src, world_->topology(),
+                         world_->registry());
   const auto result =
       stub.query(net::Ipv4Addr{8, 8, 8, 8}, *dns::DnsName::parse("m.yelp.com"),
                  dns::RRType::kA, net::SimTime::zero(), rng_);

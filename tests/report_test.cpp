@@ -9,17 +9,15 @@ namespace curtain::analysis {
 namespace {
 
 TEST(Report, GeneratesAllSections) {
-  core::StudyConfig config;
-  config.seed = 99;
-  config.scale = 0.003;
-  config.world.seed = 99;
-  core::Study study(config);
+  const core::Scenario scenario =
+      core::Scenario::paper_2014().with_seed(99).with_scale(0.003);
+  core::Study study(scenario);
   study.run();
 
   std::ostringstream out;
   ReportConfig report_config;
-  report_config.scale = config.scale;
-  report_config.seed = config.seed;
+  report_config.scale = scenario.scale;
+  report_config.seed = scenario.seed;
   write_report(study.dataset(), report_config, out);
   const std::string text = out.str();
 

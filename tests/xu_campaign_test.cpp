@@ -13,12 +13,10 @@ namespace {
 class XuCampaignTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    core::StudyConfig config;
-    config.seed = 314;
-    config.scale = 0.01;
-    config.world.seed = config.seed;
-    config.world.carrier_profiles = cellular::xu_era_carriers();
-    study_ = new core::Study(config);
+    study_ = new core::Study(core::Scenario::paper_2014()
+                                 .with_seed(314)
+                                 .with_scale(0.01)
+                                 .with_carriers(cellular::xu_era_carriers()));
     study_->run();
   }
   static void TearDownTestSuite() {
@@ -32,7 +30,7 @@ core::Study* XuCampaignTest::study_ = nullptr;
 
 TEST_F(XuCampaignTest, FleetSizedByXuProfiles) {
   // Four US carriers: 33 + 9 + 31 + 64 devices.
-  EXPECT_EQ(study_->fleet().device_count(), 137u);
+  EXPECT_EQ(study_->device_count(), 137u);
   EXPECT_GT(study_->dataset().experiments.size(), 200u);
 }
 
