@@ -39,7 +39,7 @@ EraStats measure_era(core::World& world, uint64_t seed) {
     if (carrier.profile().country != "US") continue;
     for (int d = 0; d < 8; ++d) {
       cellular::Device device(
-          static_cast<uint64_t>(c * 100 + d), &carrier,
+          static_cast<uint64_t>(c * 100 + static_cast<size_t>(d)), &carrier,
           net::us_metros()[static_cast<size_t>(d) % net::us_metros().size()]
               .location);
       for (int hour = 0; hour < 48; hour += 4) {

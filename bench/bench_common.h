@@ -14,15 +14,25 @@
 
 #include "analysis/figures.h"
 #include "core/study.h"
+#include "net/rng.h"
 #include "obs/metrics.h"
 #include "util/csv.h"
 #include "util/flags.h"
 
 namespace curtain::bench {
 
+/// Rng stream for one micro-bench, derived from CURTAIN_SEED via the same
+/// mix_key/hash_tag discipline as the simulator's own streams.
+inline net::Rng bench_rng(std::string_view tag) {  // lint: rng-seed
+  return net::Rng(net::mix_key(util::study_seed(), net::hash_tag(tag)));
+}
+
+// Wall-clock use below is waived: it feeds only the bench run records'
+// wall_ms field, never a simulated result.
+
 /// Wall-clock anchor for the whole bench process (first call wins).
-inline std::chrono::steady_clock::time_point& bench_start() {
-  static auto start = std::chrono::steady_clock::now();
+inline std::chrono::steady_clock::time_point& bench_start() {  // lint: wallclock
+  static auto start = std::chrono::steady_clock::now();  // lint: wallclock
   return start;
 }
 
@@ -32,7 +42,7 @@ inline std::chrono::steady_clock::time_point& bench_start() {
 inline void emit_json_record(const std::string& name) {
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - bench_start())
+          std::chrono::steady_clock::now() - bench_start())  // lint: wallclock
           .count();
   const auto snapshot = obs::metrics().snapshot();
   static constexpr const char* kKeyCounters[] = {

@@ -88,7 +88,7 @@ void BM_RecursiveResolution(benchmark::State& state) {
       attach("resolver", net::NodeKind::kResolver, {41, -87}, net::Ipv4Addr{});
   dns::RecursiveResolver resolver("bench", rnode, net::Ipv4Addr{9, 9, 9, 9},
                                   &topo, &registry, hierarchy.root_ip());
-  net::Rng rng(1);
+  auto rng = bench::bench_rng("micro_dns/resolve-cold");
   int64_t t = 0;
   for (auto _ : state) {
     // Advance past the 30 s TTL so every iteration resolves cold.
@@ -125,7 +125,7 @@ void BM_CachedResolution(benchmark::State& state) {
       attach("resolver", net::NodeKind::kResolver, {41, -87}, net::Ipv4Addr{});
   dns::RecursiveResolver resolver("bench", rnode, net::Ipv4Addr{9, 9, 9, 9},
                                   &topo, &registry, hierarchy.root_ip());
-  net::Rng rng(1);
+  auto rng = bench::bench_rng("micro_dns/resolve-warm");
   resolver.resolve(host, dns::RRType::kA, net::SimTime::zero(), rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(resolver.resolve(

@@ -12,7 +12,7 @@ namespace {
 using namespace curtain;
 
 void BM_RngNextU64(benchmark::State& state) {
-  net::Rng rng(42);
+  auto rng = bench::bench_rng("micro_net/next-u64");
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng.next_u64());
   }
@@ -20,7 +20,7 @@ void BM_RngNextU64(benchmark::State& state) {
 BENCHMARK(BM_RngNextU64);
 
 void BM_RngLognormal(benchmark::State& state) {
-  net::Rng rng(42);
+  auto rng = bench::bench_rng("micro_net/lognormal");
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng.lognormal_median(30.0, 0.3));
   }
@@ -55,13 +55,13 @@ net::Topology make_topology() {
                         1.0));
     }
   }
-  net::Rng rng(7);
+  auto rng = bench::bench_rng("micro_net/topology-build");
   for (int leaf = 0; leaf < 200; ++leaf) {
     net::Node node;
     node.name = "leaf-" + std::to_string(leaf);
     node.ip = net::Ipv4Addr(0x0a000000u + static_cast<uint32_t>(leaf) + 1);
     const net::NodeId id = topo.add_node(node);
-    topo.add_link(id, backbone[leaf % backbone.size()],
+    topo.add_link(id, backbone[static_cast<size_t>(leaf) % backbone.size()],
                   net::LatencyModel::jittered(1.0, 0.3));
     (void)rng;
   }
@@ -83,7 +83,7 @@ BENCHMARK(BM_RouteColdCache);
 
 void BM_TransportRtt(benchmark::State& state) {
   net::Topology topo = make_topology();
-  net::Rng rng(3);
+  auto rng = bench::bench_rng("micro_net/transport-rtt");
   for (auto _ : state) {
     benchmark::DoNotOptimize(topo.transport_rtt_ms(30, 150, rng));
   }
@@ -92,7 +92,7 @@ BENCHMARK(BM_TransportRtt);
 
 void BM_Ping(benchmark::State& state) {
   net::Topology topo = make_topology();
-  net::Rng rng(3);
+  auto rng = bench::bench_rng("micro_net/ping");
   for (auto _ : state) {
     benchmark::DoNotOptimize(topo.ping(30, 150, rng));
   }
@@ -101,7 +101,7 @@ BENCHMARK(BM_Ping);
 
 void BM_Traceroute(benchmark::State& state) {
   net::Topology topo = make_topology();
-  net::Rng rng(3);
+  auto rng = bench::bench_rng("micro_net/traceroute");
   for (auto _ : state) {
     benchmark::DoNotOptimize(topo.traceroute(30, 150, rng));
   }

@@ -28,10 +28,10 @@ void BM_FullExperiment(benchmark::State& state) {
       measure::ExperimentConfig{});
   cellular::Device device(1, &world.carrier(0), net::GeoPoint{40.71, -74.01});
   measure::Dataset dataset;
-  net::Rng rng(17);
+  auto rng = bench::bench_rng("micro_study/full-experiment");
   int64_t hour = 0;
   for (auto _ : state) {
-    runner.run(device, 0, net::SimTime::from_hours(++hour), rng, dataset);
+    runner.run(device, 0, net::SimTime::from_hours(static_cast<double>(++hour)), rng, dataset);
   }
   state.SetLabel(std::to_string(dataset.resolutions.size() /
                                 std::max<size_t>(1, dataset.experiments.size())) +
@@ -43,11 +43,11 @@ void BM_SingleCellResolution(benchmark::State& state) {
   core::World world;
   auto& carrier = world.carrier(0);
   cellular::Device device(2, &carrier, net::GeoPoint{40.71, -74.01});
-  net::Rng rng(18);
+  auto rng = bench::bench_rng("micro_study/single-resolution");
   const auto host = dns::DnsName::parse("www.buzzfeed.com");
   int64_t second = 0;
   for (auto _ : state) {
-    const auto now = net::SimTime::from_seconds(second += 61);
+    const auto now = net::SimTime::from_seconds(static_cast<double>(second += 61));
     const auto snapshot = device.begin_experiment(now, rng);
     dns::StubResolver stub(device.gateway_node(), snapshot.public_ip,
                            world.topology(), world.registry());

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# One-command CI matrix for the curtain tree.
+#
+#   scripts/check.sh          # full matrix (plain, asan+ubsan, tsan, lint)
+#   scripts/check.sh plain    # just one leg: plain | sanitize | tsan | lint
+#
+# Legs:
+#   plain     default build (all warnings + -Werror) and the full ctest
+#             suite — the tier-1 gate.
+#   sanitize  ASan+UBSan build tree (build-asan/) and the full ctest suite.
+#   tsan      TSan build tree (build-tsan/) running shard_determinism_test,
+#             which drives real worker threads against the shared World.
+#   lint      curtain_lint over src/ bench/ examples/ (also runs inside
+#             every ctest leg as LintTree; kept separate so a lint check
+#             doesn't need a test run).
+#
+# Every leg uses its own build directory, so re-runs are incremental.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+LEG="${1:-all}"
+
+run_leg() {
+  echo
+  echo "=== check.sh: $1 ==="
+}
+
+plain_leg() {
+  run_leg "plain build + full ctest"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+sanitize_leg() {
+  run_leg "ASan+UBSan build + full ctest"
+  cmake -B build-asan -S . -DCURTAIN_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+}
+
+tsan_leg() {
+  run_leg "TSan build + shard determinism"
+  cmake -B build-tsan -S . -DCURTAIN_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target shard_determinism_test
+  ctest --test-dir build-tsan --output-on-failure -R ShardDeterminism
+}
+
+lint_leg() {
+  run_leg "curtain_lint"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target curtain_lint
+  ./build/tools/curtain_lint src bench examples
+}
+
+case "$LEG" in
+  plain)    plain_leg ;;
+  sanitize) sanitize_leg ;;
+  tsan)     tsan_leg ;;
+  lint)     lint_leg ;;
+  all)
+    plain_leg
+    sanitize_leg
+    tsan_leg
+    lint_leg
+    echo
+    echo "=== check.sh: all legs green ==="
+    ;;
+  *)
+    echo "usage: scripts/check.sh [plain|sanitize|tsan|lint|all]" >&2
+    exit 2
+    ;;
+esac

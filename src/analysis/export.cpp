@@ -4,6 +4,7 @@
 
 #include "cellular/carrier_profile.h"
 #include "cdn/domains.h"
+#include "util/contract.h"
 #include "util/csv.h"
 
 namespace curtain::analysis {
@@ -25,6 +26,41 @@ const char* target_kind_name(measure::ProbeTargetKind kind) {
     case measure::ProbeTargetKind::kBootstrap: return "bootstrap";
   }
   return "?";
+}
+
+/// The referential invariants every exporter relies on; violating any of
+/// them means the campaign merge (exec/engine.cpp) is broken, and a loud
+/// abort beats shipping a silently inconsistent dataset.
+void check_dataset_integrity(const measure::Dataset& dataset) {
+  for (size_t i = 0; i < dataset.experiments.size(); ++i) {
+    CURTAIN_CHECK(dataset.experiments[i].experiment_id == i)
+        << "experiment record " << i << " carries id "
+        << dataset.experiments[i].experiment_id
+        << "; context_of() indexing is broken";
+  }
+  for (const auto& r : dataset.resolutions) {
+    CURTAIN_CHECK(r.experiment_id < dataset.experiments.size())
+        << "resolution references unknown experiment " << r.experiment_id;
+    CURTAIN_CHECK(r.trace_index >= -1 &&
+                  (r.trace_index < 0 ||
+                   static_cast<size_t>(r.trace_index) <
+                       dataset.resolution_traces.size()))
+        << "resolution trace_index " << r.trace_index << " out of range ("
+        << dataset.resolution_traces.size() << " traces)";
+  }
+  for (const auto& p : dataset.probes) {
+    CURTAIN_CHECK(p.experiment_id < dataset.experiments.size())
+        << "probe references unknown experiment " << p.experiment_id;
+  }
+  for (const auto& t : dataset.traceroutes) {
+    CURTAIN_CHECK(t.experiment_id < dataset.experiments.size())
+        << "traceroute references unknown experiment " << t.experiment_id;
+  }
+  for (const auto& o : dataset.resolver_observations) {
+    CURTAIN_CHECK(o.experiment_id < dataset.experiments.size())
+        << "resolver observation references unknown experiment "
+        << o.experiment_id;
+  }
 }
 
 }  // namespace
@@ -128,6 +164,7 @@ void export_vantage_probes_csv(const measure::Dataset& dataset,
 
 int export_dataset(const measure::Dataset& dataset,
                    const std::string& directory) {
+  check_dataset_integrity(dataset);
   struct FileSpec {
     const char* name;
     void (*write)(const measure::Dataset&, std::ostream&);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "cellular/carrier_profile.h"
+#include "util/contract.h"
 
 namespace curtain::analysis {
 namespace {
@@ -19,6 +20,10 @@ int num_carriers() {
 }  // namespace
 
 const std::string& carrier_name(int carrier_index) {
+  CURTAIN_CHECK(carrier_index >= 0 &&
+                static_cast<size_t>(carrier_index) <
+                    cellular::study_carriers().size())
+      << "carrier index " << carrier_index << " outside the study set";
   return cellular::study_carriers()[static_cast<size_t>(carrier_index)].name;
 }
 

@@ -8,9 +8,9 @@ namespace curtain::analysis {
 namespace {
 
 /// experiment_id -> external resolver IP (local kind) for joins.
-std::unordered_map<uint32_t, uint32_t> local_external_by_experiment(
+std::map<uint32_t, uint32_t> local_external_by_experiment(
     const measure::Dataset& dataset) {
-  std::unordered_map<uint32_t, uint32_t> out;
+  std::map<uint32_t, uint32_t> out;
   for (const auto& observation : dataset.resolver_observations) {
     if (observation.resolver == measure::ResolverKind::kLocal &&
         observation.responded) {
@@ -53,7 +53,7 @@ double ReplicaMap::cosine_similarity(const ReplicaMap& other) const {
   return denom > 0.0 ? dot / denom : 0.0;
 }
 
-std::unordered_map<int, Ecdf> replica_penalty_by_carrier(
+std::map<int, Ecdf> replica_penalty_by_carrier(
     const measure::Dataset& dataset,
     const std::vector<uint16_t>& domain_filter) {
   // (device, domain, replica) -> running mean of HTTP TTFB.
@@ -84,7 +84,7 @@ std::unordered_map<int, Ecdf> replica_penalty_by_carrier(
   }
 
   // Per (device, domain): percent increase of each replica vs the best.
-  std::unordered_map<int, Ecdf> by_carrier;
+  std::map<int, Ecdf> by_carrier;
   auto it = latency.begin();
   while (it != latency.end()) {
     const auto [device, domain, first_ip] = it->first;
@@ -110,10 +110,10 @@ std::unordered_map<int, Ecdf> replica_penalty_by_carrier(
   return by_carrier;
 }
 
-std::unordered_map<uint32_t, ReplicaMap> replica_maps_by_resolver(
+std::map<uint32_t, ReplicaMap> replica_maps_by_resolver(
     const measure::Dataset& dataset, uint16_t domain_index, int carrier_index) {
   const auto externals = local_external_by_experiment(dataset);
-  std::unordered_map<uint32_t, ReplicaMap> maps;
+  std::map<uint32_t, ReplicaMap> maps;
   for (const auto& resolution : dataset.resolutions) {
     if (resolution.resolver != measure::ResolverKind::kLocal ||
         resolution.second_lookup || !resolution.responded ||
@@ -135,13 +135,13 @@ std::unordered_map<uint32_t, ReplicaMap> replica_maps_by_resolver(
 CosineSplit cosine_by_prefix(const measure::Dataset& dataset,
                              uint16_t domain_index, int carrier_index) {
   const auto maps = replica_maps_by_resolver(dataset, domain_index, carrier_index);
+  // maps is ordered by resolver IP, so the pairwise sweep below visits
+  // pairs in a reproducible order with no extra sort.
   std::vector<std::pair<uint32_t, const ReplicaMap*>> entries;
   entries.reserve(maps.size());
   for (const auto& [ip, map] : maps) {
     if (!map.empty()) entries.emplace_back(ip, &map);
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
 
   CosineSplit split;
   for (size_t i = 0; i < entries.size(); ++i) {

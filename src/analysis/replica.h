@@ -4,9 +4,14 @@
 // observer (a user, or a resolver), the fraction of resolutions that
 // returned each replica. Cosine similarity between maps quantifies how
 // much two observers' replica sets overlap.
+// Containers here are ordered (std::map, not unordered_map) on purpose:
+// cosine_similarity accumulates floating point over the key order, and the
+// figure pipelines iterate these maps straight into printed/exported rows,
+// so iteration order is part of the reproducibility contract
+// (tools/curtain_lint rule unordered-iter).
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "analysis/stats.h"
 #include "measure/records.h"
@@ -28,10 +33,10 @@ class ReplicaMap {
   /// cos_sim in [0,1]: 0 = disjoint sets, 1 = identical distributions.
   double cosine_similarity(const ReplicaMap& other) const;
 
-  const std::unordered_map<uint32_t, uint64_t>& counts() const { return counts_; }
+  const std::map<uint32_t, uint64_t>& counts() const { return counts_; }
 
  private:
-  std::unordered_map<uint32_t, uint64_t> counts_;
+  std::map<uint32_t, uint64_t> counts_;
   uint64_t total_ = 0;
 };
 
@@ -39,12 +44,12 @@ class ReplicaMap {
 /// latency over the best replica the same user saw for the same domain.
 /// `domain_filter` restricts to specific domain indices (Fig. 2 shows 4
 /// domains); empty = all.
-std::unordered_map<int, Ecdf> replica_penalty_by_carrier(
+std::map<int, Ecdf> replica_penalty_by_carrier(
     const measure::Dataset& dataset, const std::vector<uint16_t>& domain_filter);
 
 /// Fig. 10 input: replica maps keyed by the *external resolver* (local
 /// kind) that served the experiment, for one domain.
-std::unordered_map<uint32_t, ReplicaMap> replica_maps_by_resolver(
+std::map<uint32_t, ReplicaMap> replica_maps_by_resolver(
     const measure::Dataset& dataset, uint16_t domain_index, int carrier_index);
 
 struct CosineSplit {

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/index.h"
 
 namespace curtain::cdn {
 namespace {
@@ -174,14 +175,14 @@ const ReplicaCluster& CdnProvider::cluster_for_resolver(
   for (const auto& cluster : clusters_) {
     if (cluster.country == country) pool.push_back(cluster.index);
   }
-  return clusters_[pool[h % pool.size()]];
+  return clusters_[util::idx(pool[h % pool.size()])];
 }
 
 const ReplicaCluster* CdnProvider::cluster_of_replica(
     net::Ipv4Addr replica_ip) const {
   const auto it = cluster_by_replica_slash24_.find(replica_ip.slash24().value());
   return it == cluster_by_replica_slash24_.end() ? nullptr
-                                                 : &clusters_[it->second];
+                                                 : &clusters_[util::idx(it->second)];
 }
 
 std::vector<dns::ResourceRecord> CdnProvider::answer_query(

@@ -22,11 +22,11 @@ std::vector<std::string> study_cdn_names() {
 }
 
 void wire_origin_zones(
-    const std::unordered_map<std::string, CdnProvider*>& cdns,
+    const std::map<std::string, CdnProvider*>& cdns,
     dns::DnsHierarchy& hierarchy, net::IpAllocator& allocator,
     uint32_t cname_ttl_s) {
   // One origin ADNS per registrable zone; several hosts may share a zone.
-  std::unordered_map<std::string, dns::AuthoritativeServer*> origin_servers;
+  std::map<std::string, dns::AuthoritativeServer*> origin_servers;
   for (const auto& domain : study_domains()) {
     auto* cdn = cdns.at(domain.cdn);
     const dns::DnsName edge = cdn->add_customer(domain.customer);

@@ -7,7 +7,7 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "cdn/cdn.h"
@@ -32,7 +32,7 @@ std::vector<std::string> study_cdn_names();
 /// CNAME host → <customer>.<cdn zone>, registering customers with their
 /// CDN. `cdns` maps provider name → provider.
 void wire_origin_zones(
-    const std::unordered_map<std::string, CdnProvider*>& cdns,
+    const std::map<std::string, CdnProvider*>& cdns,
     dns::DnsHierarchy& hierarchy, net::IpAllocator& allocator,
     uint32_t cname_ttl_s = 300);
 

@@ -6,6 +6,7 @@
 #include "net/geo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/index.h"
 
 namespace curtain::cellular {
 namespace {
@@ -171,12 +172,12 @@ void CellularNetwork::build_regions(const CarrierBuildContext& /*context*/) {
       profile_.country == "KR" ? net::kr_metros() : net::us_metros();
   const int count = std::min<int>(profile_.regions,
                                   static_cast<int>(metros.size()));
-  regions_.resize(count);
+  regions_.resize(util::idx(count));
   for (int r = 0; r < count; ++r) {
-    Region& region = regions_[r];
-    region.location = metros[r].location;
+    Region& region = regions_[util::idx(r)];
+    region.location = metros[util::idx(r)].location;
     net::Node hub;
-    hub.name = profile_.name + "-hub-" + metros[r].name;
+    hub.name = profile_.name + "-hub-" + metros[util::idx(r)].name;
     hub.kind = net::NodeKind::kRouter;
     hub.zone = zone_;
     hub.location = region.location;
@@ -187,8 +188,8 @@ void CellularNetwork::build_regions(const CarrierBuildContext& /*context*/) {
   // Star topology on the first region's hub; hub-to-hub links are tunneled.
   for (int r = 1; r < count; ++r) {
     const double prop =
-        net::propagation_ms(regions_[0].location, regions_[r].location);
-    topology_->add_link(regions_[0].hub, regions_[r].hub,
+        net::propagation_ms(regions_[0].location, regions_[util::idx(r)].location);
+    topology_->add_link(regions_[0].hub, regions_[util::idx(r)].hub,
                         LatencyModel::wan(prop, 1.5), /*loss=*/0.0005,
                         /*tunneled=*/true);
   }
@@ -196,14 +197,14 @@ void CellularNetwork::build_regions(const CarrierBuildContext& /*context*/) {
 
 void CellularNetwork::build_gateways(const CarrierBuildContext& context) {
   net::Rng rng(net::mix_key(seed_, net::hash_tag("gateways")));
-  gateways_.resize(profile_.egress_points);
+  gateways_.resize(util::idx(profile_.egress_points));
   // Gateways carry addresses so their traceroute hops are PTR-resolvable.
   net::Prefix infra_block = allocator_->alloc_block(24);
   int hosts_in_block = 0;
   for (int g = 0; g < profile_.egress_points; ++g) {
-    Gateway& gateway = gateways_[g];
+    Gateway& gateway = gateways_[util::idx(g)];
     gateway.region = g % static_cast<int>(regions_.size());
-    const Region& region = regions_[gateway.region];
+    const Region& region = regions_[util::idx(gateway.region)];
     const GeoPoint location = net::offset_km(
         region.location, rng.uniform(-30, 30), rng.uniform(-30, 30));
 
@@ -275,7 +276,7 @@ void CellularNetwork::build_dns(const CarrierBuildContext& context) {
         for (const int s : site_regions) {
           nearest_site = std::min(
               nearest_site,
-              net::distance_km(regions_[r].location, regions_[s].location));
+              net::distance_km(regions_[r].location, regions_[util::idx(s)].location));
         }
         if (nearest_site > best_spread) {
           best_spread = nearest_site;
@@ -309,7 +310,7 @@ void CellularNetwork::build_dns(const CarrierBuildContext& context) {
   for (int e = 0; e < dns_cfg.external_resolvers; ++e) {
     const size_t site_index = static_cast<size_t>(e) % num_sites;
     const int region_index = site_regions[site_index];
-    Region& region = regions_[region_index];
+    Region& region = regions_[util::idx(region_index)];
     const auto& blocks_here = site_blocks[site_index];
     const net::Prefix& block =
         external_blocks[blocks_here[site_block_cursor[site_index]++ %
@@ -385,8 +386,8 @@ void CellularNetwork::build_dns(const CarrierBuildContext& context) {
     // Pool / tiered: each client address is a concrete host in a region.
     for (int c = 0; c < dns_cfg.client_resolvers; ++c) {
       const int region_index = c % static_cast<int>(regions_.size());
-      Region& region = regions_[region_index];
-      const net::Prefix& block = client_blocks[c % client_blocks.size()];
+      Region& region = regions_[util::idx(region_index)];
+      const net::Prefix& block = client_blocks[util::idx(c) % client_blocks.size()];
       const net::Ipv4Addr ip = allocator_->alloc_host(block);
       net::Node node;
       node.name = profile_.name + "-ldns-client-" + std::to_string(c) +
@@ -414,10 +415,10 @@ void CellularNetwork::build_dns(const CarrierBuildContext& context) {
       // Fixed pairing (Verizon): each client-facing front forwards to its
       // own dedicated external-tier resolver — a strict 1:1 matching,
       // greedily assigned by proximity, that never changes.
-      tiered_pairing_.resize(dns_cfg.client_resolvers);
+      tiered_pairing_.resize(util::idx(dns_cfg.client_resolvers));
       std::vector<bool> taken(external_resolvers_.size(), false);
       for (int c = 0; c < dns_cfg.client_resolvers; ++c) {
-        const auto& client_node = topology_->node(client_resolver_nodes_[c]);
+        const auto& client_node = topology_->node(client_resolver_nodes_[util::idx(c)]);
         double nearest = 1e18;
         int best = c % static_cast<int>(external_resolvers_.size());
         for (size_t e = 0; e < external_resolvers_.size(); ++e) {
@@ -431,7 +432,7 @@ void CellularNetwork::build_dns(const CarrierBuildContext& context) {
           }
         }
         taken[static_cast<size_t>(best)] = true;
-        tiered_pairing_[c] = best;
+        tiered_pairing_[util::idx(c)] = best;
       }
     }
   }
@@ -442,15 +443,15 @@ void CellularNetwork::build_dns(const CarrierBuildContext& context) {
     double nearest_distance = 1e18;
     for (const int s : site_regions) {
       const double d =
-          net::distance_km(regions_[r].location, regions_[s].location);
+          net::distance_km(regions_[r].location, regions_[util::idx(s)].location);
       if (d < nearest_distance) {
         nearest_distance = d;
         nearest_site = s;
       }
       if (static_cast<int>(r) != s) {
         const double prop =
-            net::propagation_ms(regions_[r].location, regions_[s].location);
-        topology_->add_link(regions_[r].hub, regions_[s].hub,
+            net::propagation_ms(regions_[r].location, regions_[util::idx(s)].location);
+        topology_->add_link(regions_[r].hub, regions_[util::idx(s)].hub,
                             LatencyModel::wan(prop, 1.0), 0.0005,
                             /*tunneled=*/true);
       }
@@ -531,8 +532,8 @@ net::Ipv4Addr CellularNetwork::configured_resolver(uint64_t device_key,
     case DnsArchKind::kTiered: {
       // Regional assignment: the entry nearest the subscriber's region.
       (void)device_key;
-      const int region = gateways_[gateway_index].region;
-      return client_resolvers_[static_cast<size_t>(client_for_region_[region])]
+      const int region = gateways_[util::idx(gateway_index)].region;
+      return client_resolvers_[static_cast<size_t>(client_for_region_[util::idx(region)])]
           ->ip();
     }
   }
@@ -547,11 +548,11 @@ RadioTech CellularNetwork::sample_radio(net::Rng& rng) const {
 }
 
 net::NodeId CellularNetwork::gateway_node(int gateway_index) const {
-  return gateways_[gateway_index].node;
+  return gateways_[util::idx(gateway_index)].node;
 }
 
 int CellularNetwork::region_of_gateway(int gateway_index) const {
-  return gateways_[gateway_index].region;
+  return gateways_[util::idx(gateway_index)].region;
 }
 
 net::NodeId CellularNetwork::client_instance_node(
@@ -559,10 +560,10 @@ net::NodeId CellularNetwork::client_instance_node(
   if (profile_.dns.kind == DnsArchKind::kAnycast) {
     int region = 0;
     const int gateway = gateway_of_ip(source_ip);
-    if (gateway >= 0) region = gateways_[gateway].region;
-    return regions_[region].client_instance;
+    if (gateway >= 0) region = gateways_[util::idx(gateway)].region;
+    return regions_[util::idx(region)].client_instance;
   }
-  return client_resolver_nodes_[client_index];
+  return client_resolver_nodes_[util::idx(client_index)];
 }
 
 double CellularNetwork::internal_forward_ms(net::NodeId client_node,
@@ -596,7 +597,7 @@ CellularNetwork::PairSelection CellularNetwork::select_pair(
   const auto& dns_cfg = profile_.dns;
   if (dns_cfg.kind == DnsArchKind::kTiered) {
     selection.external =
-        external_resolvers_[tiered_pairing_[client_index]].get();
+        external_resolvers_[util::idx(tiered_pairing_[util::idx(client_index)])].get();
     return selection;
   }
 
@@ -607,9 +608,9 @@ CellularNetwork::PairSelection CellularNetwork::select_pair(
   {
     int region = 0;
     const int gateway = gateway_of_ip(source_ip);
-    if (gateway >= 0) region = gateways_[gateway].region;
-    const int site = regions_[region].nearest_site_region;
-    candidates = regions_[site].externals;
+    if (gateway >= 0) region = gateways_[util::idx(gateway)].region;
+    const int site = regions_[util::idx(region)].nearest_site_region;
+    candidates = regions_[util::idx(site)].externals;
     const char* tag =
         dns_cfg.kind == DnsArchKind::kAnycast ? "anycast-pair" : "pool-pair";
     pair_key = net::mix_key(net::hash_tag(tag),
@@ -641,7 +642,7 @@ CellularNetwork::PairSelection CellularNetwork::select_pair(
     chosen = candidates[alt];
     carrier_metrics().churn.inc();
   }
-  selection.external = external_resolvers_[chosen].get();
+  selection.external = external_resolvers_[util::idx(chosen)].get();
   return selection;
 }
 

@@ -1,5 +1,6 @@
 #include "core/scenario.h"
 
+#include "util/contract.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -55,6 +56,10 @@ Scenario& Scenario::with_carriers(
 }
 
 measure::CampaignConfig Scenario::campaign_config() const {
+  // with_scale() clamps, but `scale` is a public field: catch direct writes.
+  CURTAIN_CHECK(scale > 0.0 && scale <= 1.0)
+      << "scenario scale " << scale << " outside (0, 1]";
+  CURTAIN_CHECK(shards >= 1) << "scenario shards " << shards << " < 1";
   return measure::CampaignConfig::scaled(scale);
 }
 

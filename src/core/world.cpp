@@ -142,7 +142,7 @@ void World::build_cdns() {
   };
   context.build_seed = config_.seed;
 
-  std::unordered_map<std::string, cdn::CdnProvider*> providers;
+  std::map<std::string, cdn::CdnProvider*> providers;
   for (const std::string& name : cdn::study_cdn_names()) {
     auto apex = dns::DnsName::parse(name + ".net");
     auto provider = std::make_unique<cdn::CdnProvider>(

@@ -13,8 +13,8 @@
 // and virtual time through it.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "cdn/cdn.h"
 #include "cdn/domains.h"
@@ -22,6 +22,7 @@
 #include "core/scenario.h"
 #include "dns/hierarchy.h"
 #include "measure/resolver_ident.h"
+#include "util/contract.h"
 #include "publicdns/public_dns.h"
 
 namespace curtain::core {
@@ -47,13 +48,19 @@ class World {
       const {
     return carriers_;
   }
-  cellular::CellularNetwork& carrier(size_t index) { return *carriers_[index]; }
+  cellular::CellularNetwork& carrier(size_t index) {
+    CURTAIN_CHECK(index < carriers_.size())
+        << "carrier " << index << " of " << carriers_.size();
+    return *carriers_[index];
+  }
 
   publicdns::PublicDnsService& google_dns() { return *google_; }
   publicdns::PublicDnsService& open_dns() { return *opendns_; }
   cdn::CdnProvider& cdn(const std::string& name) { return *cdns_.at(name); }
-  const std::unordered_map<std::string, std::unique_ptr<cdn::CdnProvider>>&
-  cdns() const {
+  /// Ordered by provider name so tools that print or export the CDN set
+  /// walk it in a reproducible order.
+  const std::map<std::string, std::unique_ptr<cdn::CdnProvider>>& cdns()
+      const {
     return cdns_;
   }
 
@@ -84,7 +91,7 @@ class World {
   dns::DnsName research_apex_;
   net::NodeId vantage_node_ = net::kInvalidNode;
   net::Ipv4Addr vantage_ip_;
-  std::unordered_map<std::string, std::unique_ptr<cdn::CdnProvider>> cdns_;
+  std::map<std::string, std::unique_ptr<cdn::CdnProvider>> cdns_;
   std::unique_ptr<publicdns::PublicDnsService> google_;
   std::unique_ptr<publicdns::PublicDnsService> opendns_;
   std::vector<std::unique_ptr<cellular::CellularNetwork>> carriers_;

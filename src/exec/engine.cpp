@@ -1,9 +1,12 @@
 #include "exec/engine.h"
 
+#include <cstdint>
+#include <limits>
 #include <semaphore>
 #include <thread>
 
 #include "net/shard_slot.h"
+#include "util/contract.h"
 
 namespace curtain::exec {
 namespace {
@@ -11,6 +14,14 @@ namespace {
 /// Appends `in` to `out`, renumbering experiment ids and trace indices as
 /// if `in`'s records had been produced right after `out`'s.
 void append_shard(measure::Dataset& out, measure::Dataset& in) {
+  // Renumbering bases must fit the record id types or merged ids collide.
+  CURTAIN_CHECK(out.experiments.size() + in.experiments.size() <=
+                std::numeric_limits<uint32_t>::max())
+      << "merged experiment ids overflow uint32 at "
+      << out.experiments.size() << " + " << in.experiments.size();
+  CURTAIN_CHECK(out.resolution_traces.size() + in.resolution_traces.size() <=
+                static_cast<size_t>(std::numeric_limits<int32_t>::max()))
+      << "merged trace indices overflow int32";
   const auto experiment_base = static_cast<uint32_t>(out.experiments.size());
   const auto trace_base = static_cast<int32_t>(out.resolution_traces.size());
 
@@ -22,7 +33,13 @@ void append_shard(measure::Dataset& out, measure::Dataset& in) {
   out.resolutions.reserve(out.resolutions.size() + in.resolutions.size());
   for (auto& record : in.resolutions) {
     record.experiment_id += experiment_base;
-    if (record.trace_index >= 0) record.trace_index += trace_base;
+    if (record.trace_index >= 0) {
+      CURTAIN_DCHECK(static_cast<size_t>(record.trace_index) <
+                     in.resolution_traces.size())
+          << "shard-local trace_index " << record.trace_index
+          << " out of range before renumbering";
+      record.trace_index += trace_base;
+    }
     out.resolutions.push_back(std::move(record));
   }
   out.probes.reserve(out.probes.size() + in.probes.size());

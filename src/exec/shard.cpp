@@ -1,9 +1,11 @@
 #include "exec/shard.h"
 
+#include <deque>
 #include <functional>
 
 #include "net/clock.h"
 #include "net/geo.h"
+#include "util/contract.h"
 
 namespace curtain::exec {
 namespace {
@@ -43,6 +45,11 @@ Shard::Shard(int shard_index, int carrier_index,
   const auto& profile = network_.profile();
   const auto& metros =
       profile.country == "KR" ? net::kr_metros() : net::us_metros();
+  CURTAIN_CHECK(!metros.empty()) << "no metros for country " << profile.country;
+  // Device ids are banded per carrier in blocks of 1000 (see below); a
+  // larger fleet would collide ids across carriers.
+  CURTAIN_CHECK(profile.study_clients < 1000)
+      << profile.name << " exceeds the 999-device id band";
   for (int d = 0; d < profile.study_clients; ++d) {
     const auto& metro =
         metros[static_cast<size_t>(rng.uniform_u64(0, metros.size() - 1))];
@@ -51,7 +58,8 @@ Shard::Shard(int shard_index, int carrier_index,
     // Device ids are carrier-banded so they stay stable and unique no
     // matter which shards run or in which order.
     const uint64_t device_id =
-        static_cast<uint64_t>(carrier_index_) * 1000 + d + 1;
+        static_cast<uint64_t>(carrier_index_) * 1000 +
+        static_cast<uint64_t>(d) + 1;
     devices_.push_back(
         std::make_unique<cellular::Device>(device_id, &network_, home));
   }
@@ -69,15 +77,22 @@ void Shard::run() {
 
   // Each device wakes hourly with a per-device phase; on each wake it
   // tosses the participation coin and possibly runs one experiment.
+  // The per-device RNG state and the self-rescheduling closures are owned
+  // here, not by the closures themselves (a closure capturing its own
+  // shared_ptr is a reference cycle and leaks); deque keeps the captured
+  // pointers stable while entries are appended.
+  std::deque<net::Rng> device_rngs;
+  std::deque<std::function<void(net::SimTime)>> wakes;
   for (auto& device_ptr : devices_) {
     cellular::Device* device = device_ptr.get();
-    auto device_rng = std::make_shared<net::Rng>(
-        campaign_rng.derive("device-stream", device->id()));
+    device_rngs.push_back(campaign_rng.derive("device-stream", device->id()));
+    net::Rng* device_rng = &device_rngs.back();
     const net::SimTime phase =
         net::SimTime::from_seconds(device_rng->uniform(0.0, 3600.0));
 
     // Self-rescheduling hourly wake-up.
-    auto wake = std::make_shared<std::function<void(net::SimTime)>>();
+    wakes.emplace_back();
+    std::function<void(net::SimTime)>* wake = &wakes.back();
     *wake = [this, device, device_rng, wake, &queue, horizon](net::SimTime at) {
       shard_metrics().wakeups.inc();
       if (device_rng->bernoulli(campaign_.participation)) {

@@ -16,6 +16,7 @@
 #include "net/ipv4.h"
 #include "net/time.h"
 #include "obs/trace.h"
+#include "util/contract.h"
 
 namespace curtain::measure {
 
@@ -111,6 +112,8 @@ struct Dataset {
   std::vector<obs::ResolutionTrace> resolution_traces;
 
   const ExperimentContext& context_of(uint32_t experiment_id) const {
+    CURTAIN_DCHECK(experiment_id < experiments.size())
+        << "experiment " << experiment_id << " of " << experiments.size();
     return experiments[experiment_id];
   }
 

@@ -5,8 +5,12 @@ namespace curtain::measure {
 dns::DnsName ResolverIdentifier::probe_name(uint64_t device_id,
                                             uint64_t counter) const {
   auto adns = apex_.child("adns");
-  auto device = adns->child("d" + std::to_string(device_id));
-  auto name = device->child("r" + std::to_string(counter));
+  std::string device_label = "d";
+  device_label += std::to_string(device_id);
+  std::string probe_label = "r";
+  probe_label += std::to_string(counter);
+  auto device = adns->child(device_label);
+  auto name = device->child(probe_label);
   return *name;
 }
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "net/ipv4.h"
+#include "util/contract.h"
 
 namespace curtain::net {
 
@@ -16,10 +17,17 @@ class IpAllocator {
   explicit IpAllocator(Prefix pool) : pool_(pool) {}
 
   /// Carves the next /`len` block out of the pool (sequential, no reuse).
-  /// Exhausting the pool wraps around — acceptable for simulation worlds,
-  /// which size their pools generously.
+  /// Exhausting the pool is a contract violation: a wrapped allocator would
+  /// silently hand out duplicate addresses and corrupt every analysis keyed
+  /// on them, so worlds must size their pools generously.
   Prefix alloc_block(int len) {
+    CURTAIN_CHECK(len >= pool_.length() && len <= 32)
+        << "block /" << len << " cannot be carved from " << pool_.to_string();
     const uint64_t block_size = uint64_t{1} << (32 - len);
+    CURTAIN_CHECK(allocated_ + block_size <= pool_.size())
+        << "IP pool " << pool_.to_string() << " exhausted after " << allocated_
+        << " addresses";
+    allocated_ += block_size;
     const Ipv4Addr base = pool_.host(next_block_offset_);
     next_block_offset_ = (next_block_offset_ + block_size) % pool_.size();
     return Prefix(base, len);
@@ -28,6 +36,8 @@ class IpAllocator {
   /// Next host address inside `block`, skipping the all-zeros network
   /// address (host .0 reads oddly in logs). Wraps within the block.
   Ipv4Addr alloc_host(const Prefix& block) {
+    CURTAIN_CHECK(block.size() >= 2)
+        << "cannot allocate hosts in " << block.to_string();
     uint64_t& cursor = host_cursors_[block.address().value()];
     cursor = cursor % (block.size() - 1) + 1;
     return block.host(cursor);
@@ -36,6 +46,7 @@ class IpAllocator {
  private:
   Prefix pool_;
   uint64_t next_block_offset_ = 0;
+  uint64_t allocated_ = 0;
   std::unordered_map<uint32_t, uint64_t> host_cursors_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/contract.h"
+
 namespace curtain::net {
 namespace {
 
@@ -43,6 +45,7 @@ double Rng::next_double() {
 }
 
 uint64_t Rng::uniform_u64(uint64_t lo, uint64_t hi) {
+  CURTAIN_DCHECK(lo <= hi) << "uniform_u64(" << lo << ", " << hi << ")";
   const uint64_t range = hi - lo + 1;
   if (range == 0) return next_u64();  // full 64-bit range
   // Rejection sampling to avoid modulo bias.
@@ -84,6 +87,8 @@ bool Rng::bernoulli(double p) { return next_double() < p; }
 size_t Rng::weighted_index(const std::vector<double>& weights) {
   double total = 0.0;
   for (const double w : weights) total += w > 0 ? w : 0;
+  CURTAIN_DCHECK(total > 0.0)
+      << "weighted_index over " << weights.size() << " non-positive weights";
   double target = next_double() * total;
   for (size_t i = 0; i < weights.size(); ++i) {
     const double w = weights[i] > 0 ? weights[i] : 0;

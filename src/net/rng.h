@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/contract.h"
+
 namespace curtain::net {
 
 /// splitmix64 step: the standard 64-bit mixer used for seeding and for
@@ -82,6 +84,7 @@ class Rng {
 
   template <typename T>
   const T& pick(const std::vector<T>& v) {
+    CURTAIN_DCHECK(!v.empty()) << "pick from an empty vector";
     return v[static_cast<size_t>(uniform_u64(0, v.size() - 1))];
   }
 

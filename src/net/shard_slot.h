@@ -11,6 +11,8 @@
 // which is what makes sharded runs byte-identical to serial ones.
 #pragma once
 
+#include "util/contract.h"
+
 namespace curtain::net {
 namespace detail {
 inline thread_local int tls_shard_slot = 0;
@@ -23,6 +25,7 @@ inline int current_shard_slot() { return detail::tls_shard_slot; }
 class ShardSlotGuard {
  public:
   explicit ShardSlotGuard(int slot) : previous_(detail::tls_shard_slot) {
+    CURTAIN_CHECK(slot >= 0) << "negative shard slot " << slot;
     detail::tls_shard_slot = slot;
   }
   ~ShardSlotGuard() { detail::tls_shard_slot = previous_; }

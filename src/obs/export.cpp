@@ -113,7 +113,10 @@ std::string to_json(const MetricsSnapshot& snapshot, const RunReport* report) {
     for (const auto& [name, value] : report->totals) {
       out += first ? "" : ", ";
       first = false;
-      out += "\"" + json_escape(name) + "\": " + num(value);
+      out += '"';
+      out += json_escape(name);
+      out += "\": ";
+      out += num(value);
     }
     out += "}\n  }";
   }

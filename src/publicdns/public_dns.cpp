@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/index.h"
+
 namespace curtain::publicdns {
 namespace {
 
@@ -26,11 +28,11 @@ PublicDnsService::PublicDnsService(std::string name, net::Ipv4Addr vip,
       seed_(net::mix_key(context.build_seed, net::hash_tag(name_))) {
   const auto& metros = net::world_metros();
   const int sites = std::min<int>(num_sites, static_cast<int>(metros.size()));
-  sites_.reserve(sites);
+  sites_.reserve(util::idx(sites));
   for (int s = 0; s < sites; ++s) {
     PublicDnsSite site;
-    site.metro = metros[s].name;
-    site.location = metros[s].location;
+    site.metro = metros[util::idx(s)].name;
+    site.location = metros[util::idx(s)].location;
     site.prefix = context.allocator->alloc_block(24);
 
     net::Node node;
@@ -93,7 +95,8 @@ int PublicDnsService::route_site(net::Ipv4Addr source_ip,
   static constexpr double kWeights[] = {0.70, 0.16, 0.09, 0.05};
   double target = static_cast<double>(draw % 10000) / 10000.0;
   for (int c = 0; c < candidates; ++c) {
-    if (target < kWeights[c] || c == candidates - 1) return ranked[c].second;
+    if (target < kWeights[c] || c == candidates - 1)
+      return ranked[util::idx(c)].second;
     target -= kWeights[c];
   }
   return ranked[0].second;

@@ -1,0 +1,26 @@
+#include "util/contract.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace curtain::util::contract_detail {
+
+Failure::Failure(const char* kind, const char* file, int line,
+                 const char* expr) {
+  stream_ << file << ":" << line << ": " << kind << " failed: " << expr << " ";
+}
+
+Failure::~Failure() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void unreachable_failed(const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: CURTAIN_UNREACHABLE reached\n", file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace curtain::util::contract_detail

@@ -1,0 +1,22 @@
+// Signed-to-unsigned subscript conversion.
+//
+// The codebase addresses carriers, regions, gateways and resolvers with
+// plain `int` ids (they appear in records, CSV exports and paper tables,
+// where signed sentinel values like -1 are meaningful). idx() keeps those
+// subscripts clean under -Wsign-conversion and turns a negative id into a
+// loud debug-build failure instead of a huge wrapped index.
+#pragma once
+
+#include <cstddef>
+
+#include "util/contract.h"
+
+namespace curtain::util {
+
+template <typename T>
+inline std::size_t idx(T i) {
+  CURTAIN_DCHECK(i >= 0) << "negative index " << i;
+  return static_cast<std::size_t>(i);
+}
+
+}  // namespace curtain::util

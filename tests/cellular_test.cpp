@@ -78,8 +78,8 @@ TEST_P(RadioSweep, AccessAlwaysPositive) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllTechs, RadioSweep, ::testing::ValuesIn(all_radio_techs()),
-    [](const ::testing::TestParamInfo<RadioTech>& info) {
-      std::string label = radio_tech_name(info.param);
+    [](const ::testing::TestParamInfo<RadioTech>& tech_info) {
+      std::string label = radio_tech_name(tech_info.param);
       for (char& c : label) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -17,7 +17,7 @@ TEST(DnsEdge, ManyRecordsRoundTrip) {
                   .make_response();
   for (int i = 0; i < 120; ++i) {
     m.answers.push_back(ResourceRecord::a(
-        name("big.example.com"), net::Ipv4Addr(0x0a000000u + i), 30));
+        name("big.example.com"), net::Ipv4Addr(0x0a000000u + static_cast<uint32_t>(i)), 30));
   }
   const auto decoded = decode(encode(m));
   ASSERT_TRUE(decoded.has_value());
@@ -31,7 +31,7 @@ TEST(DnsEdge, MaxLengthNameRoundTrip) {
   std::vector<std::string> labels;
   size_t wire = 1;
   while (wire + 16 <= 255) {
-    labels.push_back(std::string(15, 'a' + (labels.size() % 26)));
+    labels.push_back(std::string(15, static_cast<char>('a' + static_cast<int>(labels.size() % 26))));
     wire += 16;
   }
   const auto max_name = DnsName::from_labels(labels);
@@ -134,7 +134,10 @@ TEST(DnsEdge, CacheEvictionUnderSustainedPressure) {
   Cache cache(/*max_entries=*/64);
   net::Rng rng(5);
   for (int i = 0; i < 1000; ++i) {
-    const auto host = DnsName::parse("h" + std::to_string(i) + ".example.com");
+    std::string host_name = "h";
+    host_name += std::to_string(i);
+    host_name += ".example.com";
+    const auto host = DnsName::parse(host_name);
     cache.insert(*host, RRType::kA,
                  {ResourceRecord::a(*host, net::Ipv4Addr{1, 1, 1, 1},
                                     30 + static_cast<uint32_t>(i % 60))},

@@ -45,7 +45,7 @@ TEST(DnsName, RejectOversizedName) {
   std::string name;
   for (int i = 0; i < 5; ++i) {
     if (i) name += '.';
-    name += std::string(63, 'a' + i);
+    name += std::string(63, static_cast<char>('a' + i));
   }
   EXPECT_FALSE(DnsName::parse(name).has_value());
 }

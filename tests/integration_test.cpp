@@ -256,7 +256,7 @@ TEST_F(StudyIntegrationTest, Fig14MassAtZero) {
     }
   }
   ASSERT_GT(total, 100u);
-  const double zero_fraction = static_cast<double>(zero) / total;
+  const double zero_fraction = static_cast<double>(zero) / static_cast<double>(total);
   EXPECT_GT(zero_fraction, 0.2);
   EXPECT_LT(zero_fraction, 0.95);
 }

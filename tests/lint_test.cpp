@@ -1,0 +1,299 @@
+// curtain_lint rule tests: every rule must fire on a minimal fixture and
+// every waiver must suppress it, plus a full-tree scan proving the real
+// sources stay lint-clean (the same invariant the LintTree ctest enforces
+// via the binary's exit code).
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace curtain::lint {
+namespace {
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------- entropy
+
+TEST(LintEntropy, FlagsRandSrandAndRandomDevice) {
+  const auto findings = lint_file("src/dns/fixture.cpp", R"cpp(
+int draw() {
+  std::srand(42);
+  std::random_device rd;
+  return rand();
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "entropy"), 3);
+}
+
+TEST(LintEntropy, IdentifierBoundariesAvoidSubstrings) {
+  // "strand"/"grand_total" contain "rand" but are not entropy calls.
+  const auto findings = lint_file("src/dns/fixture.cpp", R"cpp(
+int strand = 1;
+int grand_total = strand + 1;
+)cpp");
+  EXPECT_EQ(count_rule(findings, "entropy"), 0);
+}
+
+TEST(LintEntropy, RngImplementationIsExempt) {
+  const auto findings =
+      lint_file("src/net/rng.cpp", "int x = rand();\n");
+  EXPECT_EQ(count_rule(findings, "entropy"), 0);
+}
+
+TEST(LintEntropy, WaiverSuppresses) {
+  const auto findings = lint_file(
+      "src/dns/fixture.cpp", "int x = rand();  // lint: entropy\n");
+  EXPECT_EQ(count_rule(findings, "entropy"), 0);
+}
+
+// --------------------------------------------------------------- wallclock
+
+TEST(LintWallclock, FlagsClockTokensAndTimeNullptr) {
+  const auto findings = lint_file("src/measure/fixture.cpp", R"cpp(
+void f() {
+  auto a = std::chrono::steady_clock::now();
+  auto b = std::chrono::system_clock::now();
+  auto c = time(nullptr);
+  auto d = time(NULL);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "wallclock"), 4);
+}
+
+TEST(LintWallclock, PlainTimeIdentifierIsNotFlagged) {
+  const auto findings = lint_file("src/measure/fixture.cpp", R"cpp(
+double time = 0.0;
+double t2 = time + resolve_time(query);
+)cpp");
+  EXPECT_EQ(count_rule(findings, "wallclock"), 0);
+}
+
+TEST(LintWallclock, ClockSubstrateIsExempt) {
+  EXPECT_EQ(count_rule(lint_file("src/net/clock.cpp",
+                                 "auto t = std::chrono::steady_clock::now();\n"),
+                       "wallclock"),
+            0);
+  EXPECT_EQ(count_rule(lint_file("src/net/time.cpp",
+                                 "auto t = std::chrono::steady_clock::now();\n"),
+                       "wallclock"),
+            0);
+}
+
+TEST(LintWallclock, WaiverSuppresses) {
+  const auto findings = lint_file(
+      "src/measure/fixture.cpp",
+      "auto t = std::chrono::steady_clock::now();  // lint: wallclock\n");
+  EXPECT_EQ(count_rule(findings, "wallclock"), 0);
+}
+
+// ----------------------------------------------------------- unordered-iter
+
+TEST(LintUnorderedIter, FlagsRangeForInExportReachingFile) {
+  const auto findings = lint_file("src/analysis/fixture.cpp", R"cpp(
+std::unordered_map<int, double> totals;
+void dump() {
+  for (const auto& [k, v] : totals) print(k, v);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
+TEST(LintUnorderedIter, FlagsIteratorWalk) {
+  const auto findings = lint_file("src/exec/fixture.cpp", R"cpp(
+std::unordered_set<uint32_t> seen;
+void dump() {
+  for (auto it = seen.begin(); it != seen.end(); ++it) print(*it);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
+TEST(LintUnorderedIter, RuntimeStatePathsAreOutOfScope) {
+  // dns/ cache state is per-shard and never reaches exports; the rule is
+  // deliberately scoped to export/analysis-reaching directories.
+  const auto findings = lint_file("src/dns/fixture.cpp", R"cpp(
+std::unordered_map<int, double> cache;
+void sweep() {
+  for (const auto& [k, v] : cache) evict(k);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+}
+
+TEST(LintUnorderedIter, OrderInsensitiveWaiverSuppresses) {
+  const auto findings = lint_file("src/analysis/fixture.cpp", R"cpp(
+std::unordered_map<int, double> totals;
+double sum() {
+  double s = 0;
+  for (const auto& [k, v] : totals) s = max(s, v);  // lint: order-insensitive
+  return s;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+}
+
+TEST(LintUnorderedIter, SiblingHeaderMembersAreTracked) {
+  // The container is declared only in the paired header; the .cpp loop must
+  // still be caught.
+  const std::string header = R"cpp(
+class Agg {
+  std::unordered_map<uint32_t, uint64_t> counts_;
+};
+)cpp";
+  const std::string source = R"cpp(
+void Agg::dump() {
+  for (const auto& [k, v] : counts_) print(k, v);
+}
+)cpp";
+  EXPECT_EQ(count_rule(lint_file("src/analysis/agg.cpp", source, header),
+                       "unordered-iter"),
+            1);
+  // Without the sibling header the member is invisible.
+  EXPECT_EQ(count_rule(lint_file("src/analysis/agg.cpp", source),
+                       "unordered-iter"),
+            0);
+}
+
+TEST(LintUnorderedIter, FunctionReturningContainerIsNotAVariable) {
+  const auto findings = lint_file("src/analysis/fixture.cpp", R"cpp(
+std::unordered_map<int, double> build_totals();
+void use() {
+  for (const auto& [k, v] : sorted(build_totals())) print(k, v);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+}
+
+// ------------------------------------------------------------------ rng-seed
+
+TEST(LintRngSeed, FlagsLiteralSeeds) {
+  const auto findings = lint_file("src/measure/fixture.cpp", R"cpp(
+void f() {
+  net::Rng rng(42);
+  auto shared = std::make_shared<net::Rng>(7);
+  use(net::Rng(1234));
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "rng-seed"), 3);
+}
+
+TEST(LintRngSeed, DerivedSeedsPass) {
+  const auto findings = lint_file("src/measure/fixture.cpp", R"cpp(
+void f(uint64_t seed) {
+  net::Rng a(net::mix_key(seed, net::hash_tag("device")));
+  net::Rng b(seed);
+  auto c = std::make_unique<net::Rng>(rng.derive("probe"));
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "rng-seed"), 0);
+}
+
+TEST(LintRngSeed, MultiLineConstructionIsMatched) {
+  const auto findings = lint_file("src/measure/fixture.cpp", R"cpp(
+void f() {
+  net::Rng rng(
+      17);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "rng-seed"), 1);
+}
+
+TEST(LintRngSeed, RngSubstrateIsExemptAndWaiverSuppresses) {
+  EXPECT_EQ(count_rule(lint_file("src/net/rng.cpp", "Rng r(99);\n"),
+                       "rng-seed"),
+            0);
+  EXPECT_EQ(count_rule(lint_file("src/measure/fixture.cpp",
+                                 "net::Rng rng(99);  // lint: rng-seed\n"),
+                       "rng-seed"),
+            0);
+}
+
+// ------------------------------------------------------------ header hygiene
+
+TEST(LintHeaders, MissingPragmaOnceFires) {
+  const auto findings =
+      lint_file("src/dns/fixture.h", "int forty_two();\n");
+  ASSERT_EQ(count_rule(findings, "pragma-once"), 1);
+  EXPECT_EQ(findings.front().line, 1);
+}
+
+TEST(LintHeaders, PragmaOncePresentPasses) {
+  const auto findings =
+      lint_file("src/dns/fixture.h", "#pragma once\nint forty_two();\n");
+  EXPECT_EQ(count_rule(findings, "pragma-once"), 0);
+}
+
+TEST(LintHeaders, UsingNamespaceInHeaderFires) {
+  const auto findings = lint_file(
+      "src/dns/fixture.h", "#pragma once\nusing namespace std;\n");
+  EXPECT_EQ(count_rule(findings, "using-namespace"), 1);
+}
+
+TEST(LintHeaders, SourcesAreExemptFromHeaderRules) {
+  const auto findings =
+      lint_file("src/dns/fixture.cpp", "using namespace std;\n");
+  EXPECT_EQ(count_rule(findings, "pragma-once"), 0);
+  EXPECT_EQ(count_rule(findings, "using-namespace"), 0);
+}
+
+// ----------------------------------------------- comment/string insulation
+
+TEST(LintPreprocess, CommentsAndStringsDoNotTriggerRules) {
+  const auto findings = lint_file("src/measure/fixture.cpp", R"cpp(
+// rand() and steady_clock in a comment are fine.
+/* so is srand(1) in a block comment,
+   even spanning lines with random_device */
+const char* msg = "call rand() or use steady_clock";
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintFormat, FindingFormatIsFileLineRuleMessage) {
+  const Finding finding{"src/dns/a.cpp", 12, "entropy", "no ad-hoc entropy"};
+  EXPECT_EQ(format(finding), "src/dns/a.cpp:12: [entropy] no ad-hoc entropy");
+}
+
+TEST(LintFindings, SortedByLine) {
+  const auto findings = lint_file("src/measure/fixture.cpp", R"cpp(
+void f() {
+  auto t = std::chrono::steady_clock::now();
+  int x = rand();
+}
+)cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_LT(findings[0].line, findings[1].line);
+}
+
+// ------------------------------------------------------------- tree scan
+
+TEST(LintTree, FixtureTreeFiresEveryRuleAndHonorsWaivers) {
+  const std::string root = CURTAIN_SOURCE_ROOT;
+  const auto findings = lint_tree({root + "/tools/lint/testdata"});
+  // Every rule fires somewhere in the bad_* fixtures...
+  for (const char* rule : {"entropy", "wallclock", "unordered-iter",
+                           "rng-seed", "pragma-once", "using-namespace"}) {
+    EXPECT_GT(count_rule(findings, rule), 0) << rule << " never fired";
+  }
+  // ...and the fully-waived fixture contributes nothing.
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.file.find("waived_ok"), std::string::npos)
+        << format(finding);
+  }
+}
+
+TEST(LintTree, RealSourcesAreClean) {
+  const std::string root = CURTAIN_SOURCE_ROOT;
+  const auto findings = lint_tree(
+      {root + "/src", root + "/bench", root + "/examples"});
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << format(finding);
+  }
+}
+
+}  // namespace
+}  // namespace curtain::lint

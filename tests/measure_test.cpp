@@ -93,7 +93,8 @@ TEST_F(MeasurePipelineTest, SecondLookupsAreFasterTypically) {
   }
   ASSERT_GT(first_n, 0u);
   ASSERT_GT(second_n, 0u);
-  EXPECT_LT(second_sum / second_n, first_sum / first_n);
+  EXPECT_LT(second_sum / static_cast<double>(second_n),
+            first_sum / static_cast<double>(first_n));
 }
 
 TEST_F(MeasurePipelineTest, ExperimentContextsPopulated) {

@@ -12,14 +12,15 @@ namespace {
 
 TEST(TopologyCache, RoutesRecomputedAfterMutation) {
   Topology topo;
-  Node node;
-  node.processing = LatencyModel::fixed(0.0);
-  node.name = "a";
-  const NodeId a = topo.add_node(node);
-  node.name = "b";
-  const NodeId b = topo.add_node(node);
-  node.name = "c";
-  const NodeId c = topo.add_node(node);
+  auto add = [&topo](const char* name) {
+    Node node;
+    node.processing = LatencyModel::fixed(0.0);
+    node.name = name;
+    return topo.add_node(node);
+  };
+  const NodeId a = add("a");
+  const NodeId b = add("b");
+  const NodeId c = add("c");
   topo.add_link(a, b, LatencyModel::fixed(10.0));
   topo.add_link(b, c, LatencyModel::fixed(10.0));
   EXPECT_EQ(topo.route(a, c).size(), 3u);
@@ -30,11 +31,13 @@ TEST(TopologyCache, RoutesRecomputedAfterMutation) {
 
 TEST(TopologyCache, RouteIsDirectional) {
   Topology topo;
-  Node node;
-  node.name = "x";
-  const NodeId x = topo.add_node(node);
-  node.name = "y";
-  const NodeId y = topo.add_node(node);
+  auto add = [&topo](const char* name) {
+    Node node;
+    node.name = name;
+    return topo.add_node(node);
+  };
+  const NodeId x = add("x");
+  const NodeId y = add("y");
   topo.add_link(x, y, LatencyModel::fixed(1.0));
   EXPECT_EQ(topo.route(x, y).front(), x);
   EXPECT_EQ(topo.route(y, x).front(), y);

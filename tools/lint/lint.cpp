@@ -1,0 +1,529 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace curtain::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text[pos..pos+token)` matches `token` with identifier
+/// boundaries on both sides (so "srand" does not match inside "strand").
+bool token_at(const std::string& text, size_t pos, const std::string& token) {
+  if (text.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const size_t end = pos + token.size();
+  if (end < text.size() && is_ident_char(text[end])) return false;
+  return true;
+}
+
+size_t find_token(const std::string& text, const std::string& token,
+                  size_t from = 0) {
+  for (size_t pos = text.find(token, from); pos != std::string::npos;
+       pos = text.find(token, pos + 1)) {
+    if (token_at(text, pos, token)) return pos;
+  }
+  return std::string::npos;
+}
+
+size_t skip_spaces(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// One source line after comment/string stripping, plus any lint waivers
+/// declared in its trailing `// lint: a, b` comment.
+struct LineView {
+  std::string code;
+  std::set<std::string> waivers;
+};
+
+std::set<std::string> parse_waivers(const std::string& comment) {
+  std::set<std::string> out;
+  const size_t tag = comment.find("lint:");
+  if (tag == std::string::npos) return out;
+  std::string rest = comment.substr(tag + 5);
+  std::stringstream parts(rest);
+  std::string part;
+  while (std::getline(parts, part, ',')) {
+    const size_t first = part.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const size_t last = part.find_last_not_of(" \t");
+    out.insert(part.substr(first, last - first + 1));
+  }
+  return out;
+}
+
+/// Strips comments and blanks string/char literals, keeping line structure
+/// so findings can point at real line numbers. Waivers are read from `//`
+/// comments before they are discarded.
+std::vector<LineView> preprocess(const std::string& content) {
+  std::vector<LineView> lines;
+  std::stringstream stream(content);
+  std::string raw;
+  bool in_block_comment = false;
+  while (std::getline(stream, raw)) {
+    LineView view;
+    view.code.reserve(raw.size());
+    size_t i = 0;
+    while (i < raw.size()) {
+      if (in_block_comment) {
+        const size_t close = raw.find("*/", i);
+        if (close == std::string::npos) {
+          i = raw.size();
+        } else {
+          in_block_comment = false;
+          i = close + 2;
+        }
+        continue;
+      }
+      const char c = raw[i];
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+        view.waivers = parse_waivers(raw.substr(i + 2));
+        break;
+      }
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        view.code += quote;
+        ++i;
+        while (i < raw.size() && raw[i] != quote) {
+          if (raw[i] == '\\') ++i;  // skip the escaped character
+          ++i;
+        }
+        view.code += quote;
+        if (i < raw.size()) ++i;  // closing quote
+        continue;
+      }
+      view.code += c;
+      ++i;
+    }
+    lines.push_back(std::move(view));
+  }
+  return lines;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool path_contains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+/// Files whose iteration order can reach exported artifacts or analysis
+/// results. dns/cdn/cellular/net runtime state is excluded by design: it is
+/// per-shard and replays an identical operation sequence for every
+/// CURTAIN_SHARDS value, so its iteration order never crosses into exports.
+bool reaches_export_paths(const std::string& path) {
+  return path_contains(path, "src/analysis/") ||
+         path_contains(path, "src/measure/") ||
+         path_contains(path, "src/exec/") ||
+         path_contains(path, "src/core/") ||
+         path_contains(path, "src/obs/") || path_contains(path, "bench/") ||
+         path_contains(path, "examples/");
+}
+
+struct JoinedCode {
+  std::string text;                 // code views joined by '\n'
+  std::vector<size_t> line_starts;  // offset of each line in `text`
+
+  int line_of(size_t offset) const {
+    const auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
+                                     offset);
+    return static_cast<int>(it - line_starts.begin());
+  }
+};
+
+JoinedCode join(const std::vector<LineView>& lines) {
+  JoinedCode joined;
+  for (const LineView& line : lines) {
+    joined.line_starts.push_back(joined.text.size());
+    joined.text += line.code;
+    joined.text += '\n';
+  }
+  return joined;
+}
+
+/// Offset just past the matching close of the bracket at `open` (which must
+/// index a '(', '<', '{' or '['); npos when unbalanced.
+size_t match_bracket(const std::string& text, size_t open) {
+  const char open_char = text[open];
+  const char close_char = open_char == '(' ? ')'
+                          : open_char == '<' ? '>'
+                          : open_char == '{' ? '}'
+                                             : ']';
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_char) ++depth;
+    if (text[i] == close_char && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+class Linter {
+ public:
+  /// `sibling_header_content`: the paired .h of a .cpp, consulted only for
+  /// unordered-container member declarations, so `for (x : member_)` in
+  /// world.cpp is caught even though `member_` is declared in world.h.
+  Linter(std::string path, const std::string& content,
+         const std::string& sibling_header_content)
+      : path_(std::move(path)),
+        header_(path_ends_with(path_, ".h")),
+        lines_(preprocess(content)),
+        joined_(join(lines_)),
+        sibling_joined_(join(preprocess(sibling_header_content))) {}
+
+  std::vector<Finding> run() {
+    check_entropy();
+    check_wallclock();
+    check_unordered_iteration();
+    check_rng_seed();
+    check_header_hygiene();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void report(int line, const std::string& rule, std::string message) {
+    if (static_cast<size_t>(line) <= lines_.size()) {
+      const auto& waivers = lines_[static_cast<size_t>(line - 1)].waivers;
+      if (waivers.count(rule) != 0) return;
+      if (rule == "unordered-iter" &&
+          waivers.count("order-insensitive") != 0) {
+        return;
+      }
+    }
+    findings_.push_back(Finding{path_, line, rule, std::move(message)});
+  }
+
+  void check_token_rule(const std::string& rule, const std::string& token,
+                        const std::string& message) {
+    for (size_t pos = find_token(joined_.text, token); pos != std::string::npos;
+         pos = find_token(joined_.text, token, pos + 1)) {
+      report(joined_.line_of(pos), rule, message);
+    }
+  }
+
+  // entropy: every random draw must flow through net::Rng so that a study
+  // seed reproduces the exact dataset.
+  void check_entropy() {
+    if (path_ends_with(path_, "net/rng.cpp")) return;
+    for (const char* token : {"rand", "srand", "random_device"}) {
+      check_token_rule("entropy", token,
+                       std::string(token) +
+                           " bypasses the deterministic net::Rng streams; "
+                           "derive an Rng from the scenario seed instead");
+    }
+  }
+
+  // wallclock: simulation time is net::SimClock; real time may only be
+  // touched by the clock substrate itself (and explicitly waived perf
+  // timing, which never feeds results).
+  void check_wallclock() {
+    if (path_ends_with(path_, "net/clock.cpp") ||
+        path_ends_with(path_, "net/time.cpp")) {
+      return;
+    }
+    for (const char* token :
+         {"system_clock", "steady_clock", "high_resolution_clock",
+          "gettimeofday", "clock_gettime", "timespec_get"}) {
+      check_token_rule("wallclock", token,
+                       std::string(token) +
+                           " leaks wall-clock time into the virtual-time "
+                           "substrate; use net::SimClock");
+    }
+    // time(nullptr) / time(NULL): the `time` token alone is far too common,
+    // so require the null-argument call shape.
+    for (size_t pos = find_token(joined_.text, "time"); pos != std::string::npos;
+         pos = find_token(joined_.text, "time", pos + 1)) {
+      size_t cursor = skip_spaces(joined_.text, pos + 4);
+      if (cursor >= joined_.text.size() || joined_.text[cursor] != '(') continue;
+      cursor = skip_spaces(joined_.text, cursor + 1);
+      if (token_at(joined_.text, cursor, "nullptr") ||
+          token_at(joined_.text, cursor, "NULL")) {
+        report(joined_.line_of(pos), "wallclock",
+               "time(nullptr) leaks wall-clock time into the virtual-time "
+               "substrate; use net::SimClock");
+      }
+    }
+  }
+
+  /// Collects variable (or member/parameter) names declared with an
+  /// unordered container type anywhere in `text`.
+  static void collect_unordered_names(const std::string& text,
+                                      std::set<std::string>& names) {
+    for (const char* container : {"unordered_map", "unordered_set"}) {
+      for (size_t pos = find_token(text, container); pos != std::string::npos;
+           pos = find_token(text, container, pos + 1)) {
+        size_t cursor = skip_spaces(text, pos + std::strlen(container));
+        if (cursor >= text.size() || text[cursor] != '<') continue;
+        cursor = match_bracket(text, cursor);
+        if (cursor == std::string::npos) continue;
+        cursor = skip_spaces(text, cursor);
+        while (cursor < text.size() &&
+               (text[cursor] == '&' || text[cursor] == '*')) {
+          cursor = skip_spaces(text, cursor + 1);
+        }
+        const size_t name_start = cursor;
+        while (cursor < text.size() && is_ident_char(text[cursor])) ++cursor;
+        if (cursor == name_start) continue;
+        const std::string name = text.substr(name_start, cursor - name_start);
+        // `> name(` is a function returning the container, not a variable.
+        if (skip_spaces(text, cursor) < text.size() &&
+            text[skip_spaces(text, cursor)] == '(') {
+          continue;
+        }
+        names.insert(name);
+      }
+    }
+  }
+
+  std::set<std::string> unordered_names() const {
+    std::set<std::string> names;
+    collect_unordered_names(joined_.text, names);
+    collect_unordered_names(sibling_joined_.text, names);
+    return names;
+  }
+
+  // unordered-iter: iterating a hash container feeds bucket order into
+  // whatever consumes the loop; in export/analysis-reaching files that is a
+  // reproducibility hazard unless explicitly declared order-insensitive.
+  void check_unordered_iteration() {
+    if (!reaches_export_paths(path_)) return;
+    const std::set<std::string> names = unordered_names();
+    if (names.empty()) return;
+
+    // Range-for: `for (... : <expr>)` where <expr>'s last identifier
+    // component names an unordered container declared in this file.
+    for (size_t pos = find_token(joined_.text, "for"); pos != std::string::npos;
+         pos = find_token(joined_.text, "for", pos + 1)) {
+      const size_t open = skip_spaces(joined_.text, pos + 3);
+      if (open >= joined_.text.size() || joined_.text[open] != '(') continue;
+      const size_t close = match_bracket(joined_.text, open);
+      if (close == std::string::npos) continue;
+      const std::string header =
+          joined_.text.substr(open + 1, close - open - 2);
+      // The range-for ':' sits at bracket depth 0 within the header and is
+      // never part of a '::'.
+      size_t colon = std::string::npos;
+      int depth = 0;
+      for (size_t i = 0; i < header.size(); ++i) {
+        const char c = header[i];
+        if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+        if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+        if (c == ':' && depth == 0) {
+          if ((i + 1 < header.size() && header[i + 1] == ':') ||
+              (i > 0 && header[i - 1] == ':')) {
+            continue;
+          }
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      std::string range = header.substr(colon + 1);
+      // Reduce `a.b`, `a->b_`, `*p` to the final identifier component.
+      while (!range.empty() &&
+             std::isspace(static_cast<unsigned char>(range.back())) != 0) {
+        range.pop_back();
+      }
+      size_t last = range.size();
+      while (last > 0 && is_ident_char(range[last - 1])) --last;
+      const std::string final_ident = range.substr(last);
+      if (names.count(final_ident) != 0) {
+        report(joined_.line_of(pos), "unordered-iter",
+               "range-for over unordered container '" + final_ident +
+                   "' feeds hash-bucket order into an export/analysis path; "
+                   "use std::map / a sorted vector, or waive with "
+                   "`// lint: order-insensitive`");
+      }
+    }
+
+    // Iterator loops: any `<name>.begin()` / `<name>.cbegin()` on a tracked
+    // container.
+    for (const std::string& name : names) {
+      for (const char* method : {".begin", ".cbegin"}) {
+        const std::string pattern = name + method;
+        for (size_t pos = joined_.text.find(pattern); pos != std::string::npos;
+             pos = joined_.text.find(pattern, pos + 1)) {
+          if (pos > 0 && is_ident_char(joined_.text[pos - 1])) continue;
+          report(joined_.line_of(pos), "unordered-iter",
+                 "iterator walk over unordered container '" + name +
+                     "' feeds hash-bucket order into an export/analysis "
+                     "path; use std::map / a sorted vector, or waive with "
+                     "`// lint: order-insensitive`");
+        }
+      }
+    }
+  }
+
+  void require_seeded_construction(size_t token_pos, size_t args_open) {
+    const size_t args_close = match_bracket(joined_.text, args_open);
+    const std::string args =
+        args_close == std::string::npos
+            ? joined_.text.substr(args_open)
+            : joined_.text.substr(args_open, args_close - args_open);
+    for (const char* source : {"mix_key", "hash_tag", "derive", "seed",
+                               "Seed"}) {
+      if (args.find(source) != std::string::npos) return;
+    }
+    report(joined_.line_of(token_pos), "rng-seed",
+           "Rng constructed from a value not traceable to "
+           "mix_key/hash_tag/derive/a seed; every stream must derive from "
+           "Scenario::seed");
+  }
+
+  // rng-seed: Rng streams must be derived, never seeded ad hoc, so adding a
+  // consumer can never perturb another stream.
+  void check_rng_seed() {
+    if (path_ends_with(path_, "net/rng.cpp") ||
+        path_ends_with(path_, "net/rng.h")) {
+      return;
+    }
+    for (size_t pos = find_token(joined_.text, "Rng"); pos != std::string::npos;
+         pos = find_token(joined_.text, "Rng", pos + 1)) {
+      size_t cursor = skip_spaces(joined_.text, pos + 3);
+      if (cursor >= joined_.text.size()) break;
+      if (joined_.text[cursor] == '(') {
+        // Temporary: Rng(<args>).
+        require_seeded_construction(pos, cursor);
+        continue;
+      }
+      if (joined_.text[cursor] == '>') {
+        // make_shared<net::Rng>(<args>) / make_unique<net::Rng>(<args>).
+        const size_t call = skip_spaces(joined_.text, cursor + 1);
+        if (call < joined_.text.size() && joined_.text[call] == '(') {
+          require_seeded_construction(pos, call);
+        }
+        continue;
+      }
+      if (!is_ident_char(joined_.text[cursor])) continue;
+      // Named construction: Rng <name>(<args>).
+      while (cursor < joined_.text.size() && is_ident_char(joined_.text[cursor])) {
+        ++cursor;
+      }
+      cursor = skip_spaces(joined_.text, cursor);
+      if (cursor < joined_.text.size() && joined_.text[cursor] == '(') {
+        require_seeded_construction(pos, cursor);
+      }
+    }
+  }
+
+  // pragma-once / using-namespace: header hygiene.
+  void check_header_hygiene() {
+    if (!header_) return;
+    bool has_pragma = false;
+    for (const LineView& line : lines_) {
+      if (line.code.find("#pragma once") != std::string::npos) {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma) {
+      report(1, "pragma-once", "header is missing #pragma once");
+    }
+    for (size_t pos = find_token(joined_.text, "using");
+         pos != std::string::npos;
+         pos = find_token(joined_.text, "using", pos + 1)) {
+      const size_t next = skip_spaces(joined_.text, pos + 5);
+      if (token_at(joined_.text, next, "namespace")) {
+        report(joined_.line_of(pos), "using-namespace",
+               "using-namespace in a header leaks names into every includer");
+      }
+    }
+  }
+
+  std::string path_;
+  bool header_;
+  std::vector<LineView> lines_;
+  JoinedCode joined_;
+  JoinedCode sibling_joined_;
+  std::vector<Finding> findings_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+}  // namespace
+
+std::string format(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& content) {
+  return Linter(path, content, std::string()).run();
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& content,
+                               const std::string& sibling_header_content) {
+  return Linter(path, content, sibling_header_content).run();
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (fs::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc") {
+        files.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::string sibling_header;
+    if (path_ends_with(file, ".cpp")) {
+      const std::string header =
+          file.substr(0, file.size() - 4) + ".h";
+      if (fs::is_regular_file(header)) sibling_header = read_file(header);
+    }
+    auto file_findings =
+        Linter(file, read_file(file), sibling_header).run();
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+}  // namespace curtain::lint

@@ -1,0 +1,58 @@
+// curtain_lint — the project's determinism and hygiene linter.
+//
+// A focused line-oriented scanner (no libclang): comments and string
+// literals are stripped into a "code view", then each rule pattern-matches
+// against it. That is deliberately shallow — the rules target idioms this
+// codebase bans outright, so token-level matching is enough, and the whole
+// tree lints in milliseconds, cheap enough for tier-1 ctest.
+//
+// Rules (DESIGN.md §11):
+//   entropy          std::rand/srand/random_device outside net/rng.cpp
+//   wallclock        system_clock/steady_clock/time(nullptr)/... outside
+//                    net/clock.cpp and net/time.cpp
+//   unordered-iter   iteration over unordered_map/unordered_set in files
+//                    that reach export/analysis paths
+//   rng-seed         an Rng constructed from anything not traceable to
+//                    mix_key/hash_tag/derive/a seed parameter
+//   pragma-once      header missing #pragma once
+//   using-namespace  using-namespace directive in a header
+//
+// A finding on a line is suppressed by a trailing waiver comment naming the
+// rule:  `// lint: wallclock`  (comma-separated for several rules;
+// `order-insensitive` is the idiomatic alias for unordered-iter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace curtain::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: [rule] message" — the format every finding is printed in.
+std::string format(const Finding& finding);
+
+/// Lints one file's content. `path` decides which rules and exemptions
+/// apply (it is matched as a suffix/substring, so relative fixture paths
+/// like "src/analysis/foo.cpp" behave like real tree paths).
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& content);
+
+/// As above, with the paired header's content supplied so member
+/// declarations there participate in unordered-iteration tracking (this is
+/// what lint_tree does automatically for every x.cpp with a sibling x.h).
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& content,
+                               const std::string& sibling_header_content);
+
+/// Recursively lints every .h/.cpp under each root (a root may also be a
+/// single file). Files are visited in sorted path order so output and
+/// exit codes are reproducible.
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots);
+
+}  // namespace curtain::lint

@@ -1,0 +1,35 @@
+// curtain_lint entry point.
+//
+//   curtain_lint <file-or-dir>...
+//
+// Lints every .h/.cpp under the given roots, prints one
+// `file:line: [rule] message` per finding and exits nonzero when anything
+// fired. Registered as the tier-1 `LintTree` ctest over src/, bench/ and
+// examples/; see tools/lint/lint.h for the rule set and waiver syntax.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: curtain_lint <file-or-dir>...\n"
+                 "rules: entropy wallclock unordered-iter rng-seed "
+                 "pragma-once using-namespace\n"
+                 "waive a line with `// lint: <rule>` "
+                 "(`order-insensitive` aliases unordered-iter)\n");
+    return 2;
+  }
+  std::vector<std::string> roots(argv + 1, argv + argc);
+  const auto findings = curtain::lint::lint_tree(roots);
+  for (const auto& finding : findings) {
+    std::printf("%s\n", curtain::lint::format(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "curtain_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Deliberately non-compiling lint fixture: every determinism rule must
+// fire on this file (the LintFixturesFire ctest asserts a nonzero exit).
+// The src/analysis/ path component puts it in unordered-iter scope.
+#include <unordered_map>
+
+std::unordered_map<int, double> totals;
+
+void dump() {
+  for (const auto& [k, v] : totals) emit(k, v);
+}
+
+void bad_entropy() {
+  int x = rand();
+  std::random_device rd;
+}
+
+void bad_wallclock() {
+  auto t = std::chrono::steady_clock::now();
+  auto u = time(nullptr);
+}
+
+void bad_rng_seed() {
+  net::Rng rng(42);
+}

@@ -1,0 +1,5 @@
+// Lint fixture: missing #pragma once and a using-namespace directive —
+// both header-hygiene rules must fire.
+using namespace std;
+
+int forty_two();

@@ -1,0 +1,18 @@
+// Lint fixture: the same hazards as bad_export.cpp, each waived. This file
+// must contribute zero findings (lint_test asserts the fixture directory's
+// finding set comes entirely from the bad_* files).
+#include <unordered_map>
+
+std::unordered_map<int, double> totals;
+
+double max_total() {
+  double best = 0;
+  for (const auto& [k, v] : totals) best = pick(best, v);  // lint: order-insensitive
+  return best;
+}
+
+void timed() {
+  auto t = std::chrono::steady_clock::now();  // lint: wallclock
+  int jitter = rand();                        // lint: entropy
+  net::Rng rng(77);                           // lint: rng-seed
+}
