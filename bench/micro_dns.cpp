@@ -47,6 +47,43 @@ void BM_NameParse(benchmark::State& state) {
 }
 BENCHMARK(BM_NameParse);
 
+// --- flat-name series (ISSUE-5 before/after comparison workloads) -----------
+
+/// Reverse-map style name: many short labels, the worst case for
+/// per-label heap allocation.
+void BM_NameParseDeep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::DnsName::parse("4.3.2.1.in-addr.arpa"));
+  }
+}
+BENCHMARK(BM_NameParseDeep);
+
+/// Copy + hash: what every cache lookup pays to build its Key.
+void BM_NameCopyHash(benchmark::State& state) {
+  const auto name = *dns::DnsName::parse("www.buzzfeed.com");
+  for (auto _ : state) {
+    dns::DnsName key = name;
+    benchmark::DoNotOptimize(key.hash());
+  }
+}
+BENCHMARK(BM_NameCopyHash);
+
+/// Zone walk: parent()/is_within(), the resolver's best_server_for loop.
+void BM_NameZoneWalk(benchmark::State& state) {
+  const auto name = *dns::DnsName::parse("edge-17.cdn.example.com");
+  const auto apex = *dns::DnsName::parse("example.com");
+  for (auto _ : state) {
+    dns::DnsName zone = name;
+    size_t within = 0;
+    while (!zone.is_root()) {
+      if (zone.is_within(apex)) ++within;
+      zone = zone.parent();
+    }
+    benchmark::DoNotOptimize(within);
+  }
+}
+BENCHMARK(BM_NameZoneWalk);
+
 void BM_CacheLookupHit(benchmark::State& state) {
   dns::Cache cache;
   const auto name = *dns::DnsName::parse("www.example.com");
@@ -59,6 +96,57 @@ void BM_CacheLookupHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CacheLookupHit);
+
+// --- cache series (ISSUE-5 before/after comparison workloads) ---------------
+
+/// Hit-heavy lookups against a wide rrset (8 A records): the paper's CDN
+/// names resolve to multi-record rrsets, and every hit must age TTLs.
+void BM_CacheLookupHitWide(benchmark::State& state) {
+  dns::Cache cache;
+  const auto name = *dns::DnsName::parse("buzzfeed-www.fastedge.net");
+  std::vector<dns::ResourceRecord> records;
+  for (uint8_t i = 0; i < 8; ++i) {
+    records.push_back(dns::ResourceRecord::a(
+        name, net::Ipv4Addr{20, 1, 2, i}, 3600));
+  }
+  cache.insert(name, dns::RRType::kA, std::move(records), net::SimTime::zero());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.lookup(name, dns::RRType::kA, net::SimTime::from_seconds(1)));
+  }
+}
+BENCHMARK(BM_CacheLookupHitWide);
+
+/// Insert churn against a saturated cache whose entries have all expired:
+/// the eviction path a burst of short-TTL CDN answers produces.
+void BM_CacheEvictionChurn(benchmark::State& state) {
+  constexpr size_t kCapacity = 1024;
+  constexpr size_t kNames = 4096;
+  std::vector<dns::DnsName> names;
+  names.reserve(kNames);
+  for (size_t i = 0; i < kNames; ++i) {
+    names.push_back(
+        *dns::DnsName::parse("host-" + std::to_string(i) + ".example.com"));
+  }
+  dns::Cache cache(kCapacity);
+  // Saturate with entries that expire at t=30.
+  for (size_t i = 0; i < kCapacity; ++i) {
+    cache.insert(names[i], dns::RRType::kA,
+                 {dns::ResourceRecord::a(names[i], net::Ipv4Addr{1, 2, 3, 4}, 30)},
+                 net::SimTime::zero());
+  }
+  const auto now = net::SimTime::from_seconds(60);
+  size_t next = 0;
+  for (auto _ : state) {
+    const dns::DnsName& name = names[next];
+    next = (next + 1) % kNames;
+    cache.insert(name, dns::RRType::kA,
+                 {dns::ResourceRecord::a(name, net::Ipv4Addr{1, 2, 3, 4}, 30)},
+                 now);
+  }
+  benchmark::DoNotOptimize(cache.size());
+}
+BENCHMARK(BM_CacheEvictionChurn);
 
 void BM_RecursiveResolution(benchmark::State& state) {
   // Mini-world: hub + hierarchy + one zone + one resolver.

@@ -57,6 +57,27 @@ void BM_SingleCellResolution(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleCellResolution);
 
+/// Hit-heavy variant (ISSUE-5 before/after comparison workload): queries
+/// arrive one second apart, so almost every resolution is served from the
+/// carrier's client-facing cache — the cache + name hot path end to end.
+void BM_SingleCellResolutionWarm(benchmark::State& state) {
+  core::World world;
+  auto& carrier = world.carrier(0);
+  cellular::Device device(3, &carrier, net::GeoPoint{40.71, -74.01});
+  auto rng = bench::bench_rng("micro_study/single-resolution-warm");
+  const auto host = dns::DnsName::parse("www.buzzfeed.com");
+  int64_t second = 0;
+  for (auto _ : state) {
+    const auto now = net::SimTime::from_seconds(static_cast<double>(++second));
+    const auto snapshot = device.begin_experiment(now, rng);
+    dns::StubResolver stub(device.gateway_node(), snapshot.public_ip,
+                           world.topology(), world.registry());
+    benchmark::DoNotOptimize(stub.query(snapshot.configured_resolver, *host,
+                                        dns::RRType::kA, now, rng));
+  }
+}
+BENCHMARK(BM_SingleCellResolutionWarm);
+
 }  // namespace
 
 int main(int argc, char** argv) {

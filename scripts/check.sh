@@ -13,6 +13,11 @@
 #   lint      curtain_lint over src/ bench/ examples/ (also runs inside
 #             every ctest leg as LintTree; kept separate so a lint check
 #             doesn't need a test run).
+#   bench-smoke
+#             runs each micro bench for a fraction of a second per case and
+#             fails unless every binary emits a well-formed one-line
+#             bench_record JSON — catches bit-rot in the perf evidence
+#             pipeline (scripts/bench_baseline.sh) without a full bench run.
 #
 # Every leg uses its own build directory, so re-runs are incremental.
 set -euo pipefail
@@ -54,21 +59,46 @@ lint_leg() {
   ./build/tools/curtain_lint src bench examples
 }
 
+bench_smoke_leg() {
+  run_leg "bench smoke (tiny micro benches + bench_record shape)"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target micro_net micro_dns micro_study
+  local bench out
+  for bench in micro_net micro_dns micro_study; do
+    out="$("./build/bench/$bench" --benchmark_min_time=0.01 2>/dev/null)"
+    # Every bench must emit exactly one bench_record line carrying the
+    # wall-clock field plus at least one curtain_* metric (bench_common.h).
+    if ! grep -c '^{"bench_record":"' <<<"$out" | grep -qx 1; then
+      echo "bench-smoke: $bench emitted no (or multiple) bench_record lines" >&2
+      exit 1
+    fi
+    if ! grep '^{"bench_record":"' <<<"$out" |
+        grep -q '"wall_ms":[0-9.]*,"curtain_'; then
+      echo "bench-smoke: $bench bench_record JSON is malformed:" >&2
+      grep '^{"bench_record":"' <<<"$out" >&2 || true
+      exit 1
+    fi
+    echo "bench-smoke: $bench ok"
+  done
+}
+
 case "$LEG" in
   plain)    plain_leg ;;
   sanitize) sanitize_leg ;;
   tsan)     tsan_leg ;;
   lint)     lint_leg ;;
+  bench-smoke) bench_smoke_leg ;;
   all)
     plain_leg
     sanitize_leg
     tsan_leg
     lint_leg
+    bench_smoke_leg
     echo
     echo "=== check.sh: all legs green ==="
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|sanitize|tsan|lint|all]" >&2
+    echo "usage: scripts/check.sh [plain|sanitize|tsan|lint|bench-smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -196,7 +196,7 @@ std::vector<dns::ResourceRecord> CdnProvider::answer_query(
       question.name.label_count() != zone_apex_.label_count() + 1) {
     return {};
   }
-  const std::string& customer = question.name.labels().front();
+  const std::string customer(question.name.label(0));
   if (customers_.find(customer) == customers_.end()) return {};
 
   // RFC 7871: when the resolver discloses the client's subnet, map by the

@@ -95,13 +95,13 @@ dns::ServedResponse ClientFacingResolver::handle_query(
   // pool machine.
   if (!rng.bernoulli(kColdPoolMachineP)) {
     if (auto hit = cache.lookup(question.name, question.type, now);
-        hit && !hit->negative && !hit->records.empty()) {
+        hit && !hit->negative() && !hit->records().empty()) {
       carrier_metrics().client_cache_hits.inc();
       obs::ScopedSpan span("cell_ldns_cache", now.millis());
       span.finish(now.millis() + kClientCacheHitMs);
       dns::Message response = query->make_response();
       response.header.ra = true;
-      response.answers = std::move(hit->records);
+      hit->append_aged(response.answers);
       return dns::ServedResponse{dns::encode(response), kClientCacheHitMs};
     }
   } else {

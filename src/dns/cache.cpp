@@ -31,31 +31,25 @@ CacheMetrics& cache_metrics() {
 
 }  // namespace
 
-std::optional<CachedRrset> Cache::lookup(const DnsName& name, RRType type,
-                                         net::SimTime now, uint32_t scope) {
+std::optional<CacheHit> Cache::lookup(const DnsName& name, RRType type,
+                                      net::SimTime now, uint32_t scope) {
   const auto it = entries_.find(Key{name, type, scope});
   if (it == entries_.end()) {
     ++stats_.misses;
     cache_metrics().misses.inc();
     return std::nullopt;
   }
-  if (it->second.expires <= now) {
-    entries_.erase(it);
-    ++stats_.expired_evictions;
+  if (it->second.data.expires <= now) {
+    erase_expired_entry(it);
     ++stats_.misses;
-    cache_metrics().expired.inc();
     cache_metrics().misses.inc();
     return std::nullopt;
   }
   ++stats_.hits;
   cache_metrics().hits.inc();
-  CachedRrset aged = it->second;
   const auto elapsed_s =
-      static_cast<uint32_t>((now - aged.inserted).seconds());
-  for (auto& rr : aged.records) {
-    rr.ttl = rr.ttl > elapsed_s ? rr.ttl - elapsed_s : 0;
-  }
-  return aged;
+      static_cast<uint32_t>((now - it->second.data.inserted).seconds());
+  return CacheHit(&it->second.data, elapsed_s);
 }
 
 void Cache::insert(const DnsName& name, RRType type,
@@ -64,8 +58,11 @@ void Cache::insert(const DnsName& name, RRType type,
   if (records.empty()) return;
   uint32_t ttl = UINT32_MAX;
   for (const auto& rr : records) ttl = std::min(ttl, rr.ttl);
-  ttl = std::clamp(ttl, min_ttl_s_, max_ttl_s_);
+  // Uncacheable before the clamp: a min_ttl floor must not turn an
+  // authority's explicit "do not cache" (TTL 0) into a cached entry.
   if (ttl == 0) return;
+  ttl = std::clamp(ttl, min_ttl_s_, max_ttl_s_);
+  if (ttl == 0) return;  // max_ttl of zero disables caching entirely
   CachedRrset entry;
   entry.records = std::move(records);
   entry.inserted = now;
@@ -75,6 +72,7 @@ void Cache::insert(const DnsName& name, RRType type,
 
 void Cache::insert_negative(const DnsName& name, RRType type, uint32_t ttl_s,
                             net::SimTime now, uint32_t scope) {
+  if (ttl_s == 0) return;  // same pre-clamp rule as positive entries
   ttl_s = std::clamp(ttl_s, min_ttl_s_, max_ttl_s_);
   if (ttl_s == 0) return;
   CachedRrset entry;
@@ -85,34 +83,49 @@ void Cache::insert_negative(const DnsName& name, RRType type, uint32_t ttl_s,
 }
 
 void Cache::insert_entry(Key key, CachedRrset entry) {
-  if (entries_.size() >= max_entries_ && entries_.find(key) == entries_.end()) {
-    evict_one(entry.inserted);
-  }
-  entries_[std::move(key)] = std::move(entry);
-}
-
-void Cache::evict_one(net::SimTime now) {
-  if (entries_.empty()) return;
-  // Prefer an expired entry; otherwise drop the soonest-to-expire one.
-  auto victim = entries_.begin();
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.expires <= now) {
-      victim = it;
-      break;
-    }
-    if (it->second.expires < victim->second.expires) victim = it;
-  }
-  if (victim->second.expires <= now) {
-    ++stats_.expired_evictions;
-    cache_metrics().expired.inc();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Overwrite: drop the stale index slot; the map node stays put.
+    expiry_.erase(it->second.expiry_it);
   } else {
-    ++stats_.capacity_evictions;
-    cache_metrics().capacity.inc();
+    if (entries_.size() >= max_entries_) {
+      // Sweep *all* expired entries before charging anyone a capacity
+      // eviction: a cache saturated with dead entries is not "full".
+      purge_expired(entry.inserted);
+      while (entries_.size() >= max_entries_) evict_for_capacity();
+    }
+    it = entries_.emplace(std::move(key), Entry{}).first;
   }
-  entries_.erase(victim);
+  it->second.data = std::move(entry);
+  it->second.expiry_it = expiry_.emplace(it->second.data.expires, &it->first);
 }
 
-void Cache::clear() { entries_.clear(); }
+void Cache::purge_expired(net::SimTime now) {
+  while (!expiry_.empty() && expiry_.begin()->first <= now) {
+    erase_expired_entry(entries_.find(*expiry_.begin()->second));
+  }
+}
+
+void Cache::evict_for_capacity() {
+  if (expiry_.empty()) return;
+  const auto victim = expiry_.begin();
+  entries_.erase(*victim->second);
+  expiry_.erase(victim);
+  ++stats_.capacity_evictions;
+  cache_metrics().capacity.inc();
+}
+
+void Cache::erase_expired_entry(EntryMap::iterator it) {
+  expiry_.erase(it->second.expiry_it);
+  entries_.erase(it);
+  ++stats_.expired_evictions;
+  cache_metrics().expired.inc();
+}
+
+void Cache::clear() {
+  entries_.clear();
+  expiry_.clear();
+}
 
 void Cache::set_ttl_bounds(uint32_t min_ttl_s, uint32_t max_ttl_s) {
   min_ttl_s_ = min_ttl_s;

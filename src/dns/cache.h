@@ -4,9 +4,16 @@
 // (tens of seconds) so that redirection stays responsive, which makes
 // cellular resolvers miss ~20% of even very popular names (paper Fig. 7)
 // and puts the full recursion cost in the resolution-time tail (Fig. 5).
+//
+// Hits are served as borrowed views (CacheHit): the record vector is never
+// copied on lookup; TTL aging is computed once per hit and applied lazily
+// by the caller. Eviction runs off an expiry-ordered index (multimap, so
+// equal expiries keep insertion order and eviction stays deterministic)
+// instead of the old O(n) scan per capacity-bound insert.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -36,19 +43,66 @@ struct CachedRrset {
   net::SimTime expires;
 };
 
+/// A borrowed view of a cache hit. Valid until the cache is next mutated
+/// for this key (overwrite, expiry, eviction, clear); lookups and inserts
+/// of *other* keys do not invalidate it (node-based storage).
+///
+/// TTL aging (RFC 1035 §3.2.1) is carried as a single elapsed-seconds
+/// value instead of a re-written record copy; callers that need aged
+/// records materialize them with aged_records()/append_aged().
+class CacheHit {
+ public:
+  bool negative() const { return entry_->negative; }
+  /// The stored records with their *original* (un-aged) TTLs.
+  const std::vector<ResourceRecord>& records() const {
+    return entry_->records;
+  }
+  /// Seconds the entry has spent in cache at lookup time.
+  uint32_t elapsed_s() const { return elapsed_s_; }
+  /// Ages one stored TTL by the time spent in cache.
+  uint32_t aged_ttl(uint32_t ttl) const {
+    return ttl > elapsed_s_ ? ttl - elapsed_s_ : 0;
+  }
+
+  /// Appends copies of the records with aged TTLs.
+  void append_aged(std::vector<ResourceRecord>& out) const {
+    out.reserve(out.size() + entry_->records.size());
+    for (const auto& rr : entry_->records) {
+      out.push_back(rr);
+      out.back().ttl = aged_ttl(rr.ttl);
+    }
+  }
+  /// Materializes an aged copy (the pre-view lookup() return value).
+  std::vector<ResourceRecord> aged_records() const {
+    std::vector<ResourceRecord> out;
+    append_aged(out);
+    return out;
+  }
+
+ private:
+  friend class Cache;
+  CacheHit(const CachedRrset* entry, uint32_t elapsed_s)
+      : entry_(entry), elapsed_s_(elapsed_s) {}
+
+  const CachedRrset* entry_;
+  uint32_t elapsed_s_;
+};
+
 class Cache {
  public:
   explicit Cache(size_t max_entries = 100000) : max_entries_(max_entries) {}
 
-  /// Returns the entry if present and unexpired; record TTLs are aged by
-  /// the time already spent in cache (RFC 1035 §3.2.1 semantics).
+  /// Returns a borrowed view of the entry if present and unexpired (see
+  /// CacheHit for lifetime and TTL-aging semantics).
   /// `scope` partitions entries by client subnet for ECS-tailored answers
   /// (RFC 7871 §7.3.1); 0 = subnet-independent data.
-  std::optional<CachedRrset> lookup(const DnsName& name, RRType type,
-                                    net::SimTime now, uint32_t scope = 0);
+  std::optional<CacheHit> lookup(const DnsName& name, RRType type,
+                                 net::SimTime now, uint32_t scope = 0);
 
   /// Inserts a positive rrset; entry TTL = min record TTL, clamped to
-  /// [min_ttl_, max_ttl_]. Zero-TTL rrsets are not cached.
+  /// [min_ttl_, max_ttl_]. Zero-TTL rrsets are uncacheable (RFC 1035
+  /// §3.2.1) and are rejected *before* the clamp — a floor must not
+  /// launder "do not cache" into a cacheable TTL.
   void insert(const DnsName& name, RRType type,
               std::vector<ResourceRecord> records, net::SimTime now,
               uint32_t scope = 0);
@@ -77,13 +131,29 @@ class Cache {
     }
   };
 
+  /// Expiry-ordered eviction index. multimap inserts equal keys at the
+  /// upper bound, so entries sharing an expiry stay in insertion order —
+  /// eviction order is deterministic by construction. Values point at the
+  /// owning map node's key (stable: unordered_map storage is node-based).
+  using ExpiryIndex = std::multimap<net::SimTime, const Key*>;
+  struct Entry {
+    CachedRrset data;
+    ExpiryIndex::iterator expiry_it;
+  };
+  using EntryMap = std::unordered_map<Key, Entry, KeyHash>;
+
   void insert_entry(Key key, CachedRrset entry);
-  void evict_one(net::SimTime now);
+  /// Removes every entry whose expiry is <= now, charging expired stats.
+  void purge_expired(net::SimTime now);
+  /// Removes the soonest-to-expire (live) entry, charging capacity stats.
+  void evict_for_capacity();
+  void erase_expired_entry(EntryMap::iterator it);
 
   size_t max_entries_;
   uint32_t min_ttl_s_ = 0;
   uint32_t max_ttl_s_ = 86400;
-  std::unordered_map<Key, CachedRrset, KeyHash> entries_;
+  EntryMap entries_;
+  ExpiryIndex expiry_;
   CacheStats stats_;
 };
 

@@ -58,7 +58,7 @@ AuthoritativeServer& DnsHierarchy::create_zone(const DnsName& apex,
 
 void DnsHierarchy::delegate_zone(AuthoritativeServer& zone_server) {
   const DnsName& apex = zone_server.apex();
-  const std::string tld_label = apex.labels().back();
+  const std::string tld_label(apex.label(apex.label_count() - 1));
   const DnsName ns_name = *apex.child("ns1");
   tld(tld_label).delegate(apex, ns_name, zone_server.ip());
 }

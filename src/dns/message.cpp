@@ -20,9 +20,8 @@ constexpr size_t kMaxPointerChases = 32;
 class NameCompressor {
  public:
   void write_name(ByteWriter& out, const DnsName& name) {
-    const auto& labels = name.labels();
-    for (size_t i = 0; i < labels.size(); ++i) {
-      const std::string suffix = suffix_key(labels, i);
+    for (size_t i = 0; i < name.label_count(); ++i) {
+      const std::string suffix = suffix_key(name, i);
       const auto it = offsets_.find(suffix);
       if (it != offsets_.end()) {
         out.put_u16(static_cast<uint16_t>(kPointerMask | it->second));
@@ -32,18 +31,18 @@ class NameCompressor {
       if (out.size() < 0x4000) {
         offsets_.emplace(suffix, static_cast<uint16_t>(out.size()));
       }
-      out.put_u8(static_cast<uint8_t>(labels[i].size()));
-      out.put_string(labels[i]);
+      const std::string_view label = name.label(i);
+      out.put_u8(static_cast<uint8_t>(label.size()));
+      out.put_string(label);
     }
     out.put_u8(0);  // root
   }
 
  private:
-  static std::string suffix_key(const std::vector<std::string>& labels,
-                                size_t from) {
+  static std::string suffix_key(const DnsName& name, size_t from) {
     std::string key;
-    for (size_t i = from; i < labels.size(); ++i) {
-      key += labels[i];
+    for (size_t i = from; i < name.label_count(); ++i) {
+      key += name.label(i);
       key += '.';
     }
     return key;
@@ -110,11 +109,10 @@ uint16_t encode_flags(const Header& h) {
 /// Reads a possibly-compressed name starting at the reader's cursor,
 /// leaving the cursor just past the name's in-place bytes.
 std::optional<DnsName> read_name(ByteReader& reader) {
-  std::vector<std::string> labels;
+  DnsName name;
   size_t pointer_chases = 0;
   size_t resume_offset = 0;  // set on first pointer
   bool jumped = false;
-  size_t total_wire = 1;
 
   while (true) {
     const uint8_t len = reader.get_u8();
@@ -135,14 +133,14 @@ std::optional<DnsName> read_name(ByteReader& reader) {
     }
     if ((len & 0xc0) != 0) return std::nullopt;  // 0x40/0x80 reserved
     if (len == 0) break;
-    total_wire += 1 + len;
-    if (total_wire > 255) return std::nullopt;
-    std::string label = reader.get_string(len);
+    const std::string_view label = reader.get_view(len);
     if (!reader.ok()) return std::nullopt;
-    labels.push_back(std::move(label));
+    // append_label enforces the 255-byte wire cap, so an over-long or
+    // pointer-inflated name fails here.
+    if (!name.append_label(label)) return std::nullopt;
   }
   if (jumped) reader.seek(resume_offset);
-  return DnsName::from_labels(std::move(labels));
+  return name;
 }
 
 std::optional<Question> read_question(ByteReader& reader) {

@@ -1,5 +1,8 @@
 #include "dns/name.h"
 
+#include <algorithm>
+#include <cctype>
+
 #include "util/strings.h"
 
 namespace curtain::dns {
@@ -8,81 +11,133 @@ namespace {
 constexpr size_t kMaxLabel = 63;
 constexpr size_t kMaxWire = 255;
 
-bool valid_label(std::string_view label) {
-  return !label.empty() && label.size() <= kMaxLabel;
-}
-
 }  // namespace
 
 std::optional<DnsName> DnsName::parse(std::string_view text) {
   text = util::trim(text);
   if (!text.empty() && text.back() == '.') text.remove_suffix(1);
-  if (text.empty()) return DnsName{};  // root
-  std::vector<std::string> labels;
-  for (auto& label : util::split(text, '.')) {
-    if (!valid_label(label)) return std::nullopt;
-    labels.push_back(util::to_lower(label));
-  }
-  return from_labels(std::move(labels));
-}
-
-std::optional<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
-  size_t wire = 1;  // root terminator
-  for (auto& label : labels) {
-    if (!valid_label(label)) return std::nullopt;
-    label = util::to_lower(label);
-    wire += 1 + label.size();
-  }
-  if (wire > kMaxWire) return std::nullopt;
   DnsName name;
-  name.labels_ = std::move(labels);
+  if (text.empty()) return name;  // root
+  // For n labels the wire form is label bytes + n length octets + root =
+  // text.size() + 2 (the n-1 dots become length octets); reject oversized
+  // input before touching the buffer.
+  if (text.size() + 2 > kMaxWire) return std::nullopt;
+  name.bytes_.reserve(text.size());
+  size_t start = 0;
+  for (;;) {
+    const size_t dot = text.find('.', start);
+    const size_t len =
+        dot == std::string_view::npos ? std::string_view::npos : dot - start;
+    if (!name.append_label(text.substr(start, len))) return std::nullopt;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
   return name;
 }
 
-size_t DnsName::wire_length() const {
-  size_t wire = 1;
-  for (const auto& label : labels_) wire += 1 + label.size();
-  return wire;
+std::optional<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
+  DnsName name;
+  for (const auto& label : labels) {
+    if (!name.append_label(label)) return std::nullopt;
+  }
+  return name;
+}
+
+bool DnsName::append_label(std::string_view label) {
+  if (label.empty() || label.size() > kMaxLabel) return false;
+  // +1 length octet for this label, +1 for the root terminator.
+  if (bytes_.size() + ends_.size() + label.size() + 2 > kMaxWire) return false;
+  for (const char c : label) {
+    bytes_.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  ends_.push_back(static_cast<uint8_t>(bytes_.size()));
+  return true;
+}
+
+std::vector<std::string> DnsName::labels() const {
+  std::vector<std::string> out;
+  out.reserve(ends_.size());
+  for (size_t i = 0; i < ends_.size(); ++i) out.emplace_back(label(i));
+  return out;
 }
 
 std::string DnsName::to_string() const {
-  return util::join(labels_, ".");
+  std::string out;
+  if (is_root()) return out;
+  out.reserve(bytes_.size() + ends_.size() - 1);
+  for (size_t i = 0; i < ends_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out.append(label(i));
+  }
+  return out;
 }
 
 bool DnsName::is_within(const DnsName& ancestor) const {
-  if (ancestor.labels_.size() > labels_.size()) return false;
-  const size_t offset = labels_.size() - ancestor.labels_.size();
-  for (size_t i = 0; i < ancestor.labels_.size(); ++i) {
-    if (labels_[offset + i] != ancestor.labels_[i]) return false;
+  const size_t count = ancestor.ends_.size();
+  if (count == 0) return true;  // everything is within the root
+  if (count > ends_.size()) return false;
+  const size_t label_off = ends_.size() - count;
+  const size_t byte_off = label_off == 0 ? 0 : ends_[label_off - 1];
+  // The suffix must match byte-for-byte AND break at the same label
+  // boundaries ("ab.c" is not within "a.bc" despite equal bytes).
+  if (bytes_.size() - byte_off != ancestor.bytes_.size()) return false;
+  for (size_t i = 0; i < count; ++i) {
+    if (static_cast<size_t>(ends_[label_off + i]) - byte_off !=
+        static_cast<size_t>(ancestor.ends_[i])) {
+      return false;
+    }
   }
-  return true;
+  return std::string_view(bytes_).substr(byte_off) == ancestor.bytes_;
 }
 
 DnsName DnsName::parent() const {
   DnsName out;
-  if (labels_.size() > 1) {
-    out.labels_.assign(labels_.begin() + 1, labels_.end());
+  if (ends_.size() <= 1) return out;
+  const uint8_t cut = ends_[0];
+  out.bytes_ = bytes_.substr(cut);
+  for (size_t i = 1; i < ends_.size(); ++i) {
+    out.ends_.push_back(static_cast<uint8_t>(ends_[i] - cut));
   }
   return out;
 }
 
 std::optional<DnsName> DnsName::child(std::string_view label) const {
-  std::vector<std::string> labels;
-  labels.reserve(labels_.size() + 1);
-  labels.emplace_back(label);
-  labels.insert(labels.end(), labels_.begin(), labels_.end());
-  return from_labels(std::move(labels));
+  // Validate before building: append_label would otherwise push offsets
+  // for a name we are about to reject.
+  if (label.empty() || label.size() > kMaxLabel) return std::nullopt;
+  if (wire_length() + 1 + label.size() > kMaxWire) return std::nullopt;
+  DnsName out;
+  out.bytes_.reserve(label.size() + bytes_.size());
+  out.append_label(label);
+  out.bytes_.append(bytes_);
+  const auto shift = static_cast<uint8_t>(label.size());
+  for (const uint8_t end : ends_) {
+    out.ends_.push_back(static_cast<uint8_t>(end + shift));
+  }
+  return out;
+}
+
+bool DnsName::operator<(const DnsName& other) const {
+  const size_t n = std::min(ends_.size(), other.ends_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int cmp = label(i).compare(other.label(i));
+    if (cmp != 0) return cmp < 0;
+  }
+  return ends_.size() < other.ends_.size();
 }
 
 size_t DnsName::hash() const {
   size_t h = 0xcbf29ce484222325ULL;
-  for (const auto& label : labels_) {
-    for (const char c : label) {
-      h ^= static_cast<uint8_t>(c);
+  size_t begin = 0;
+  for (const uint8_t end : ends_) {
+    for (size_t i = begin; i < end; ++i) {
+      h ^= static_cast<uint8_t>(bytes_[i]);
       h *= 0x100000001b3ULL;
     }
     h ^= 0xff;  // label separator so {"ab","c"} != {"a","bc"}
     h *= 0x100000001b3ULL;
+    begin = end;
   }
   return h;
 }

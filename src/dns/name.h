@@ -3,12 +3,22 @@
 // A name is a sequence of labels; comparisons are case-insensitive and
 // names are stored lowercased. Limits enforced: labels 1..63 octets, whole
 // name <= 255 octets in wire form.
+//
+// Storage is flat: one contiguous byte buffer holding the concatenated
+// labels plus a small inline vector of label end offsets. Typical names
+// ("www.example.com" is 13 label bytes) fit entirely in the std::string
+// small-buffer and the inline offset array, so constructing, copying and
+// hashing a name — the DNS cache's key path — touches no heap at all,
+// where the old std::vector<std::string> cost one allocation per label.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/smallvec.h"
 
 namespace curtain::dns {
 
@@ -24,12 +34,27 @@ class DnsName {
   /// Builds from pre-validated labels (asserts the same limits).
   static std::optional<DnsName> from_labels(std::vector<std::string> labels);
 
-  const std::vector<std::string>& labels() const { return labels_; }
-  bool is_root() const { return labels_.empty(); }
-  size_t label_count() const { return labels_.size(); }
+  /// Validates and appends one label at the rightmost position,
+  /// lowercasing it ("www" then "example" then "com" builds
+  /// "www.example.com"); false if the label or the resulting wire length
+  /// would break the RFC limits. This is the allocation-light way to
+  /// build a name incrementally (the wire decoder's hot path).
+  bool append_label(std::string_view label);
+
+  /// The i-th label (0 = leftmost), viewing the name's own buffer.
+  std::string_view label(size_t i) const {
+    const size_t begin = i == 0 ? 0 : ends_[i - 1];
+    return std::string_view(bytes_).substr(begin, ends_[i] - begin);
+  }
+  /// Materialized copy of the labels (prefer label()/label_count() on hot
+  /// paths; this exists for call sites that want owned strings).
+  std::vector<std::string> labels() const;
+
+  bool is_root() const { return ends_.empty(); }
+  size_t label_count() const { return ends_.size(); }
 
   /// Wire-format length: one length octet per label + label bytes + root.
-  size_t wire_length() const;
+  size_t wire_length() const { return 1 + ends_.size() + bytes_.size(); }
 
   /// Presentation format without trailing dot ("" for the root).
   std::string to_string() const;
@@ -46,15 +71,23 @@ class DnsName {
   /// "cdn.example.com"). nullopt if limits would be violated.
   std::optional<DnsName> child(std::string_view label) const;
 
-  bool operator==(const DnsName& other) const { return labels_ == other.labels_; }
+  bool operator==(const DnsName& other) const {
+    return ends_ == other.ends_ && bytes_ == other.bytes_;
+  }
   /// Lexicographic order over lowercased labels; suitable for map keys.
-  bool operator<(const DnsName& other) const { return labels_ < other.labels_; }
+  /// Label-wise, not flat-byte-wise: {"ab","c"} and {"a","bc"} order by
+  /// their first labels, exactly as the old vector<string> compare did
+  /// (map iteration order feeds the exported datasets).
+  bool operator<(const DnsName& other) const;
 
   /// Hash compatible with operator== (labels are canonically lowercased).
   size_t hash() const;
 
  private:
-  std::vector<std::string> labels_;  // each already lowercased
+  std::string bytes_;  ///< concatenated lowercased labels, no separators
+  /// End offset of each label in bytes_. Wire max 255 keeps every offset
+  /// <= 253, so uint8_t is exact; 8 inline slots cover real hostnames.
+  util::SmallVec<uint8_t, 8> ends_;
 };
 
 struct DnsNameHash {

@@ -113,19 +113,20 @@ std::optional<DnsName> RecursiveResolver::resolve_step(
   SlotState& state = slot_state();
   // Terminal rrset cached (within this client's subnet partition)?
   if (auto cached = state.cache.lookup(qname, type, now, scope)) {
-    if (cached->negative) {
+    if (cached->negative()) {
       result.rcode = Rcode::kNxDomain;
       return std::nullopt;
     }
-    for (auto& rr : cached->records) result.answers.push_back(std::move(rr));
+    cached->append_aged(result.answers);
     return std::nullopt;
   }
   // Cached CNAME link?
   if (type != RRType::kCNAME) {
     if (auto cached = state.cache.lookup(qname, RRType::kCNAME, now, scope);
-        cached && !cached->negative && !cached->records.empty()) {
-      result.answers.push_back(cached->records.front());
-      return std::get<CnameRecord>(cached->records.front().rdata).target;
+        cached && !cached->negative() && !cached->records().empty()) {
+      result.answers.push_back(cached->records().front());
+      result.answers.back().ttl = cached->aged_ttl(result.answers.back().ttl);
+      return std::get<CnameRecord>(cached->records().front().rdata).target;
     }
   }
   // Background-load model: subscribers may have refreshed this name
@@ -174,13 +175,15 @@ net::Ipv4Addr RecursiveResolver::best_server_for(const DnsName& qname,
   // also have. The root primes the walk when nothing deeper is known.
   DnsName zone = qname;
   while (true) {
+    // Borrowed views are safe across the nested glue lookup: it touches a
+    // different key, so the NS entry's node (and record vector) stay put.
     if (auto ns_set = cache.lookup(zone, RRType::kNS, now);
-        ns_set && !ns_set->negative) {
-      for (const auto& rr : ns_set->records) {
+        ns_set && !ns_set->negative()) {
+      for (const auto& rr : ns_set->records()) {
         const auto& ns_name = std::get<NsRecord>(rr.rdata).nameserver;
         if (auto glue = cache.lookup(ns_name, RRType::kA, now);
-            glue && !glue->negative && !glue->records.empty()) {
-          return std::get<ARecord>(glue->records.front().rdata).address;
+            glue && !glue->negative() && !glue->records().empty()) {
+          return std::get<ARecord>(glue->records().front().rdata).address;
         }
       }
     }

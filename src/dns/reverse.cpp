@@ -16,15 +16,15 @@ DnsName reverse_name(net::Ipv4Addr address) {
 }
 
 std::optional<net::Ipv4Addr> parse_reverse_name(const DnsName& name) {
-  const auto& labels = name.labels();
-  if (labels.size() != 6 || labels[4] != "in-addr" || labels[5] != "arpa") {
+  if (name.label_count() != 6 || name.label(4) != "in-addr" ||
+      name.label(5) != "arpa") {
     return std::nullopt;
   }
   uint32_t value = 0;
-  // labels[0] is the least significant octet ("d" in d.c.b.a.in-addr.arpa).
+  // label(0) is the least significant octet ("d" in d.c.b.a.in-addr.arpa).
   for (size_t i = 0; i < 4; ++i) {
     unsigned octet = 0;
-    const auto& label = labels[i];
+    const auto label = name.label(i);
     if (label.empty() || label.size() > 3) return std::nullopt;
     for (const char c : label) {
       if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;

@@ -1,9 +1,7 @@
 #include "exec/shard.h"
 
 #include <deque>
-#include <functional>
 
-#include "net/clock.h"
 #include "net/geo.h"
 #include "util/contract.h"
 
@@ -25,6 +23,23 @@ ShardMetrics& shard_metrics() {
 }
 
 }  // namespace
+
+/// Self-rescheduling hourly wake-up for one device. Trivially copyable and
+/// 40 bytes, so the event queue keeps it inline in the heap slot — the old
+/// std::function closure of the same captures heap-allocated on every
+/// reschedule. The RNG state lives in Shard::run's deque, not here, so
+/// copies of the functor share the device's single stream.
+struct DeviceWake {
+  Shard* shard;
+  cellular::Device* device;
+  net::Rng* rng;
+  net::EventQueue* queue;
+  net::SimTime horizon;
+
+  void operator()(net::SimTime at) const {
+    shard->device_wake(*device, *rng, *queue, horizon, at);
+  }
+};
 
 Shard::Shard(int shard_index, int carrier_index,
              cellular::CellularNetwork& network, measure::WorldView world,
@@ -77,34 +92,34 @@ void Shard::run() {
 
   // Each device wakes hourly with a per-device phase; on each wake it
   // tosses the participation coin and possibly runs one experiment.
-  // The per-device RNG state and the self-rescheduling closures are owned
-  // here, not by the closures themselves (a closure capturing its own
-  // shared_ptr is a reference cycle and leaks); deque keeps the captured
-  // pointers stable while entries are appended.
+  // The per-device RNG state is owned here, not by the DeviceWake functors
+  // (copies of a functor must share the device's single stream); deque
+  // keeps the pointers stable while entries are appended.
   std::deque<net::Rng> device_rngs;
-  std::deque<std::function<void(net::SimTime)>> wakes;
+  queue.reserve(devices_.size());
   for (auto& device_ptr : devices_) {
     cellular::Device* device = device_ptr.get();
     device_rngs.push_back(campaign_rng.derive("device-stream", device->id()));
     net::Rng* device_rng = &device_rngs.back();
     const net::SimTime phase =
         net::SimTime::from_seconds(device_rng->uniform(0.0, 3600.0));
-
-    // Self-rescheduling hourly wake-up.
-    wakes.emplace_back();
-    std::function<void(net::SimTime)>* wake = &wakes.back();
-    *wake = [this, device, device_rng, wake, &queue, horizon](net::SimTime at) {
-      shard_metrics().wakeups.inc();
-      if (device_rng->bernoulli(campaign_.participation)) {
-        runner_.run(*device, carrier_index_, at, *device_rng, dataset_);
-      }
-      const net::SimTime next = at + net::SimTime::from_hours(1.0);
-      if (next < horizon) queue.schedule(next, *wake);
-    };
-    queue.schedule(phase, *wake);
+    queue.schedule(phase, DeviceWake{this, device, device_rng, &queue, horizon});
   }
 
-  while (queue.run_next(clock)) {
+  // Wakes past the horizon are never scheduled, so this drains the queue.
+  queue.run_until(clock, horizon);
+}
+
+void Shard::device_wake(cellular::Device& device, net::Rng& rng,
+                        net::EventQueue& queue, net::SimTime horizon,
+                        net::SimTime at) {
+  shard_metrics().wakeups.inc();
+  if (rng.bernoulli(campaign_.participation)) {
+    runner_.run(device, carrier_index_, at, rng, dataset_);
+  }
+  const net::SimTime next = at + net::SimTime::from_hours(1.0);
+  if (next < horizon) {
+    queue.schedule(next, DeviceWake{this, &device, &rng, &queue, horizon});
   }
 }
 

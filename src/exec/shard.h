@@ -28,9 +28,13 @@
 #include "measure/experiment.h"
 #include "measure/records.h"
 #include "measure/worldview.h"
+#include "net/clock.h"
+#include "net/rng.h"
 #include "obs/metrics.h"
 
 namespace curtain::exec {
+
+struct DeviceWake;
 
 class Shard {
  public:
@@ -53,6 +57,15 @@ class Shard {
   void run();
 
  private:
+  friend struct DeviceWake;
+
+  /// One hourly device wake-up: participation coin toss, maybe one
+  /// experiment, and rescheduling of the next wake. Invoked by DeviceWake,
+  /// the trivially copyable functor the event queue stores inline.
+  void device_wake(cellular::Device& device, net::Rng& rng,
+                   net::EventQueue& queue, net::SimTime horizon,
+                   net::SimTime at);
+
   int shard_index_;
   int carrier_index_;
   cellular::CellularNetwork& network_;

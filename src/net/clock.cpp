@@ -1,39 +1,101 @@
 #include "net/clock.h"
 
-#include <utility>
+#include <algorithm>
+#include <limits>
 
 namespace curtain::net {
 
 void EventQueue::schedule(SimTime at, Handler fn) {
-  events_.push(Event{at, next_seq_++, std::move(fn)});
+  // Clamp to the dispatch floor: an event may never be scheduled before
+  // one that has already run, or handlers could observe time running
+  // backwards (the old queue silently accepted past timestamps).
+  if (at < floor_) at = floor_;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    handlers_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(handlers_.size());
+    CURTAIN_CHECK(slot <= kSlotMask) << "event queue slot space exhausted";
+    handlers_.push_back(std::move(fn));
+  }
+  CURTAIN_DCHECK(next_seq_ >> (64 - kSlotBits) == 0)
+      << "event sequence space exhausted";
+  events_.emplace_back();  // sift_up fills the hole top-down
+  sift_up(events_.size() - 1, Event{at, (next_seq_++ << kSlotBits) | slot});
 }
 
-void EventQueue::schedule_after(const SimClock& clock, SimTime delay, Handler fn) {
+void EventQueue::schedule_after(const SimClock& clock, SimTime delay,
+                                Handler fn) {
+  if (delay < SimTime{}) delay = SimTime{};
   schedule(clock.now() + delay, std::move(fn));
 }
 
 SimTime EventQueue::next_time() const {
-  return events_.empty() ? SimTime{INT64_MAX} : events_.top().at;
+  if (events_.empty()) return SimTime{std::numeric_limits<int64_t>::max()};
+  return events_.front().at;
 }
 
 bool EventQueue::run_next(SimClock& clock) {
   if (events_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the handler instead. Handlers are small std::functions.
-  Event event = events_.top();
-  events_.pop();
-  clock.advance_to(event.at);
-  event.fn(event.at);
+  dispatch(clock);
   return true;
 }
 
 size_t EventQueue::run_until(SimClock& clock, SimTime horizon) {
   size_t executed = 0;
-  while (!events_.empty() && events_.top().at <= horizon) {
-    run_next(clock);
+  // Compare the heap root directly: one branch per event instead of
+  // run_next's empty-check plus a separate next_time() horizon probe.
+  while (!events_.empty() && events_.front().at <= horizon) {
+    dispatch(clock);
     ++executed;
   }
   return executed;
+}
+
+void EventQueue::dispatch(SimClock& clock) {
+  const Event top = events_.front();
+  const Event last = events_.back();
+  events_.pop_back();
+  if (!events_.empty()) sift_down(0, last);
+  CURTAIN_DCHECK(top.at >= floor_) << "event queue dispatched out of order";
+  floor_ = top.at;
+  clock.advance_to(top.at);
+  // Move the handler out before invoking it: it may reschedule and reuse
+  // this very slot. Handlers get the world clock's now, which can be ahead
+  // of top.at if the caller advanced the clock externally — never stale.
+  const auto slot = static_cast<uint32_t>(top.key & kSlotMask);
+  Handler fn = std::move(handlers_[slot]);
+  free_slots_.push_back(slot);
+  fn(clock.now());
+}
+
+void EventQueue::sift_up(size_t hole, Event event) {
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / kArity;
+    if (!sooner(event, events_[parent])) break;
+    events_[hole] = events_[parent];
+    hole = parent;
+  }
+  events_[hole] = event;
+}
+
+void EventQueue::sift_down(size_t hole, Event event) {
+  const size_t count = events_.size();
+  for (;;) {
+    const size_t first_child = hole * kArity + 1;
+    if (first_child >= count) break;
+    size_t best = first_child;
+    const size_t last_child = std::min(first_child + kArity, count);
+    for (size_t child = first_child + 1; child < last_child; ++child) {
+      if (sooner(events_[child], events_[best])) best = child;
+    }
+    if (!sooner(events_[best], event)) break;
+    events_[hole] = events_[best];
+    hole = best;
+  }
+  events_[hole] = event;
 }
 
 }  // namespace curtain::net

@@ -77,6 +77,14 @@ std::string ByteReader::get_string(size_t n) {
   return out;
 }
 
+std::string_view ByteReader::get_view(size_t n) {
+  if (!require(n)) return {};
+  std::string_view out(reinterpret_cast<const char*>(data_.data()) + offset_,
+                       n);
+  offset_ += n;
+  return out;
+}
+
 void ByteReader::seek(size_t offset) {
   if (offset > data_.size()) {
     ok_ = false;

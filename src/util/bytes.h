@@ -51,6 +51,9 @@ class ByteReader {
   /// state) if fewer than `n` remain.
   std::vector<uint8_t> get_bytes(size_t n);
   std::string get_string(size_t n);
+  /// Borrows `n` bytes as a view into the underlying buffer (no copy).
+  /// Only valid while the buffer passed to the constructor is alive.
+  std::string_view get_view(size_t n);
 
   /// Repositions the cursor (used for DNS compression pointers).
   /// Seeking past the end sets the error state.

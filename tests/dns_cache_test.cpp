@@ -26,8 +26,8 @@ TEST(Cache, HitWithinTtl) {
   const auto hit = cache.lookup(name("a.com"), RRType::kA,
                                 SimTime::from_seconds(29));
   ASSERT_TRUE(hit.has_value());
-  EXPECT_FALSE(hit->negative);
-  ASSERT_EQ(hit->records.size(), 1u);
+  EXPECT_FALSE(hit->negative());
+  ASSERT_EQ(hit->records().size(), 1u);
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
@@ -38,7 +38,26 @@ TEST(Cache, TtlAging) {
   const auto hit = cache.lookup(name("a.com"), RRType::kA,
                                 SimTime::from_seconds(12));
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->records[0].ttl, 18u);
+  EXPECT_EQ(hit->elapsed_s(), 12u);
+  EXPECT_EQ(hit->aged_records()[0].ttl, 18u);
+  // The stored record keeps its original TTL; aging never rewrites it.
+  EXPECT_EQ(hit->records()[0].ttl, 30u);
+}
+
+TEST(Cache, HitIsViewNotCopy) {
+  Cache cache;
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 30)},
+               SimTime::zero());
+  const auto first = cache.lookup(name("a.com"), RRType::kA,
+                                  SimTime::from_seconds(1));
+  const auto second = cache.lookup(name("a.com"), RRType::kA,
+                                   SimTime::from_seconds(2));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // Both hits borrow the same stored vector — lookup copies nothing.
+  EXPECT_EQ(first->records().data(), second->records().data());
+  EXPECT_EQ(first->aged_ttl(30), 29u);
+  EXPECT_EQ(second->aged_ttl(30), 28u);
 }
 
 TEST(Cache, ExpiresExactlyAtTtl) {
@@ -68,6 +87,19 @@ TEST(Cache, ZeroTtlNeverCached) {
   EXPECT_FALSE(cache.lookup(name("a.com"), RRType::kA, SimTime::zero()));
 }
 
+TEST(Cache, ZeroTtlUncacheableEvenWithMinTtlFloor) {
+  // Regression: the clamp used to run before the zero check, so a min_ttl
+  // floor silently turned "do not cache" rrsets into cached entries.
+  Cache cache;
+  cache.set_ttl_bounds(60, 120);
+  cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 0)},
+               SimTime::zero());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(name("a.com"), RRType::kA, SimTime::zero()));
+  cache.insert_negative(name("nx.com"), RRType::kA, 0, SimTime::zero());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(Cache, TypesAreIndependent) {
   Cache cache;
   cache.insert(name("a.com"), RRType::kA, {a_record("a.com", 60)},
@@ -89,8 +121,8 @@ TEST(Cache, NegativeEntry) {
   const auto hit = cache.lookup(name("nx.com"), RRType::kA,
                                 SimTime::from_seconds(100));
   ASSERT_TRUE(hit.has_value());
-  EXPECT_TRUE(hit->negative);
-  EXPECT_TRUE(hit->records.empty());
+  EXPECT_TRUE(hit->negative());
+  EXPECT_TRUE(hit->records().empty());
   EXPECT_FALSE(
       cache.lookup(name("nx.com"), RRType::kA, SimTime::from_seconds(301)));
 }
@@ -118,6 +150,61 @@ TEST(Cache, CapacityEvictionPrefersSoonestExpiry) {
   EXPECT_FALSE(cache.lookup(name("short.com"), RRType::kA, SimTime::zero()));
   EXPECT_TRUE(cache.lookup(name("long.com"), RRType::kA, SimTime::zero()));
   EXPECT_GE(cache.stats().capacity_evictions, 1u);
+}
+
+TEST(Cache, ExpiredPurgedBeforeLiveEviction) {
+  // Regression: when the cache was saturated with *expired* entries, the
+  // old scan evicted exactly one per insert and could charge it as a
+  // capacity eviction. The sweep must clear all dead entries first and
+  // attribute them to expired_evictions, leaving live entries untouched.
+  Cache cache(/*max_entries=*/3);
+  cache.insert(name("dead1.com"), RRType::kA, {a_record("dead1.com", 10)},
+               SimTime::zero());
+  cache.insert(name("dead2.com"), RRType::kA, {a_record("dead2.com", 20)},
+               SimTime::zero());
+  cache.insert(name("live.com"), RRType::kA, {a_record("live.com", 1000)},
+               SimTime::zero());
+  // At t=60 both dead entries are expired; inserting one more must purge
+  // them both and evict nothing live.
+  cache.insert(name("new.com"), RRType::kA, {a_record("new.com", 500)},
+               SimTime::from_seconds(60));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().expired_evictions, 2u);
+  EXPECT_EQ(cache.stats().capacity_evictions, 0u);
+  EXPECT_TRUE(
+      cache.lookup(name("live.com"), RRType::kA, SimTime::from_seconds(60)));
+  EXPECT_TRUE(
+      cache.lookup(name("new.com"), RRType::kA, SimTime::from_seconds(60)));
+}
+
+TEST(Cache, EqualExpiryEvictsInInsertionOrder) {
+  // Entries sharing an expiry time must evict oldest-inserted first —
+  // eviction order may never depend on hash-map iteration order.
+  Cache cache(/*max_entries=*/3);
+  cache.insert(name("first.com"), RRType::kA, {a_record("first.com", 100)},
+               SimTime::zero());
+  cache.insert(name("second.com"), RRType::kA, {a_record("second.com", 100)},
+               SimTime::zero());
+  cache.insert(name("third.com"), RRType::kA, {a_record("third.com", 100)},
+               SimTime::zero());
+  cache.insert(name("fourth.com"), RRType::kA, {a_record("fourth.com", 100)},
+               SimTime::zero());
+  EXPECT_FALSE(cache.lookup(name("first.com"), RRType::kA, SimTime::zero()));
+  EXPECT_TRUE(cache.lookup(name("second.com"), RRType::kA, SimTime::zero()));
+  cache.insert(name("fifth.com"), RRType::kA, {a_record("fifth.com", 100)},
+               SimTime::zero());
+  EXPECT_FALSE(cache.lookup(name("second.com"), RRType::kA, SimTime::zero()));
+  EXPECT_TRUE(cache.lookup(name("third.com"), RRType::kA, SimTime::zero()));
+  EXPECT_EQ(cache.stats().capacity_evictions, 2u);
+}
+
+TEST(Cache, NegativeEntryExpires) {
+  Cache cache;
+  cache.insert_negative(name("nx.com"), RRType::kA, 300, SimTime::zero());
+  EXPECT_FALSE(
+      cache.lookup(name("nx.com"), RRType::kA, SimTime::from_seconds(300)));
+  EXPECT_EQ(cache.stats().expired_evictions, 1u);
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(Cache, TtlBoundsClampInsertions) {

@@ -1,0 +1,174 @@
+// EventQueue contract tests beyond the basics in time_clock_test.cpp:
+// tie-break stability under heavy heap churn, move-only handlers, and the
+// never-schedule-into-the-past clamp.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/clock.h"
+#include "net/time.h"
+
+namespace curtain::net {
+namespace {
+
+TEST(EventQueue, FifoSurvivesInterleavedPopsAndPushes) {
+  // Equal-timestamp events must run in schedule order even when pops and
+  // pushes interleave and the heap is rebuilt around them repeatedly.
+  SimClock clock;
+  EventQueue queue;
+  std::vector<int> order;
+  const SimTime t1 = SimTime::from_seconds(10);
+  const SimTime t2 = SimTime::from_seconds(20);
+  for (int i = 0; i < 8; ++i) {
+    queue.schedule(t1, [&order, i](SimTime) { order.push_back(i); });
+  }
+  // Drain half, then add more events at both timestamps.
+  for (int i = 0; i < 4; ++i) queue.run_next(clock);
+  for (int i = 8; i < 12; ++i) {
+    queue.schedule(t2, [&order, i](SimTime) { order.push_back(i); });
+    queue.schedule(t1, [&order, i](SimTime) { order.push_back(100 + i); });
+  }
+  while (queue.run_next(clock)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 108, 109, 110,
+                                     111, 8, 9, 10, 11}));
+}
+
+TEST(EventQueue, DeterministicOrderAcrossManyEqualTimestamps) {
+  // Dispatch order is the total order (time, seq): two queues fed the same
+  // schedule sequence must dispatch identically, whatever the heap did.
+  std::vector<int> first, second;
+  for (std::vector<int>* out : {&first, &second}) {
+    SimClock clock;
+    EventQueue queue;
+    for (int i = 0; i < 100; ++i) {
+      queue.schedule(SimTime::from_seconds(i % 5),
+                     [out, i](SimTime) { out->push_back(i); });
+    }
+    while (queue.run_next(clock)) {
+    }
+  }
+  EXPECT_EQ(first, second);
+  // And within one timestamp, strictly ascending schedule order.
+  for (size_t i = 1; i < first.size(); ++i) {
+    if (first[i - 1] % 5 == first[i] % 5) {
+      EXPECT_LT(first[i - 1], first[i]);
+    }
+  }
+}
+
+TEST(EventQueue, AcceptsMoveOnlyHandlers) {
+  // std::function required copyable callables; EventFn must not.
+  SimClock clock;
+  EventQueue queue;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  queue.schedule(SimTime::from_seconds(1),
+                 [p = std::move(payload), &seen](SimTime) { seen = *p; });
+  EXPECT_TRUE(queue.run_next(clock));
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, LargeCapturesFallBackToHeap) {
+  // Captures beyond EventFn's inline buffer must still work (heap cell).
+  SimClock clock;
+  EventQueue queue;
+  struct Big {
+    uint64_t pad[12] = {};  // 96 bytes > kInlineSize
+  } big;
+  big.pad[11] = 7;
+  uint64_t seen = 0;
+  queue.schedule(SimTime::from_seconds(1),
+                 [big, &seen](SimTime) { seen = big.pad[11]; });
+  EXPECT_TRUE(queue.run_next(clock));
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, PastSchedulingClampsToDispatchFloor) {
+  // Regression: handlers could schedule events before already-dispatched
+  // ones and observe time running backwards. Such requests now clamp to
+  // the current dispatch floor and run next, in schedule order.
+  SimClock clock;
+  EventQueue queue;
+  std::vector<double> fire_times;
+  queue.schedule(SimTime::from_seconds(10), [&](SimTime at) {
+    fire_times.push_back(at.seconds());
+    queue.schedule(SimTime::from_seconds(3),
+                   [&](SimTime late) { fire_times.push_back(late.seconds()); });
+  });
+  queue.schedule(SimTime::from_seconds(20),
+                 [&](SimTime at) { fire_times.push_back(at.seconds()); });
+  while (queue.run_next(clock)) {
+  }
+  // The "t=3" event fires at the floor (10), before the t=20 event.
+  EXPECT_EQ(fire_times, (std::vector<double>{10.0, 10.0, 20.0}));
+  EXPECT_EQ(clock.now().seconds(), 20.0);
+}
+
+TEST(EventQueue, NegativeDelayClampsToNow) {
+  SimClock clock;
+  clock.advance_to(SimTime::from_seconds(10));
+  EventQueue queue;
+  queue.schedule_after(clock, SimTime::from_seconds(-5), [](SimTime) {});
+  EXPECT_EQ(queue.next_time().seconds(), 10.0);
+}
+
+TEST(EventQueue, HandlerSeesClockAheadOfEventTime) {
+  // If the world clock was advanced externally past an event's timestamp,
+  // the handler must observe the clock's now, never the stale event time.
+  SimClock clock;
+  EventQueue queue;
+  double seen = 0.0;
+  queue.schedule(SimTime::from_seconds(5),
+                 [&](SimTime at) { seen = at.seconds(); });
+  clock.advance_to(SimTime::from_seconds(30));
+  EXPECT_TRUE(queue.run_next(clock));
+  EXPECT_EQ(seen, 30.0);
+  EXPECT_EQ(clock.now().seconds(), 30.0);
+}
+
+TEST(EventQueue, RunUntilIncludesHorizonEdge) {
+  SimClock clock;
+  EventQueue queue;
+  int executed = 0;
+  const SimTime horizon = SimTime::from_seconds(5);
+  queue.schedule(horizon, [&](SimTime) { ++executed; });
+  queue.schedule(horizon, [&](SimTime) { ++executed; });
+  queue.schedule(horizon + SimTime{1}, [&](SimTime) { ++executed; });
+  EXPECT_EQ(queue.run_until(clock, horizon), 2u);
+  EXPECT_EQ(executed, 2);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(clock.now(), horizon);
+}
+
+TEST(EventQueue, RunUntilRunsEventsScheduledDuringTheRun) {
+  SimClock clock;
+  EventQueue queue;
+  int fires = 0;
+  queue.schedule(SimTime::from_seconds(1), [&](SimTime at) {
+    ++fires;
+    queue.schedule(at + SimTime::from_seconds(1), [&](SimTime) { ++fires; });
+  });
+  EXPECT_EQ(queue.run_until(clock, SimTime::from_seconds(10)), 2u);
+  EXPECT_EQ(fires, 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ReservePreservesBehavior) {
+  SimClock clock;
+  EventQueue queue;
+  queue.reserve(1024);
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    queue.schedule(SimTime::from_seconds(32 - i),
+                   [&order, i](SimTime) { order.push_back(i); });
+  }
+  while (queue.run_next(clock)) {
+  }
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], 31 - i);
+}
+
+}  // namespace
+}  // namespace curtain::net

@@ -159,6 +159,51 @@ void Agg::dump() {
             0);
 }
 
+TEST(LintUnorderedIter, OrderSafeContainersAreNotFlagged) {
+  // util::SmallVec (and the std sequence/tree containers) iterate in a
+  // deterministic order; loops over them are fine in export paths.
+  const auto findings = lint_file("src/analysis/fixture.cpp", R"cpp(
+util::SmallVec<uint8_t, 8> ends_;
+std::map<int, double> totals_;
+std::vector<int> order_;
+void dump() {
+  for (const auto e : ends_) print(e);
+  for (const auto& [k, v] : totals_) print(k, v);
+  for (auto it = order_.begin(); it != order_.end(); ++it) print(*it);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+}
+
+TEST(LintUnorderedIter, OrderSafeDeclarationUntracksSharedName) {
+  // A local `totals` declared as std::map shadows the unordered member of
+  // the same name; iterating the local must not be misattributed to the
+  // hash container. (The cost: iterating the member in another function in
+  // the same file is also unflagged — acceptable for a heuristic linter.)
+  const auto findings = lint_file("src/analysis/fixture.cpp", R"cpp(
+class Agg {
+  std::unordered_map<int, double> totals;
+};
+void dump(const Agg& agg) {
+  std::map<int, double> totals = sorted(agg);
+  for (const auto& [k, v] : totals) print(k, v);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 0);
+}
+
+TEST(LintUnorderedIter, UnorderedStillFlaggedNextToOrderSafeNames) {
+  const auto findings = lint_file("src/analysis/fixture.cpp", R"cpp(
+std::unordered_map<int, double> totals;
+util::SmallVec<uint8_t, 8> ends;
+void dump() {
+  for (const auto e : ends) print(e);
+  for (const auto& [k, v] : totals) print(k, v);
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
 TEST(LintUnorderedIter, FunctionReturningContainerIsNotAVariable) {
   const auto findings = lint_file("src/analysis/fixture.cpp", R"cpp(
 std::unordered_map<int, double> build_totals();

@@ -269,40 +269,53 @@ class Linter {
     }
   }
 
-  /// Collects variable (or member/parameter) names declared with an
-  /// unordered container type anywhere in `text`.
-  static void collect_unordered_names(const std::string& text,
+  /// Collects variable (or member/parameter) names declared with
+  /// `<container><template-args>` anywhere in `text`.
+  static void collect_container_names(const std::string& text,
+                                      const char* container,
                                       std::set<std::string>& names) {
-    for (const char* container : {"unordered_map", "unordered_set"}) {
-      for (size_t pos = find_token(text, container); pos != std::string::npos;
-           pos = find_token(text, container, pos + 1)) {
-        size_t cursor = skip_spaces(text, pos + std::strlen(container));
-        if (cursor >= text.size() || text[cursor] != '<') continue;
-        cursor = match_bracket(text, cursor);
-        if (cursor == std::string::npos) continue;
-        cursor = skip_spaces(text, cursor);
-        while (cursor < text.size() &&
-               (text[cursor] == '&' || text[cursor] == '*')) {
-          cursor = skip_spaces(text, cursor + 1);
-        }
-        const size_t name_start = cursor;
-        while (cursor < text.size() && is_ident_char(text[cursor])) ++cursor;
-        if (cursor == name_start) continue;
-        const std::string name = text.substr(name_start, cursor - name_start);
-        // `> name(` is a function returning the container, not a variable.
-        if (skip_spaces(text, cursor) < text.size() &&
-            text[skip_spaces(text, cursor)] == '(') {
-          continue;
-        }
-        names.insert(name);
+    for (size_t pos = find_token(text, container); pos != std::string::npos;
+         pos = find_token(text, container, pos + 1)) {
+      size_t cursor = skip_spaces(text, pos + std::strlen(container));
+      if (cursor >= text.size() || text[cursor] != '<') continue;
+      cursor = match_bracket(text, cursor);
+      if (cursor == std::string::npos) continue;
+      cursor = skip_spaces(text, cursor);
+      while (cursor < text.size() &&
+             (text[cursor] == '&' || text[cursor] == '*')) {
+        cursor = skip_spaces(text, cursor + 1);
       }
+      const size_t name_start = cursor;
+      while (cursor < text.size() && is_ident_char(text[cursor])) ++cursor;
+      if (cursor == name_start) continue;
+      const std::string name = text.substr(name_start, cursor - name_start);
+      // `> name(` is a function returning the container, not a variable.
+      if (skip_spaces(text, cursor) < text.size() &&
+          text[skip_spaces(text, cursor)] == '(') {
+        continue;
+      }
+      names.insert(name);
     }
   }
 
   std::set<std::string> unordered_names() const {
     std::set<std::string> names;
-    collect_unordered_names(joined_.text, names);
-    collect_unordered_names(sibling_joined_.text, names);
+    for (const char* container : {"unordered_map", "unordered_set"}) {
+      collect_container_names(joined_.text, container, names);
+      collect_container_names(sibling_joined_.text, container, names);
+    }
+    // A name also declared with a deterministically ordered container is
+    // not (only) a hash container — typically a local shadowing a member,
+    // or a same-named sequence (e.g. util::SmallVec, whose iteration order
+    // is insertion order by construction). Give those the benefit of the
+    // doubt rather than flagging every loop over them.
+    std::set<std::string> order_safe;
+    for (const char* container : {"map", "set", "multimap", "multiset",
+                                  "vector", "deque", "array", "SmallVec"}) {
+      collect_container_names(joined_.text, container, order_safe);
+      collect_container_names(sibling_joined_.text, container, order_safe);
+    }
+    for (const std::string& name : order_safe) names.erase(name);
     return names;
   }
 
