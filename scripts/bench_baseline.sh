@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Records the simulation-core perf trajectory (ISSUE 5).
+# Records the simulation-core perf trajectory (ISSUE 5) and the campaign
+# cohort-scaling sweep (ISSUE 6).
 #
 #   scripts/bench_baseline.sh [label]     # label defaults to "run"
 #
-# Runs the three micro benches plus one small campaign bench and appends
-# their machine-readable results to BENCH_core_hotpath.json as JSON lines:
+# Default suite (core_hotpath): runs the three micro benches plus one
+# small campaign bench and appends their machine-readable results to
+# BENCH_core_hotpath.json as JSON lines:
 #
 #   {"bench_series":...,"label":...,"benchmark":...,"real_ns_per_op":...}
 #     one line per google-benchmark case (normalized to ns/op), and
 #   {"bench_record":...}  the bench's own one-line run record (see
 #     bench/bench_common.h), annotated with the label.
+#
+# CURTAIN_BENCH_SUITE=cohort_scaling instead runs the micro_shards
+# worker/cohort sweep into BENCH_cohort_scaling.json; its series field
+# distinguishes the carrier-capped "before" partition from the cohort
+# "after" partition at every worker count.
 #
 # Run it once before a perf change ("before") and once after ("after");
 # the paired series lines are the repo's recorded perf trajectory.
@@ -17,13 +24,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LABEL="${1:-run}"
-OUT="${CURTAIN_BENCH_OUT:-BENCH_core_hotpath.json}"
+SUITE="${CURTAIN_BENCH_SUITE:-core_hotpath}"
 BUILD="${CURTAIN_BENCH_BUILD:-build}"
 # Small but stable campaign: fixed scale/seed/shards so labels compare.
 CAMPAIGN_SCALE="${CURTAIN_BENCH_SCALE:-0.02}"
-
-cmake --build "$BUILD" -j "$(nproc)" \
-  --target micro_net micro_dns micro_study table1_clients >/dev/null
 
 # Normalizes one google-benchmark console line to a JSON series line.
 #   BM_CacheLookupHit        123 ns        123 ns   5673126
@@ -43,6 +47,22 @@ annotate_records() {  # reads bench stdout, re-emits bench_record lines + label
   grep '^{"bench_record"' |
     sed "s/^{\"bench_record\":/{\"label\":\"$LABEL\",\"bench_record\":/"
 }
+
+if [ "$SUITE" = "cohort_scaling" ]; then
+  OUT="${CURTAIN_BENCH_OUT:-BENCH_cohort_scaling.json}"
+  # Fixed scale so labels compare; the sweep sets workers/cohorts itself.
+  SWEEP_SCALE="${CURTAIN_BENCH_SCALE:-0.1}"
+  cmake --build "$BUILD" -j "$(nproc)" --target micro_shards >/dev/null
+  echo "[bench_baseline] label=$LABEL suite=cohort_scaling scale=$SWEEP_SCALE -> $OUT" >&2
+  CURTAIN_SCALE="$SWEEP_SCALE" "./$BUILD/bench/micro_shards" \
+    | tee /dev/stderr | annotate_records >>"$OUT"
+  echo "[bench_baseline] appended $(grep -c . "$OUT") total lines in $OUT" >&2
+  exit 0
+fi
+
+OUT="${CURTAIN_BENCH_OUT:-BENCH_core_hotpath.json}"
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target micro_net micro_dns micro_study table1_clients >/dev/null
 
 echo "[bench_baseline] label=$LABEL -> $OUT" >&2
 for bench in micro_net micro_dns micro_study; do

@@ -9,7 +9,11 @@
 #             suite — the tier-1 gate.
 #   sanitize  ASan+UBSan build tree (build-asan/) and the full ctest suite.
 #   tsan      TSan build tree (build-tsan/) running shard_determinism_test,
-#             which drives real worker threads against the shared World.
+#             which drives real worker thread pools against the shared
+#             World — including the 16-cohort × 16-worker stress case
+#             (96 shards, more cohorts than any carrier has devices) that
+#             exercises the laned-state partitioning under maximum
+#             interleaving.
 #   lint      curtain_lint over src/ bench/ examples/ (also runs inside
 #             every ctest leg as LintTree; kept separate so a lint check
 #             doesn't need a test run).
@@ -46,10 +50,14 @@ sanitize_leg() {
 }
 
 tsan_leg() {
-  run_leg "TSan build + shard determinism"
+  run_leg "TSan build + shard determinism (incl. 16x16 cohort stress)"
   cmake -B build-tsan -S . -DCURTAIN_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target shard_determinism_test
   ctest --test-dir build-tsan --output-on-failure -R ShardDeterminism
+  # The stress case must have actually run: it is the leg's reason to exist.
+  ./build-tsan/tests/shard_determinism_test \
+    --gtest_filter='ShardDeterminism.StressManyCohortsManyWorkers' \
+    --gtest_brief=1
 }
 
 lint_leg() {

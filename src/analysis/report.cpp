@@ -57,8 +57,10 @@ void write_report(const Dataset& dataset, const ReportConfig& config,
          "per-phase wall-clock) as JSON — or Prometheus text with a "
          "`.prom` path (DESIGN.md §9).\n"
       << "- set `CURTAIN_SHARDS=<n>` to run the campaign on n worker "
-         "threads (one shard per carrier); the dataset and every number "
-         "below are byte-identical regardless (DESIGN.md §10).\n";
+         "threads (0 = one per hardware thread) and `CURTAIN_COHORTS=<c>` "
+         "to split each carrier's fleet into c device cohorts (0 = auto); "
+         "the dataset and every number below are byte-identical "
+         "regardless (DESIGN.md §13).\n";
 
   // --- Table 1 ---------------------------------------------------------
   section(out, "Table 1 — measurement clients per carrier");

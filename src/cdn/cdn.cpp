@@ -28,9 +28,9 @@ struct CdnMetrics {
 };
 
 CdnMetrics& cdn_metrics() {
-  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
-  static thread_local CdnMetrics metrics;
-  return metrics;
+  // Handles re-bind whenever the thread's sheaf changes (obs/metrics.h).
+  static thread_local obs::SheafLocal<CdnMetrics> metrics;
+  return metrics.get();
 }
 
 // How many A records one response carries; production CDNs typically

@@ -4,6 +4,7 @@
 
 #include "dns/message.h"
 #include "net/geo.h"
+#include "net/shard_slot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/index.h"
@@ -58,9 +59,9 @@ struct CarrierMetrics {
 };
 
 CarrierMetrics& carrier_metrics() {
-  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
-  static thread_local CarrierMetrics metrics;
-  return metrics;
+  // Handles re-bind whenever the thread's sheaf changes (obs/metrics.h).
+  static thread_local obs::SheafLocal<CarrierMetrics> metrics;
+  return metrics.get();
 }
 
 }  // namespace
@@ -69,10 +70,15 @@ CarrierMetrics& carrier_metrics() {
 
 ClientFacingResolver::ClientFacingResolver(CellularNetwork* carrier, int index,
                                            net::Ipv4Addr ip)
-    : carrier_(carrier), index_(index), ip_(ip) {}
+    : carrier_(carrier), index_(index), ip_(ip) {
+  lane_caches_.resize(static_cast<size_t>(carrier->state_lanes()));
+}
 
 dns::Cache& ClientFacingResolver::cache_for(net::NodeId instance) {
-  return instance_caches_[instance];  // default-constructed on first use
+  const auto lane = static_cast<size_t>(net::current_state_lane());
+  auto& caches = lane_caches_[lane < lane_caches_.size() ? lane : 0];
+  if (!caches) caches = std::make_unique<InstanceCaches>();
+  return (*caches)[instance];  // default-constructed on first use
 }
 
 dns::ServedResponse ClientFacingResolver::handle_query(
@@ -150,6 +156,7 @@ CellularNetwork::CellularNetwork(CarrierProfile profile, uint32_t owner_tag,
                                  const CarrierBuildContext& context)
     : profile_(std::move(profile)),
       owner_tag_(owner_tag),
+      state_lanes_(context.state_lanes < 1 ? 1 : context.state_lanes),
       topology_(context.topology),
       allocator_(context.allocator),
       seed_(net::mix_key(context.build_seed, net::hash_tag(profile_.name))) {
@@ -233,6 +240,8 @@ void CellularNetwork::build_gateways(const CarrierBuildContext& context) {
                         /*tunneled=*/false);
 
     gateway.nat_pool = allocator_->alloc_block(24);
+    gateway.nat_cursors.assign(static_cast<size_t>(state_lanes_),
+                               Gateway::kUnseededCursor);
     gateway_by_pool_[gateway.nat_pool.address().value()] = g;
   }
 }
@@ -353,6 +362,8 @@ void CellularNetwork::build_dns(const CarrierBuildContext& context) {
       external_resolvers_.push_back(std::make_unique<dns::RecursiveResolver>(
           node.name, id, ip, topology_, context.registry, context.root_dns_ip));
     }
+    external_resolvers_.back()->set_state_lanes(
+        static_cast<size_t>(state_lanes_));
     external_resolvers_.back()->set_background_load(kCarrierBgInterarrivalS,
                                                     context.warm_eligible);
     context.registry->add(external_resolvers_.back().get());
@@ -508,12 +519,27 @@ int CellularNetwork::pick_gateway(const GeoPoint& location,
 
 net::Ipv4Addr CellularNetwork::assign_ip(int gateway_index, net::Rng& rng) {
   (void)rng;
-  // Same walk as IpAllocator::alloc_host, but on a per-gateway cursor:
-  // subscriber address churn is carrier-private runtime state, kept out of
-  // the shared (post-construction immutable) world allocator.
+  // Same walk as IpAllocator::alloc_host, but on per-(gateway, lane)
+  // cursors: subscriber address churn is carrier-private runtime state,
+  // kept out of the shared (post-construction immutable) world allocator,
+  // and laned per device so one device's address sequence never depends
+  // on how many cohorts share its carrier. A lane's cursor is seeded from
+  // (carrier seed, gateway, lane) on first use, then walks sequentially —
+  // the same churn pattern the shared cursor produced, minus the
+  // cross-device interleaving.
   Gateway& gateway = gateways_[static_cast<size_t>(gateway_index)];
-  gateway.nat_cursor = gateway.nat_cursor % (gateway.nat_pool.size() - 1) + 1;
-  return gateway.nat_pool.host(gateway.nat_cursor);
+  const auto raw_lane = static_cast<size_t>(net::current_state_lane());
+  const size_t lane = raw_lane < gateway.nat_cursors.size() ? raw_lane : 0;
+  uint64_t& cursor = gateway.nat_cursors[lane];
+  const uint64_t hosts = gateway.nat_pool.size() - 1;
+  if (cursor == Gateway::kUnseededCursor) {
+    cursor = net::mix_key(net::mix_key(seed_, net::hash_tag("nat-cursor")),
+                          (static_cast<uint64_t>(gateway_index) << 32) |
+                              static_cast<uint64_t>(lane)) %
+             hosts;
+  }
+  cursor = cursor % hosts + 1;
+  return gateway.nat_pool.host(cursor);
 }
 
 int CellularNetwork::gateway_of_ip(net::Ipv4Addr public_ip) const {

@@ -34,6 +34,13 @@ class CellularNetwork;
 /// policy. Instances are pools of machines behind one address (Alzoubi et
 /// al.), so a fraction of queries lands on a machine whose cache has not
 /// seen the name — the residual miss tail of Fig. 7.
+///
+/// Caches are partitioned by state lane (net/shard_slot.h): each enrolled
+/// device sees its own copy of every instance cache, so cohorts of the
+/// same carrier never contend and a device's cache-hit pattern is
+/// independent of the cohort partition. Population-level warmth is the
+/// external tier's background-load model; what a device's *own* queries
+/// left behind (the Fig. 7 back-to-back repeat) stays in its lane.
 class ClientFacingResolver : public dns::DnsServer {
  public:
   ClientFacingResolver(CellularNetwork* carrier, int index, net::Ipv4Addr ip);
@@ -48,12 +55,16 @@ class ClientFacingResolver : public dns::DnsServer {
   int index() const { return index_; }
 
  private:
+  using InstanceCaches = std::unordered_map<net::NodeId, dns::Cache>;
+
+  /// The calling lane's cache for `instance`; allocated on first touch
+  /// (one device timeline per lane, so lazy creation is race-free).
   dns::Cache& cache_for(net::NodeId instance);
 
   CellularNetwork* carrier_;
   int index_;
   net::Ipv4Addr ip_;
-  std::unordered_map<net::NodeId, dns::Cache> instance_caches_;
+  std::vector<std::unique_ptr<InstanceCaches>> lane_caches_;
 };
 
 /// Everything the world builder must provide to a carrier.
@@ -67,6 +78,10 @@ struct CarrierBuildContext {
   /// Which names background subscriber load keeps warm in resolver caches
   /// (measurement-unique names must stay cold); empty = all names.
   std::function<bool(const dns::DnsName&)> warm_eligible;
+  /// State lanes carrier-private mutable state (NAT cursors, resolver
+  /// caches) is partitioned into: one per enrolled device fleet-wide plus
+  /// one for the main thread (net/shard_slot.h); 1 = unlaned.
+  int state_lanes = 1;
   uint64_t build_seed = 0;
 };
 
@@ -81,6 +96,8 @@ class CellularNetwork {
   const CarrierProfile& profile() const { return profile_; }
   uint32_t owner_tag() const { return owner_tag_; }
   net::ZoneId zone() const { return zone_; }
+  /// State lanes carrier-private mutable state is partitioned into.
+  int state_lanes() const { return state_lanes_; }
 
   // --- device attachment ------------------------------------------------
   /// Gateway index a device at `location` attaches to; weighted toward
@@ -130,13 +147,18 @@ class CellularNetwork {
 
  private:
   struct Gateway {
+    /// Sentinel for a lane whose NAT cursor has not been seeded yet.
+    static constexpr uint64_t kUnseededCursor = ~uint64_t{0};
+
     net::NodeId node = net::kInvalidNode;
     int region = 0;
     net::Prefix nat_pool;
-    /// NAT host cursor, advanced by assign_ip. Lives here (not in the
-    /// world's IpAllocator) so address churn is carrier-private state a
-    /// campaign shard can mutate without touching the shared world.
-    uint64_t nat_cursor = 0;
+    /// Per-lane NAT host cursors, advanced by assign_ip. They live here
+    /// (not in the world's IpAllocator) so address churn is
+    /// carrier-private state campaign shards can mutate without touching
+    /// the shared world, and they are laned per device so a device's
+    /// address sequence is independent of the cohort partition.
+    std::vector<uint64_t> nat_cursors;
   };
   struct Region {
     net::GeoPoint location;
@@ -156,6 +178,7 @@ class CellularNetwork {
 
   CarrierProfile profile_;
   uint32_t owner_tag_;
+  int state_lanes_ = 1;
   net::ZoneId zone_ = 0;
   net::ZoneId dmz_zone_ = 0;
   net::Topology* topology_ = nullptr;

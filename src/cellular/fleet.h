@@ -1,0 +1,25 @@
+// Fleet construction: the volunteer devices enrolled with one carrier.
+//
+// Built once per carrier from a stream keyed by (study seed, carrier
+// index) and then sliced into cohorts by the campaign engine
+// (exec/engine.h). Keeping construction carrier-keyed — never cohort- or
+// shard-keyed — is what makes the fleet, the device ids and every
+// per-device RNG stream identical for any cohort count.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cellular/carrier.h"
+#include "cellular/device.h"
+
+namespace curtain::cellular {
+
+/// Builds `network`'s study fleet: profile().study_clients devices homed
+/// near the carrier's country metros, with ids banded per carrier
+/// (carrier_index * 1000 + d + 1) so they stay stable and unique no
+/// matter how the fleet is later partitioned.
+std::vector<std::unique_ptr<Device>> build_carrier_fleet(
+    CellularNetwork& network, int carrier_index, uint64_t study_seed);
+
+}  // namespace curtain::cellular

@@ -14,6 +14,7 @@ Scenario Scenario::from_env() {
   scenario.seed = util::study_seed();
   scenario.scale = util::campaign_scale();
   scenario.shards = util::campaign_shards();
+  scenario.cohorts = util::campaign_cohorts();
   scenario.metrics_out = util::env_string("CURTAIN_METRICS_OUT", "");
   return scenario;
 }
@@ -31,6 +32,12 @@ Scenario& Scenario::with_scale(double value) {
 
 Scenario& Scenario::with_shards(int value) {
   shards = value < 1 ? 1 : value;
+  return *this;
+}
+
+Scenario& Scenario::with_cohorts(int value) {
+  if (value < 0) value = 0;
+  cohorts = value > 64 ? 64 : value;
   return *this;
 }
 
@@ -60,6 +67,8 @@ measure::CampaignConfig Scenario::campaign_config() const {
   CURTAIN_CHECK(scale > 0.0 && scale <= 1.0)
       << "scenario scale " << scale << " outside (0, 1]";
   CURTAIN_CHECK(shards >= 1) << "scenario shards " << shards << " < 1";
+  CURTAIN_CHECK(cohorts >= 0 && cohorts <= 64)
+      << "scenario cohorts " << cohorts << " outside [0, 64]";
   return measure::CampaignConfig::scaled(scale);
 }
 

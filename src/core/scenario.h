@@ -29,10 +29,16 @@ struct Scenario {
   /// Campaign scale in (0,1]: 1.0 reproduces the paper's five-month,
   /// ~28k-experiment campaign; smaller values shorten the window.
   double scale = 0.05;
-  /// Max campaign shards running concurrently (CURTAIN_SHARDS). The fleet
-  /// is always partitioned per carrier; this only caps worker threads, so
-  /// results are byte-identical for every value (see exec/engine.h).
+  /// Worker threads in the campaign shard pool (CURTAIN_SHARDS; 0 in the
+  /// environment means one per hardware thread). The fleet is partitioned
+  /// into device cohorts per carrier (see `cohorts`); workers pull shards
+  /// from a deterministic queue, so results are byte-identical for every
+  /// value (see exec/engine.h).
   int shards = 1;
+  /// Device cohorts per carrier (CURTAIN_COHORTS); 0 auto-sizes from the
+  /// worker count. Like `shards`, purely a wall-clock knob: exports are
+  /// byte-identical for every cohort count (see exec/engine.h).
+  int cohorts = 0;
 
   // --- measurement ------------------------------------------------------
   measure::ExperimentConfig experiment;
@@ -59,14 +65,15 @@ struct Scenario {
   static Scenario paper_2014();
 
   /// Reads CURTAIN_SEED / CURTAIN_SCALE / CURTAIN_SHARDS /
-  /// CURTAIN_METRICS_OUT from the environment and applies CURTAIN_LOG to
-  /// the logger.
+  /// CURTAIN_COHORTS / CURTAIN_METRICS_OUT from the environment and
+  /// applies CURTAIN_LOG to the logger.
   static Scenario from_env();
 
   // --- chainable setters ------------------------------------------------
   Scenario& with_seed(uint64_t value);
   Scenario& with_scale(double value);
   Scenario& with_shards(int value);
+  Scenario& with_cohorts(int value);
   Scenario& with_metrics_out(std::string path);
   Scenario& with_google_ecs(bool enabled);
   Scenario& with_cdn_answer_ttl(uint32_t ttl_s);

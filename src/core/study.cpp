@@ -30,6 +30,7 @@ Study::Study(Scenario scenario)
   exec::EngineConfig engine_config;
   engine_config.seed = scenario_.seed;
   engine_config.workers = scenario_.shards;
+  engine_config.cohorts = scenario_.cohorts;
   engine_config.campaign = campaign_;
   engine_config.experiment = scenario_.experiment;
   std::vector<exec::CampaignEngine::CarrierRef> carriers;
@@ -40,6 +41,11 @@ Study::Study(Scenario scenario)
   engine_ = std::make_unique<exec::CampaignEngine>(
       measure::WorldView{world_->topology(), world_->registry()},
       world_->research_apex(), std::move(carriers), engine_config);
+  // The route cache is keyed by shard slot; give every shard its own way
+  // (slot 0 stays reserved for the main thread). Routes are
+  // deterministic, so this cache is result-invisible and may key off the
+  // partition-dependent slot.
+  world_->topology().set_route_cache_ways(engine_->shard_count() + 1);
 }
 
 Study::~Study() = default;

@@ -23,13 +23,21 @@ class Study {
   Study& operator=(const Study&) = delete;
 
   /// Runs the full sharded campaign plus the vantage-point reachability
-  /// sweep; the merged dataset is identical for every Scenario::shards.
+  /// sweep; the merged dataset is byte-identical for every
+  /// Scenario::shards and Scenario::cohorts setting.
   void run();
 
   World& world() { return *world_; }
   const measure::Dataset& dataset() const { return dataset_; }
   /// Devices enrolled across every campaign shard (Table 1 totals).
   size_t device_count() const { return engine_->device_count(); }
+  /// (carrier, cohort) shards in the campaign partition.
+  size_t shard_count() const { return engine_->shard_count(); }
+  /// Per-shard execution records (label, sizes, wall-clock); see
+  /// exec::ShardStat. Filled by run().
+  const std::vector<exec::ShardStat>& shard_stats() const {
+    return engine_->shard_stats();
+  }
   const Scenario& scenario() const { return scenario_; }
   /// Deprecated spelling of scenario(), kept for old call sites.
   const Scenario& config() const { return scenario_; }

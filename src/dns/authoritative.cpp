@@ -130,11 +130,14 @@ ServedResponse AuthoritativeServer::handle_query(
     net::SimTime now, net::Rng& rng) {
   queries_served_.fetch_add(1, std::memory_order_relaxed);
   {
-    // Per thread: binds to the shard's sheaf (obs/metrics.h).
-    static thread_local obs::Counter& adns_queries = obs::metrics().counter(
-        "curtain_dns_authoritative_queries_total",
-        "queries answered by authoritative servers");
-    adns_queries.inc();
+    // Handles re-bind whenever the thread's sheaf changes (obs/metrics.h).
+    struct AdnsMetrics {
+      obs::Counter& queries = obs::metrics().counter(
+          "curtain_dns_authoritative_queries_total",
+          "queries answered by authoritative servers");
+    };
+    static thread_local obs::SheafLocal<AdnsMetrics> adns_metrics;
+    adns_metrics.get().queries.inc();
   }
   // Hop marker: server-side cost is charged by the caller's transport
   // accounting, so the span is instantaneous in virtual time; it exists to

@@ -24,9 +24,9 @@ struct CacheMetrics {
 };
 
 CacheMetrics& cache_metrics() {
-  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
-  static thread_local CacheMetrics metrics;
-  return metrics;
+  // Handles re-bind whenever the thread's sheaf changes (obs/metrics.h).
+  static thread_local obs::SheafLocal<CacheMetrics> metrics;
+  return metrics.get();
 }
 
 }  // namespace

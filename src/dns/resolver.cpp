@@ -36,9 +36,9 @@ struct ResolverMetrics {
 };
 
 ResolverMetrics& resolver_metrics() {
-  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
-  static thread_local ResolverMetrics metrics;
-  return metrics;
+  // Handles re-bind whenever the thread's sheaf changes (obs/metrics.h).
+  static thread_local obs::SheafLocal<ResolverMetrics> metrics;
+  return metrics.get();
 }
 
 }  // namespace
@@ -62,23 +62,29 @@ RecursiveResolver::RecursiveResolver(std::string name, net::NodeId node,
       topology_(topology),
       registry_(registry),
       root_ip_(root_ip) {
-  set_shard_slots(1);
+  set_state_lanes(1);
 }
 
-void RecursiveResolver::set_shard_slots(size_t slots) {
-  slots_.clear();
-  for (size_t s = 0; s < (slots == 0 ? 1 : slots); ++s) {
-    auto state = std::make_unique<SlotState>();
+void RecursiveResolver::set_state_lanes(size_t lanes) {
+  lanes_.clear();
+  lanes_.resize(lanes == 0 ? 1 : lanes);
+}
+
+RecursiveResolver::LaneState& RecursiveResolver::lane_state() const {
+  const auto lane = static_cast<size_t>(net::current_state_lane());
+  auto& slot = lanes_[lane < lanes_.size() ? lane : 0];
+  if (!slot) {
+    slot = std::make_unique<LaneState>();
     // CDN-era resolvers honor short TTLs; cap at a day like common software.
-    state->cache.set_ttl_bounds(0, 86400);
-    slots_.push_back(std::move(state));
+    slot->cache.set_ttl_bounds(0, 86400);
   }
+  return *slot;
 }
 
 ResolutionResult RecursiveResolver::resolve(const DnsName& name, RRType type,
                                             net::SimTime now, net::Rng& rng,
                                             net::Ipv4Addr ecs_client) {
-  SlotState& state = slot_state();
+  LaneState& state = lane_state();
   ResolutionResult result;
   result.rcode = Rcode::kNoError;
   if (!state.warming) resolver_metrics().queries.inc();
@@ -110,7 +116,7 @@ ResolutionResult RecursiveResolver::resolve(const DnsName& name, RRType type,
 std::optional<DnsName> RecursiveResolver::resolve_step(
     const DnsName& qname, RRType type, net::SimTime now, net::Rng& rng,
     net::Ipv4Addr ecs_client, uint32_t scope, ResolutionResult& result) {
-  SlotState& state = slot_state();
+  LaneState& state = lane_state();
   // Terminal rrset cached (within this client's subnet partition)?
   if (auto cached = state.cache.lookup(qname, type, now, scope)) {
     if (cached->negative()) {
@@ -170,7 +176,7 @@ std::optional<DnsName> RecursiveResolver::resolve_step(
 
 net::Ipv4Addr RecursiveResolver::best_server_for(const DnsName& qname,
                                                  net::SimTime now) {
-  Cache& cache = slot_state().cache;
+  Cache& cache = lane_state().cache;
   // Walk qname, qname's parent, ... looking for a cached NS whose glue we
   // also have. The root primes the walk when nothing deeper is known.
   DnsName zone = qname;
@@ -212,7 +218,7 @@ std::optional<Message> RecursiveResolver::query_server(
     span.finish(now.millis() + result.upstream_ms);
     return std::nullopt;
   }
-  Message query = Message::query(slot_state().next_query_id++, qname, type);
+  Message query = Message::query(lane_state().next_query_id++, qname, type);
   if (ecs_enabled_ && !ecs_client.is_unspecified()) {
     query.ecs = EdnsClientSubnet{ecs_client.slash24(), ecs_prefix_len_, 0};
   }
@@ -240,7 +246,7 @@ void RecursiveResolver::cache_response_sections(const Message& response,
   }
   // Tailored answers are valid only for this client's subnet; referral
   // metadata (NS, glue) is subnet-independent.
-  Cache& cache = slot_state().cache;
+  Cache& cache = lane_state().cache;
   for (auto& [key, rrs] : answers) {
     cache.insert(key.first, key.second, std::move(rrs), now, answer_scope);
   }
@@ -283,7 +289,7 @@ std::optional<DnsName> RecursiveResolver::iterate(
           neg_ttl = std::min(rr.ttl, soa->minimum);
         }
       }
-      slot_state().cache.insert_negative(qname, type, neg_ttl, now, scope);
+      lane_state().cache.insert_negative(qname, type, neg_ttl, now, scope);
       result.rcode = Rcode::kNxDomain;
       return std::nullopt;
     }

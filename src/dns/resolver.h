@@ -65,18 +65,21 @@ class RecursiveResolver : public DnsServer {
   net::Ipv4Addr ip() const override { return ip_; }
 
   const std::string& name() const { return name_; }
-  Cache& cache() { return slot_state().cache; }
-  const Cache& cache() const { return slot_state().cache; }
+  Cache& cache() { return lane_state().cache; }
+  const Cache& cache() const { return lane_state().cache; }
 
   /// Partitions the resolver's mutable state (cache, query-id counter,
-  /// warm-hit guard) into `slots` independent copies indexed by the
-  /// calling thread's shard slot (net/shard_slot.h). Resolvers shared
-  /// across carriers — the public DNS instances — are given one slot per
-  /// shard so concurrent shards neither race nor observe each other's
-  /// cache warm-up; the slot mapping follows the fixed carrier partition,
-  /// so results are identical at any worker-thread count. Call at build
-  /// time, before queries; drops previously cached data.
-  void set_shard_slots(size_t slots);
+  /// warm-hit guard) into `lanes` independent copies indexed by the
+  /// calling thread's state lane (net/shard_slot.h) — one lane per
+  /// enrolled device plus lane 0 for the main thread. Laning makes every
+  /// device's view of the resolver independent of which cohort shard runs
+  /// it, which keeps campaign exports byte-identical across cohort and
+  /// worker counts; the population-level cache warmth devices used to
+  /// share is carried by the background-load model instead (see
+  /// set_background_load). Lane states are allocated on first touch, so
+  /// the cost scales with lanes actually used. Call at build time, before
+  /// queries; drops previously cached data.
+  void set_state_lanes(size_t lanes);
 
   /// Background-load model. Production resolvers serve whole subscriber
   /// populations, so a popular name is usually still cached when our
@@ -140,16 +143,16 @@ class RecursiveResolver : public DnsServer {
   void cache_response_sections(const Message& response, net::SimTime now,
                                uint32_t answer_scope);
 
-  /// Mutable query-time state, one copy per shard slot.
-  struct SlotState {
+  /// Mutable query-time state, one copy per state lane.
+  struct LaneState {
     Cache cache;
     uint16_t next_query_id = 1;
     bool warming = false;  ///< reentrancy guard for the warm-hit path
   };
-  SlotState& slot_state() const {
-    const auto slot = static_cast<size_t>(net::current_shard_slot());
-    return *slots_[slot < slots_.size() ? slot : 0];
-  }
+  /// The calling thread's lane state, allocated on first touch. Lazy
+  /// creation is race-free: a lane belongs to exactly one device, and a
+  /// device's whole timeline runs on one thread (exec/shard.h).
+  LaneState& lane_state() const;
 
   std::string name_;
   net::NodeId node_;
@@ -157,7 +160,7 @@ class RecursiveResolver : public DnsServer {
   const net::Topology* topology_;
   const ServerRegistry* registry_;
   net::Ipv4Addr root_ip_;
-  std::vector<std::unique_ptr<SlotState>> slots_;
+  mutable std::vector<std::unique_ptr<LaneState>> lanes_;
   double warm_hit_p_ = 0.0;
   double bg_interarrival_s_ = 0.0;
   bool ecs_enabled_ = false;

@@ -1,10 +1,12 @@
 #include "exec/engine.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
-#include <semaphore>
 #include <thread>
 
+#include "cellular/fleet.h"
 #include "net/shard_slot.h"
 #include "util/contract.h"
 
@@ -64,19 +66,64 @@ void append_shard(measure::Dataset& out, measure::Dataset& in) {
   }
 }
 
+/// Cohorts per carrier for the auto (cohorts == 0) setting: oversubscribe
+/// the worker pool ~4× so the deterministic pull queue load-balances
+/// uneven carrier fleets, clamped to the same [1, 64] band as the
+/// explicit knob.
+int resolve_cohorts(int cohorts, int workers, size_t carriers) {
+  if (cohorts >= 1) return cohorts > 64 ? 64 : cohorts;
+  if (carriers == 0) return 1;
+  const int want = static_cast<int>(
+      (4 * static_cast<size_t>(workers) + carriers - 1) / carriers);
+  if (want < 1) return 1;
+  return want > 64 ? 64 : want;
+}
+
 }  // namespace
 
 CampaignEngine::CampaignEngine(measure::WorldView world,
                                const dns::DnsName& research_apex,
                                std::vector<CarrierRef> carriers,
                                EngineConfig config)
-    : config_(config) {
+    : config_(config), world_(world) {
   if (config_.workers < 1) config_.workers = 1;
+  cohorts_ = resolve_cohorts(config_.cohorts, config_.workers,
+                             carriers.size());
+
+  // Build each carrier's fleet exactly once, then slice it into cohorts.
+  // State lanes are global device-enrollment ordinals (+1 to skip the
+  // main thread's lane 0): they advance across carriers in carrier-table
+  // order and never depend on the cohort count, so a device keeps the
+  // same lane — and therefore the same laned state — under every
+  // partition.
   int shard_index = 0;
+  int lane_base = 1;
   for (const CarrierRef& carrier : carriers) {
-    shards_.push_back(std::make_unique<Shard>(
-        shard_index++, carrier.carrier_index, carrier.network, world,
-        research_apex, config_.campaign, config_.experiment, config_.seed));
+    auto fleet = cellular::build_carrier_fleet(
+        carrier.network, carrier.carrier_index, config_.seed);
+    const size_t fleet_size = fleet.size();
+    for (int k = 0; k < cohorts_; ++k) {
+      // Contiguous slice [k*N/C, (k+1)*N/C): covers the fleet exactly,
+      // allows empty cohorts when cohorts > fleet size.
+      const size_t begin =
+          fleet_size * static_cast<size_t>(k) / static_cast<size_t>(cohorts_);
+      const size_t end = fleet_size * static_cast<size_t>(k + 1) /
+                         static_cast<size_t>(cohorts_);
+      std::vector<Shard::CohortDevice> slice;
+      slice.reserve(end - begin);
+      for (size_t d = begin; d < end; ++d) {
+        slice.push_back(Shard::CohortDevice{
+            std::move(fleet[d]), lane_base + static_cast<int>(d)});
+      }
+      shards_.push_back(std::make_unique<Shard>(
+          shard_index++, carrier.carrier_index, k, carrier.network, world,
+          research_apex, config_.campaign, config_.experiment, config_.seed,
+          std::move(slice)));
+    }
+    CURTAIN_CHECK(fleet_size <= static_cast<size_t>(
+                                    std::numeric_limits<int>::max() - lane_base))
+        << "state lanes overflow int";
+    lane_base += static_cast<int>(fleet_size);
   }
 }
 
@@ -89,27 +136,58 @@ size_t CampaignEngine::device_count() const {
 }
 
 void CampaignEngine::run(measure::Dataset& dataset) {
-  // One fresh thread per shard: thread-local metric handle caches bind to
-  // exactly one sheaf over a thread's lifetime, so shard threads are never
-  // reused across shards. The semaphore caps concurrency at `workers`.
-  std::counting_semaphore<> slots(config_.workers);
-  std::vector<std::thread> threads;
-  threads.reserve(shards_.size());
-  for (auto& shard_ptr : shards_) {
-    Shard* shard = shard_ptr.get();
-    threads.emplace_back([&slots, shard] {
-      slots.acquire();
-      net::ShardSlotGuard slot(shard->shard_index() + 1);
-      obs::ScopedMetricsSheaf sheaf(shard->sheaf());
-      shard->run();
-      slots.release();
-    });
+  // A shard slot that exceeds the route cache's way count would silently
+  // fall back to way 0 and race the main thread; the study wires the
+  // ways after construction, so verify the contract here.
+  CURTAIN_CHECK(world_.topology.route_cache_ways() > shards_.size())
+      << "route cache has " << world_.topology.route_cache_ways()
+      << " ways for " << shards_.size() << " shards";
+
+  stats_.assign(shards_.size(), ShardStat{});
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    stats_[i].label = shards_[i]->label();
+    stats_[i].carrier_index = shards_[i]->carrier_index();
+    stats_[i].cohort_index = shards_[i]->cohort_index();
+    stats_[i].devices = shards_[i]->device_count();
   }
+
+  // Fixed worker pool over a deterministic queue: workers pull the next
+  // shard index from an atomic cursor, so shards start in index order no
+  // matter which worker frees up first. Which worker runs which shard
+  // varies run to run — that's fine, because nothing result-visible is
+  // keyed by the worker or the shard slot.
+  const size_t pool = std::min(static_cast<size_t>(config_.workers),
+                               shards_.size() == 0 ? size_t{1}
+                                                   : shards_.size());
+  std::atomic<size_t> next{0};
+  auto work = [this, &next] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shards_.size()) return;
+      Shard& shard = *shards_[i];
+      // Wall-clock per-shard busy time, for shard_stats() reporting and
+      // the bench scheduling model only — never result-visible.
+      const auto started = std::chrono::steady_clock::now();  // lint: wallclock
+      {
+        net::ShardSlotGuard slot(shard.shard_index() + 1);
+        obs::ScopedMetricsSheaf sheaf(shard.sheaf());
+        shard.run();
+      }
+      const auto elapsed =
+          std::chrono::steady_clock::now() - started;  // lint: wallclock
+      stats_[i].busy_ms =
+          std::chrono::duration<double, std::milli>(elapsed).count();
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (size_t w = 0; w < pool; ++w) threads.emplace_back(work);
   for (auto& thread : threads) thread.join();
 
-  // Deterministic merge: shard-index order, independent of which worker
-  // finished when. This is what makes workers=1 and workers=N exports
-  // byte-identical.
+  // Deterministic merge: shard-index order — (carrier, cohort) order,
+  // i.e. global device-enrollment order — independent of which worker
+  // finished when. This is what makes every (cohorts, workers) setting
+  // export byte-identical results.
   for (auto& shard : shards_) append_shard(dataset, shard->dataset());
   for (auto& shard : shards_) {
     obs::metrics().merge_snapshot(shard->sheaf().snapshot());

@@ -1,36 +1,66 @@
-// CampaignEngine: sharded parallel execution of the measurement campaign.
+// CampaignEngine: cohort-sharded parallel execution of the campaign.
 //
-// The engine always partitions the fleet into one shard per carrier; the
-// `workers` knob (CURTAIN_SHARDS) only caps how many shard threads run
-// concurrently. Because every shard's inputs are (immutable world,
-// seed-mixed RNG streams keyed by shard index) and the merge happens in
-// shard-index order, the merged dataset and metrics are byte-identical
-// for every worker count — parallelism is purely a wall-clock lever.
+// The fleet is partitioned by device cohort *within* each carrier: every
+// (carrier, cohort) pair is one Shard owning a contiguous slice of that
+// carrier's fleet. The shard count is carriers × cohorts-per-carrier, so
+// parallelism is no longer capped at the carrier count; `workers`
+// (CURTAIN_SHARDS, 0 = one per hardware thread) sizes the worker pool and
+// `cohorts` (CURTAIN_COHORTS, 0 = auto from the worker count) sizes the
+// partition. A fixed pool of worker threads pulls shards from a
+// deterministic queue in shard-index order.
+//
+// Determinism: every result-affecting draw comes from a per-device stream
+// keyed by (seed, device id) alone; every piece of result-visible mutable
+// state is keyed by the device's global state lane (net/shard_slot.h),
+// which depends only on the fleet — never on cohort or worker counts.
+// Fleets are built once per carrier and sliced, so the devices themselves
+// are partition-invariant too. The merge happens in (carrier, cohort)
+// order, which equals global device-enrollment order; together this makes
+// the merged dataset and metrics byte-identical for every cohort count
+// and worker count — both knobs are purely wall-clock levers.
 //
 // Merge semantics:
 //   * datasets are concatenated in shard order, renumbering experiment_id
 //     and trace_index so the result is indistinguishable from one
 //     sequential run over the same shard order;
 //   * each shard's metrics sheaf is summed into the calling thread's
-//     registry (normally the global one), in shard order, so even
-//     floating-point sums are reproducible.
+//     registry (normally the global one), in shard order; histogram sums
+//     accumulate in fixed point, so even the merged totals are exact and
+//     partition-invariant.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exec/shard.h"
+#include "measure/worldview.h"
 
 namespace curtain::exec {
 
 /// Tunables for one campaign execution.
 struct EngineConfig {
   uint64_t seed = 20141105;
-  /// Max shards running concurrently (>=1); shard *count* is always the
-  /// carrier count, so this only trades wall-clock for threads.
+  /// Worker threads in the shard pool (>=1). core::Scenario resolves the
+  /// CURTAIN_SHARDS=0 "one per hardware thread" default before it gets
+  /// here.
   int workers = 1;
+  /// Cohorts per carrier; 0 picks enough cohorts to keep `workers` busy
+  /// (ceil(4*workers/carriers), clamped to [1, 64]).
+  int cohorts = 0;
   measure::CampaignConfig campaign;
   measure::ExperimentConfig experiment;
+};
+
+/// Per-shard execution record, in shard (merge) order. busy_ms is real
+/// wall-clock time and exists only for reporting and bench scheduling
+/// models — nothing result-visible may read it.
+struct ShardStat {
+  std::string label;  ///< "<carrier>/cohort<k>"
+  int carrier_index = 0;
+  int cohort_index = 0;
+  size_t devices = 0;
+  double busy_ms = 0.0;
 };
 
 class CampaignEngine {
@@ -51,14 +81,29 @@ class CampaignEngine {
   /// Devices enrolled across all shards (Table 1 totals).
   size_t device_count() const;
 
-  /// Runs every shard (at most config.workers concurrently), then merges
-  /// shard datasets into `dataset` and shard metric sheaves into the
-  /// calling thread's registry, both in shard-index order.
+  /// Shards in the partition (carriers × resolved cohorts-per-carrier).
+  /// The topology's route cache must keep more ways than this before
+  /// run() — see net::Topology::set_route_cache_ways.
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Cohorts per carrier after resolving the auto (0) setting.
+  int cohorts_per_carrier() const { return cohorts_; }
+
+  /// Runs every shard on a pool of min(workers, shards) threads pulling
+  /// from a deterministic queue, then merges shard datasets into
+  /// `dataset` and shard metric sheaves into the calling thread's
+  /// registry, both in shard-index order.
   void run(measure::Dataset& dataset);
+
+  /// Populated by run(): one entry per shard, in shard order.
+  const std::vector<ShardStat>& shard_stats() const { return stats_; }
 
  private:
   EngineConfig config_;
+  int cohorts_ = 1;
+  measure::WorldView world_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ShardStat> stats_;
 };
 
 }  // namespace curtain::exec

@@ -1,9 +1,7 @@
 #include "exec/shard.h"
 
-#include <deque>
-
-#include "net/geo.h"
-#include "util/contract.h"
+#include "net/clock.h"
+#include "net/shard_slot.h"
 
 namespace curtain::exec {
 namespace {
@@ -17,109 +15,59 @@ struct ShardMetrics {
 };
 
 ShardMetrics& shard_metrics() {
-  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
-  static thread_local ShardMetrics metrics;
-  return metrics;
+  // Handles re-bind whenever the thread's sheaf changes (obs/metrics.h).
+  static thread_local obs::SheafLocal<ShardMetrics> metrics;
+  return metrics.get();
 }
 
 }  // namespace
 
-/// Self-rescheduling hourly wake-up for one device. Trivially copyable and
-/// 40 bytes, so the event queue keeps it inline in the heap slot — the old
-/// std::function closure of the same captures heap-allocated on every
-/// reschedule. The RNG state lives in Shard::run's deque, not here, so
-/// copies of the functor share the device's single stream.
-struct DeviceWake {
-  Shard* shard;
-  cellular::Device* device;
-  net::Rng* rng;
-  net::EventQueue* queue;
-  net::SimTime horizon;
-
-  void operator()(net::SimTime at) const {
-    shard->device_wake(*device, *rng, *queue, horizon, at);
-  }
-};
-
-Shard::Shard(int shard_index, int carrier_index,
+Shard::Shard(int shard_index, int carrier_index, int cohort_index,
              cellular::CellularNetwork& network, measure::WorldView world,
              const dns::DnsName& research_apex,
              measure::CampaignConfig campaign,
-             measure::ExperimentConfig experiment, uint64_t seed)
+             measure::ExperimentConfig experiment, uint64_t seed,
+             std::vector<CohortDevice> devices)
     : shard_index_(shard_index),
       carrier_index_(carrier_index),
-      network_(network),
+      cohort_index_(cohort_index),
+      label_(network.profile().name + "/cohort" + std::to_string(cohort_index)),
       campaign_(campaign),
       seed_(seed),
-      runner_(world, measure::ResolverIdentifier(research_apex), experiment) {
-  // Per-carrier device stream: volunteers cluster in large metros, with
-  // scatter within a suburb. Keying by carrier index (not a fleet-wide
-  // cursor) keeps every shard's draws independent of the others'.
-  net::Rng rng(net::mix_key(net::mix_key(seed_, net::hash_tag("fleet")),
-                            static_cast<uint64_t>(carrier_index_)));
-  const auto& profile = network_.profile();
-  const auto& metros =
-      profile.country == "KR" ? net::kr_metros() : net::us_metros();
-  CURTAIN_CHECK(!metros.empty()) << "no metros for country " << profile.country;
-  // Device ids are banded per carrier in blocks of 1000 (see below); a
-  // larger fleet would collide ids across carriers.
-  CURTAIN_CHECK(profile.study_clients < 1000)
-      << profile.name << " exceeds the 999-device id band";
-  for (int d = 0; d < profile.study_clients; ++d) {
-    const auto& metro =
-        metros[static_cast<size_t>(rng.uniform_u64(0, metros.size() - 1))];
-    const net::GeoPoint home = net::offset_km(
-        metro.location, rng.uniform(-15, 15), rng.uniform(-15, 15));
-    // Device ids are carrier-banded so they stay stable and unique no
-    // matter which shards run or in which order.
-    const uint64_t device_id =
-        static_cast<uint64_t>(carrier_index_) * 1000 +
-        static_cast<uint64_t>(d) + 1;
-    devices_.push_back(
-        std::make_unique<cellular::Device>(device_id, &network_, home));
-  }
+      runner_(world, measure::ResolverIdentifier(research_apex), experiment),
+      devices_(std::move(devices)) {
+  sheaf_.set_label(label_);
 }
 
 void Shard::run() {
   shard_metrics().devices.set(static_cast<double>(devices_.size()));
-
-  net::SimClock clock;
-  net::EventQueue queue;
-  net::Rng campaign_rng(
-      net::mix_key(net::mix_key(seed_, net::hash_tag("campaign")),
-                   static_cast<uint64_t>(shard_index_)));
   const net::SimTime horizon = net::SimTime::from_days(campaign_.duration_days);
+  // The device-stream base deliberately mixes in no shard or cohort index:
+  // a device's stream depends only on (study seed, device id), so its whole
+  // timeline is identical under every fleet partition.
+  const net::Rng campaign_rng(
+      net::mix_key(seed_, net::hash_tag("campaign")));
 
-  // Each device wakes hourly with a per-device phase; on each wake it
-  // tosses the participation coin and possibly runs one experiment.
-  // The per-device RNG state is owned here, not by the DeviceWake functors
-  // (copies of a functor must share the device's single stream); deque
-  // keeps the pointers stable while entries are appended.
-  std::deque<net::Rng> device_rngs;
-  queue.reserve(devices_.size());
-  for (auto& device_ptr : devices_) {
-    cellular::Device* device = device_ptr.get();
-    device_rngs.push_back(campaign_rng.derive("device-stream", device->id()));
-    net::Rng* device_rng = &device_rngs.back();
-    const net::SimTime phase =
-        net::SimTime::from_seconds(device_rng->uniform(0.0, 3600.0));
-    queue.schedule(phase, DeviceWake{this, device, device_rng, &queue, horizon});
-  }
-
-  // Wakes past the horizon are never scheduled, so this drains the queue.
-  queue.run_until(clock, horizon);
-}
-
-void Shard::device_wake(cellular::Device& device, net::Rng& rng,
-                        net::EventQueue& queue, net::SimTime horizon,
-                        net::SimTime at) {
-  shard_metrics().wakeups.inc();
-  if (rng.bernoulli(campaign_.participation)) {
-    runner_.run(device, carrier_index_, at, rng, dataset_);
-  }
-  const net::SimTime next = at + net::SimTime::from_hours(1.0);
-  if (next < horizon) {
-    queue.schedule(next, DeviceWake{this, &device, &rng, &queue, horizon});
+  // Device-major execution: each device's timeline runs to completion
+  // before the next device starts. Devices share no laned state and draw
+  // only from their own streams, so no cross-device interleave by
+  // simulated time is needed — within a device the timeline is still
+  // strictly time-ordered, and the shard's output is the concatenation of
+  // its devices' outputs in enrollment order.
+  for (CohortDevice& entry : devices_) {
+    net::StateLaneGuard lane(entry.state_lane);
+    runner_.begin_device();
+    net::Rng rng = campaign_rng.derive("device-stream", entry.device->id());
+    // Hourly wakes from a per-device phase; each wake tosses the
+    // participation coin and possibly runs one experiment.
+    net::SimTime at = net::SimTime::from_seconds(rng.uniform(0.0, 3600.0));
+    while (at < horizon) {
+      shard_metrics().wakeups.inc();
+      if (rng.bernoulli(campaign_.participation)) {
+        runner_.run(*entry.device, carrier_index_, at, rng, dataset_);
+      }
+      at = at + net::SimTime::from_hours(1.0);
+    }
   }
 }
 

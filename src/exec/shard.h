@@ -1,25 +1,32 @@
-// Shard: one carrier's slice of the campaign.
+// Shard: one (carrier, cohort) slice of the campaign.
 //
-// The campaign partitions cleanly along carrier lines — devices only ever
-// talk to their own carrier's gateways and resolvers, plus the immutable
-// world substrate (backbone, hierarchy, CDNs, public DNS). A shard
-// therefore owns everything mutable its devices touch during the run:
+// The campaign is embarrassingly parallel per *device*: a device only
+// ever touches its own laned state (net/shard_slot.h) plus the immutable
+// world substrate, so the fleet can be partitioned into any number of
+// cohorts per carrier. A shard owns everything mutable its slice of
+// devices touches during the run:
 //
-//   * a private virtual clock and event queue,
-//   * RNG streams mixed from (study seed, shard index) — never shared,
-//   * the carrier's device fleet (built from a per-carrier stream),
-//   * an ExperimentRunner with its own sampling counters,
+//   * the cohort's devices (a contiguous slice of the carrier fleet built
+//     by cellular::build_carrier_fleet), each carrying its global state
+//     lane,
+//   * an ExperimentRunner whose sampling counters reset per device,
 //   * a private Dataset the measurements append to, and
-//   * a private metrics sheaf (obs::MetricsRegistry) all metric handles on
-//     the shard's thread bind to.
+//   * a private metrics sheaf (obs::MetricsRegistry) all metric handles
+//     on the executing thread bind to while the shard runs.
 //
-// Carrier-private world state (NAT cursors, resolver caches) is already
-// partitioned per shard slot (net/shard_slot.h), so shards never contend;
-// CampaignEngine merges their outputs in shard-index order, which makes
-// the merged dataset byte-identical for any worker count.
+// Execution is device-major: each device's whole timeline (hourly wakes
+// from its phase to the horizon) runs to completion under its
+// StateLaneGuard before the next device starts. Every result-affecting
+// draw comes from the device's own stream, derived from (study seed,
+// device id) alone — no shard or cohort index anywhere — so the shard's
+// output is the concatenation of its devices' outputs regardless of the
+// partition. CampaignEngine merges shards in (carrier, cohort) order,
+// which makes the merged dataset byte-identical for every cohort count
+// and worker count.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cellular/carrier.h"
@@ -28,51 +35,52 @@
 #include "measure/experiment.h"
 #include "measure/records.h"
 #include "measure/worldview.h"
-#include "net/clock.h"
 #include "net/rng.h"
 #include "obs/metrics.h"
 
 namespace curtain::exec {
 
-struct DeviceWake;
-
 class Shard {
  public:
-  Shard(int shard_index, int carrier_index, cellular::CellularNetwork& network,
-        measure::WorldView world, const dns::DnsName& research_apex,
-        measure::CampaignConfig campaign, measure::ExperimentConfig experiment,
-        uint64_t seed);
+  /// One enrolled device plus the global state lane its timeline runs in
+  /// (lane = fleet-wide enrollment ordinal + 1; see net/shard_slot.h).
+  struct CohortDevice {
+    std::unique_ptr<cellular::Device> device;
+    int state_lane = 0;
+  };
+
+  Shard(int shard_index, int carrier_index, int cohort_index,
+        cellular::CellularNetwork& network, measure::WorldView world,
+        const dns::DnsName& research_apex, measure::CampaignConfig campaign,
+        measure::ExperimentConfig experiment, uint64_t seed,
+        std::vector<CohortDevice> devices);
 
   int shard_index() const { return shard_index_; }
   int carrier_index() const { return carrier_index_; }
+  int cohort_index() const { return cohort_index_; }
   size_t device_count() const { return devices_.size(); }
+  /// "<carrier>/cohort<k>", the sheaf label and log/stat identity.
+  const std::string& label() const { return label_; }
 
   /// The shard's private outputs; owned here until the engine merges them.
   measure::Dataset& dataset() { return dataset_; }
   obs::MetricsRegistry& sheaf() { return sheaf_; }
 
-  /// Runs the shard's whole campaign into its private dataset. Must run on
-  /// the shard's worker thread with the shard slot (net::ShardSlotGuard)
-  /// and the sheaf (obs::ScopedMetricsSheaf) bound.
+  /// Runs the shard's whole campaign into its private dataset. Must run
+  /// with the shard slot (net::ShardSlotGuard) and the sheaf
+  /// (obs::ScopedMetricsSheaf) bound; binds each device's state lane
+  /// itself.
   void run();
 
  private:
-  friend struct DeviceWake;
-
-  /// One hourly device wake-up: participation coin toss, maybe one
-  /// experiment, and rescheduling of the next wake. Invoked by DeviceWake,
-  /// the trivially copyable functor the event queue stores inline.
-  void device_wake(cellular::Device& device, net::Rng& rng,
-                   net::EventQueue& queue, net::SimTime horizon,
-                   net::SimTime at);
-
   int shard_index_;
   int carrier_index_;
-  cellular::CellularNetwork& network_;
+  int cohort_index_;
+  std::string label_;
   measure::CampaignConfig campaign_;
   uint64_t seed_;
   measure::ExperimentRunner runner_;
-  std::vector<std::unique_ptr<cellular::Device>> devices_;
+  std::vector<CohortDevice> devices_;
   measure::Dataset dataset_;
   obs::MetricsRegistry sheaf_;
 };

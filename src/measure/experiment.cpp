@@ -32,9 +32,9 @@ struct ExperimentMetrics {
 };
 
 ExperimentMetrics& experiment_metrics() {
-  // Per thread: handles must bind to the shard's sheaf (obs/metrics.h).
-  static thread_local ExperimentMetrics metrics;
-  return metrics;
+  // Handles re-bind whenever the thread's sheaf changes (obs/metrics.h).
+  static thread_local obs::SheafLocal<ExperimentMetrics> metrics;
+  return metrics.get();
 }
 
 }  // namespace
@@ -55,6 +55,11 @@ ExperimentRunner::ExperimentRunner(WorldView world,
       probes_(world),
       identifier_(std::move(identifier)),
       config_(config) {}
+
+void ExperimentRunner::begin_device() {
+  ident_counter_ = 0;
+  resolution_counter_ = 0;
+}
 
 ProbeOrigin ExperimentRunner::origin_for(cellular::Device& device,
                                          net::SimTime now,

@@ -36,6 +36,15 @@ class ExperimentRunner {
   ExperimentRunner(WorldView world, ResolverIdentifier identifier,
                    ExperimentConfig config);
 
+  /// Resets the runner's sampling counters for a new device timeline.
+  /// Trace sampling and identification-probe names then depend only on
+  /// (device, position in the device's own history) — never on which
+  /// cohort shard ran the device or what ran before it — which keeps
+  /// exports byte-identical across cohort partitions. Identification
+  /// names stay globally unique because probe_name() keys them by
+  /// (device id, per-device counter).
+  void begin_device();
+
   /// Runs one experiment for `device` starting at `start`; appends all
   /// records to `dataset` and returns the experiment's end time.
   net::SimTime run(cellular::Device& device, int carrier_index,
@@ -64,8 +73,8 @@ class ExperimentRunner {
   ProbeEngine probes_;
   ResolverIdentifier identifier_;
   ExperimentConfig config_;
-  uint64_t ident_counter_ = 0;
-  uint64_t resolution_counter_ = 0;  ///< drives trace sampling
+  uint64_t ident_counter_ = 0;       ///< per device; see begin_device()
+  uint64_t resolution_counter_ = 0;  ///< drives trace sampling, per device
 };
 
 }  // namespace curtain::measure

@@ -1,14 +1,28 @@
-// Shard slots: which campaign shard the current thread is executing.
+// Shard slots and state lanes: which campaign shard — and which device —
+// the current thread is executing.
 //
-// The sharded campaign engine (curtain::exec) partitions the fleet at the
-// carrier boundary; world components that keep per-carrier runtime state
-// behind a shared facade (public-DNS resolver caches, the topology route
-// cache) partition that state by *slot* instead of by lock. Slot 0 is the
-// main thread (world construction, the vantage sweep, tests and tools);
-// shard i runs with slot i+1. Because the shard→slot mapping is fixed by
-// the carrier partition — never by how many worker threads execute it —
-// slot-partitioned state behaves identically at any CURTAIN_SHARDS value,
-// which is what makes sharded runs byte-identical to serial ones.
+// The cohort-sharded campaign engine (curtain::exec) partitions the fleet
+// into (carrier, cohort) shards and runs each shard's devices one after
+// another (device-major). World components that keep mutable runtime
+// state behind a shared facade partition that state by index instead of
+// by lock, at two distinct granularities:
+//
+//  * Shard slot — execution-scoped. One per running shard (shard i runs
+//    with slot i+1; slot 0 is the main thread: world construction, the
+//    vantage sweep, tests and tools). Only *result-invisible* state may
+//    key off the shard slot, because the shard partition changes with the
+//    cohort count: today that is the topology route cache, whose entries
+//    are deterministic functions of the immutable graph.
+//
+//  * State lane — device-scoped. One per enrolled device, fixed by the
+//    device's global enrollment ordinal (lane d+1; lane 0 again belongs
+//    to the main thread). All *result-visible* mutable state — resolver
+//    caches, query-id counters, NAT cursors — is laned. Because the
+//    device→lane mapping depends only on the fleet (never on cohort or
+//    worker counts) and a device's whole timeline runs on one thread,
+//    laned state evolves identically for every CURTAIN_SHARDS /
+//    CURTAIN_COHORTS value, which is what keeps campaign exports
+//    byte-identical across all of them.
 #pragma once
 
 #include "util/contract.h"
@@ -16,10 +30,15 @@
 namespace curtain::net {
 namespace detail {
 inline thread_local int tls_shard_slot = 0;
+inline thread_local int tls_state_lane = 0;
 }  // namespace detail
 
 /// Slot of the calling thread: 0 outside any shard, shard_index+1 inside.
 inline int current_shard_slot() { return detail::tls_shard_slot; }
+
+/// Lane of the device the calling thread is simulating: 0 outside any
+/// device timeline (main thread), device ordinal+1 inside.
+inline int current_state_lane() { return detail::tls_state_lane; }
 
 /// RAII slot binding for a shard worker thread.
 class ShardSlotGuard {
@@ -31,6 +50,21 @@ class ShardSlotGuard {
   ~ShardSlotGuard() { detail::tls_shard_slot = previous_; }
   ShardSlotGuard(const ShardSlotGuard&) = delete;
   ShardSlotGuard& operator=(const ShardSlotGuard&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// RAII lane binding for one device's timeline on the current thread.
+class StateLaneGuard {
+ public:
+  explicit StateLaneGuard(int lane) : previous_(detail::tls_state_lane) {
+    CURTAIN_CHECK(lane >= 0) << "negative state lane " << lane;
+    detail::tls_state_lane = lane;
+  }
+  ~StateLaneGuard() { detail::tls_state_lane = previous_; }
+  StateLaneGuard(const StateLaneGuard&) = delete;
+  StateLaneGuard& operator=(const StateLaneGuard&) = delete;
 
  private:
   int previous_;

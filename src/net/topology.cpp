@@ -130,16 +130,20 @@ std::optional<double> Topology::transport_rtt_ms(NodeId from, NodeId to,
 }
 
 PingResult Topology::ping(NodeId from, NodeId to, Rng& rng) const {
-  // thread_local: under the sharded engine each shard thread carries its
-  // own metrics sheaf, so handles must bind per thread (see obs/metrics.h).
-  static thread_local obs::Counter& pings = obs::metrics().counter(
-      "curtain_net_pings_total", "ping probes attempted across the topology");
-  static thread_local obs::Counter& firewalled = obs::metrics().counter(
-      "curtain_net_probes_firewalled_total",
-      "probes dropped at a NAT/firewall zone boundary");
-  static thread_local obs::Counter& unresponsive = obs::metrics().counter(
-      "curtain_net_probes_unresponsive_total",
-      "probes whose target declines to answer (reachability policy)");
+  // Handles re-bind whenever the thread's sheaf changes (obs/metrics.h):
+  // pooled workers run many shards, each with its own sheaf.
+  struct PingMetrics {
+    obs::Counter& pings = obs::metrics().counter(
+        "curtain_net_pings_total", "ping probes attempted across the topology");
+    obs::Counter& firewalled = obs::metrics().counter(
+        "curtain_net_probes_firewalled_total",
+        "probes dropped at a NAT/firewall zone boundary");
+    obs::Counter& unresponsive = obs::metrics().counter(
+        "curtain_net_probes_unresponsive_total",
+        "probes whose target declines to answer (reachability policy)");
+  };
+  static thread_local obs::SheafLocal<PingMetrics> ping_metrics;
+  auto& [pings, firewalled, unresponsive] = ping_metrics.get();
   pings.inc();
   PingResult result;
   const auto& path = route(from, to);

@@ -126,9 +126,13 @@ class Topology {
   /// Partitions the route cache into `ways` independent maps indexed by
   /// the calling thread's shard slot, so concurrent shards fill disjoint
   /// caches instead of racing on one. Routes are deterministic, so the
-  /// partitioning never changes results. Call before campaign threads
-  /// start; resets cached routes.
+  /// partitioning never changes results — which is exactly why the route
+  /// cache may key off the (cohort-count-dependent) shard slot while
+  /// result-visible state must use state lanes (net/shard_slot.h). Call
+  /// before campaign threads start with ways > the shard count — the
+  /// engine checks — and resets cached routes.
   void set_route_cache_ways(size_t ways);
+  size_t route_cache_ways() const { return route_caches_.size(); }
 
   /// Round-trip time as measured by a transport exchange (no firewall or
   /// responsiveness checks — used for protocol traffic like DNS, which is

@@ -1,8 +1,17 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace curtain::obs {
+namespace {
+
+/// Doubles → fixed-point sum units (see Histogram::kSumScale).
+int64_t to_sum_units(double v, double scale) {
+  return static_cast<int64_t>(std::llround(v * scale));
+}
+
+}  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
@@ -16,7 +25,7 @@ void Histogram::observe(double v) {
   while (i < bounds_.size() && v > bounds_[i]) ++i;
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  sum_units_.fetch_add(to_sum_units(v, kSumScale), std::memory_order_relaxed);
 }
 
 void Histogram::merge_counts(const std::vector<uint64_t>& buckets,
@@ -26,7 +35,10 @@ void Histogram::merge_counts(const std::vector<uint64_t>& buckets,
     buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
   }
   count_.fetch_add(count, std::memory_order_relaxed);
-  sum_.fetch_add(sum, std::memory_order_relaxed);
+  // A snapshot sum is units/kSumScale exactly (power-of-two scale), so
+  // this conversion recovers the original integer unit count.
+  sum_units_.fetch_add(to_sum_units(sum, kSumScale),
+                       std::memory_order_relaxed);
 }
 
 void Histogram::reset() {
@@ -34,7 +46,7 @@ void Histogram::reset() {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
   count_.store(0, std::memory_order_relaxed);
-  sum_.store(0.0, std::memory_order_relaxed);
+  sum_units_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<double> Histogram::latency_ms_buckets() {

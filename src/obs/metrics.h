@@ -5,18 +5,22 @@
 // gauges and fixed-bucket histograms that hot paths bump through lock-free
 // std::atomic operations. Registration is lazy (first use creates the
 // metric) and returned references are stable for the registry lifetime, so
-// call sites cache them in function-local thread_local statics:
+// call sites cache a handle struct in a function-local SheafLocal:
 //
-//   static thread_local obs::Counter& queries =
-//       obs::metrics().counter("curtain_dns_queries_total", "DNS lookups");
-//   queries.inc();
+//   struct FooMetrics {
+//     obs::Counter& queries =
+//         obs::metrics().counter("curtain_dns_queries_total", "DNS lookups");
+//   };
+//   static thread_local obs::SheafLocal<FooMetrics> metrics;
+//   metrics.get().queries.inc();
 //
 // obs::metrics() resolves to the *current* registry: the process-wide one
 // by default, or — inside a campaign shard — that shard's private sheaf
 // (see ScopedMetricsSheaf). Sheaves keep hot-path instrumentation
 // contention-free under concurrent shards and are summed into the global
-// registry in deterministic shard order by merge_snapshot(). The
-// thread_local on cached handles is what re-binds them per shard thread.
+// registry in deterministic shard order by merge_snapshot(). SheafLocal
+// re-resolves its handles whenever the thread's current registry changes,
+// so pooled worker threads can execute many shards back to back.
 //
 // Naming scheme: curtain_<layer>_<name>[_total] (see DESIGN.md §9).
 // reset_for_tests() zeroes every value but keeps the registered objects,
@@ -28,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,14 +65,28 @@ class Gauge {
 /// finite buckets (ascending); one implicit overflow bucket catches the
 /// rest. observe() is a linear scan over at most ~16 doubles plus two
 /// relaxed atomic adds — cheap enough for per-resolution paths.
+///
+/// The running sum accumulates in fixed point (units of 2^-16) so that
+/// summation is associative: merging shard sheaves produces bit-identical
+/// totals no matter how observations were grouped into shards. The 2^-16
+/// quantum is far below the resolution of anything observed here
+/// (latencies in ms, small set sizes).
 class Histogram {
  public:
+  /// Fixed-point scale of the running sum (2^16 units per 1.0). A power
+  /// of two, so unit↔double conversions below 2^53 units round-trip
+  /// exactly. Public so tests can assert within the quantization.
+  static constexpr double kSumScale = 65536.0;
+
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return static_cast<double>(sum_units_.load(std::memory_order_relaxed)) /
+           kSumScale;
+  }
   const std::vector<double>& bounds() const { return bounds_; }
   /// Raw (non-cumulative) count of bucket `i`; i == bounds().size() is the
   /// overflow bucket.
@@ -91,7 +110,7 @@ class Histogram {
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
   std::atomic<uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
+  std::atomic<int64_t> sum_units_{0};
 };
 
 /// A point-in-time copy of every registered metric, sorted by name — what
@@ -152,6 +171,13 @@ class MetricsRegistry {
   /// Zeroes every metric but keeps the objects (cached refs stay valid).
   void reset_for_tests();
 
+  /// Human-readable sheaf label ("att/cohort3") for logs and diagnostics.
+  /// Deliberately absent from snapshots: metric names and values must not
+  /// depend on the shard partition or exports would stop being
+  /// byte-identical across cohort counts.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
  private:
   template <typename T>
   struct Entry {
@@ -160,6 +186,7 @@ class MetricsRegistry {
   };
 
   mutable std::mutex mutex_;
+  std::string label_;
   std::map<std::string, Entry<Counter>> counters_;
   std::map<std::string, Entry<Gauge>> gauges_;
   std::map<std::string, Entry<Histogram>> histograms_;
@@ -182,5 +209,31 @@ class ScopedMetricsSheaf {
 /// Shorthand for MetricsRegistry::current() (the thread's sheaf when one
 /// is bound, otherwise the process-wide registry).
 inline MetricsRegistry& metrics() { return MetricsRegistry::current(); }
+
+/// Per-thread cache of a metric-handle struct (a plain aggregate whose
+/// members are `obs::Counter&`-style references resolved against
+/// obs::metrics() in their initializers). get() rebuilds the struct
+/// whenever the thread's current registry has changed since the last
+/// call, so a pooled worker thread that executes shard after shard always
+/// bumps the sheaf of the shard it is currently running:
+///
+///   static thread_local obs::SheafLocal<FooMetrics> metrics;
+///   metrics.get().queries.inc();
+template <typename T>
+class SheafLocal {
+ public:
+  T& get() {
+    MetricsRegistry* current = &MetricsRegistry::current();
+    if (current != registry_) {
+      value_.emplace();  // handle initializers resolve against `current`
+      registry_ = current;
+    }
+    return *value_;
+  }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::optional<T> value_;
+};
 
 }  // namespace curtain::obs

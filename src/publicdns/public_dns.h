@@ -42,10 +42,10 @@ struct PublicDnsBuildContext {
   /// deployed this for opted-in CDNs; enabling it lets CDNs map by the
   /// *client's* subnet instead of the resolver's site.
   bool ecs_enabled = false;
-  /// Shard slots to partition each instance's mutable state into (one per
-  /// campaign shard + one for the main thread); 1 = unsharded. See
-  /// dns::RecursiveResolver::set_shard_slots.
-  int shard_slots = 1;
+  /// State lanes to partition each instance's mutable state into (one per
+  /// enrolled device + one for the main thread); 1 = unlaned. See
+  /// dns::RecursiveResolver::set_state_lanes.
+  int state_lanes = 1;
   uint64_t build_seed = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <cstdlib>
+#include <thread>
 
 #include "util/strings.h"
 
@@ -36,9 +37,15 @@ double campaign_scale() {
 uint64_t study_seed() { return env_u64("CURTAIN_SEED", 20141105); }
 
 int campaign_shards() {
-  const uint64_t shards = env_u64("CURTAIN_SHARDS", 1);
+  uint64_t shards = env_u64("CURTAIN_SHARDS", 1);
+  if (shards == 0) shards = std::thread::hardware_concurrency();
   if (shards < 1) return 1;
   return shards > 64 ? 64 : static_cast<int>(shards);
+}
+
+int campaign_cohorts() {
+  const uint64_t cohorts = env_u64("CURTAIN_COHORTS", 0);
+  return cohorts > 64 ? 64 : static_cast<int>(cohorts);
 }
 
 }  // namespace curtain::util

@@ -21,9 +21,14 @@ double campaign_scale();
 /// CURTAIN_SEED: study-wide RNG seed (default 20141105, the IMC'14 date).
 uint64_t study_seed();
 
-/// CURTAIN_SHARDS in [1, 64]: max campaign shards running concurrently
-/// (default 1). Purely a wall-clock knob; results are identical for every
-/// value (see exec/engine.h).
+/// CURTAIN_SHARDS in [1, 64]: worker threads in the campaign shard pool
+/// (default 1; 0 = one per hardware thread). Purely a wall-clock knob;
+/// results are identical for every value (see exec/engine.h).
 int campaign_shards();
+
+/// CURTAIN_COHORTS in [0, 64]: device cohorts per carrier (0, the
+/// default, auto-sizes from the worker count). Purely a wall-clock knob;
+/// results are identical for every value (see exec/engine.h).
+int campaign_cohorts();
 
 }  // namespace curtain::util

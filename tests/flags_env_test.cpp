@@ -114,8 +114,12 @@ TEST(CampaignKnobs, ScaleClampsToUnitInterval) {
 
 TEST(CampaignKnobs, ShardsClampTo1Through64) {
   {
+    // 0 means "one worker per hardware thread" — the result depends on
+    // the host, but must always land inside the clamp band.
     ScopedEnv set("CURTAIN_SHARDS", "0");
-    EXPECT_EQ(util::campaign_shards(), 1);
+    const int workers = util::campaign_shards();
+    EXPECT_GE(workers, 1);
+    EXPECT_LE(workers, 64);
   }
   {
     ScopedEnv set("CURTAIN_SHARDS", "9999");
@@ -131,6 +135,33 @@ TEST(CampaignKnobs, ShardsClampTo1Through64) {
   }
 }
 
+TEST(CampaignKnobs, CohortsClampTo0Through64) {
+  {
+    ScopedEnv clear("CURTAIN_COHORTS", nullptr);
+    EXPECT_EQ(util::campaign_cohorts(), 0);  // 0 = auto-size
+  }
+  {
+    ScopedEnv set("CURTAIN_COHORTS", "0");
+    EXPECT_EQ(util::campaign_cohorts(), 0);
+  }
+  {
+    ScopedEnv set("CURTAIN_COHORTS", "9999");
+    EXPECT_EQ(util::campaign_cohorts(), 64);
+  }
+  {
+    ScopedEnv set("CURTAIN_COHORTS", "garbage");
+    EXPECT_EQ(util::campaign_cohorts(), 0);
+  }
+  {
+    ScopedEnv set("CURTAIN_COHORTS", "-3");
+    EXPECT_EQ(util::campaign_cohorts(), 0);  // negative u64 parse fails
+  }
+  {
+    ScopedEnv set("CURTAIN_COHORTS", "7");
+    EXPECT_EQ(util::campaign_cohorts(), 7);
+  }
+}
+
 TEST(CampaignKnobs, SeedDefaultIsTheImc14Date) {
   ScopedEnv clear("CURTAIN_SEED", nullptr);
   EXPECT_EQ(util::study_seed(), 20141105u);
@@ -142,11 +173,13 @@ TEST(ScenarioFromEnv, ReadsAllKnobs) {
   ScopedEnv seed("CURTAIN_SEED", "42");
   ScopedEnv scale("CURTAIN_SCALE", "0.5");
   ScopedEnv shards("CURTAIN_SHARDS", "2");
+  ScopedEnv cohorts("CURTAIN_COHORTS", "5");
   ScopedEnv metrics("CURTAIN_METRICS_OUT", "/tmp/m.json");
   const auto scenario = core::Scenario::from_env();
   EXPECT_EQ(scenario.seed, 42u);
   EXPECT_EQ(scenario.scale, 0.5);
   EXPECT_EQ(scenario.shards, 2);
+  EXPECT_EQ(scenario.cohorts, 5);
   EXPECT_EQ(scenario.metrics_out, "/tmp/m.json");
 }
 
@@ -154,11 +187,13 @@ TEST(ScenarioFromEnv, HostileValuesYieldSafeDefaults) {
   ScopedEnv seed("CURTAIN_SEED", "twenty");
   ScopedEnv scale("CURTAIN_SCALE", "");
   ScopedEnv shards("CURTAIN_SHARDS", "-8");
+  ScopedEnv cohorts("CURTAIN_COHORTS", "many");
   ScopedEnv metrics("CURTAIN_METRICS_OUT", nullptr);
   const auto scenario = core::Scenario::from_env();
   EXPECT_EQ(scenario.seed, 20141105u);
   EXPECT_EQ(scenario.scale, 0.05);
   EXPECT_EQ(scenario.shards, 1);
+  EXPECT_EQ(scenario.cohorts, 0);
   EXPECT_TRUE(scenario.metrics_out.empty());
   // A from_env scenario must always satisfy campaign_config()'s contracts.
   const auto config = scenario.campaign_config();
@@ -170,11 +205,14 @@ TEST(ScenarioFromEnv, OutOfRangeShardsAreClamped) {
   EXPECT_EQ(core::Scenario::from_env().shards, 64);
 }
 
-TEST(ScenarioSetters, WithScaleAndShardsClampLikeEnv) {
+TEST(ScenarioSetters, WithScaleShardsAndCohortsClampLikeEnv) {
   core::Scenario scenario;
   EXPECT_EQ(scenario.with_scale(-2.0).scale, 0.05);
   EXPECT_EQ(scenario.with_scale(9.0).scale, 1.0);
   EXPECT_EQ(scenario.with_shards(0).shards, 1);
+  EXPECT_EQ(scenario.with_cohorts(-1).cohorts, 0);
+  EXPECT_EQ(scenario.with_cohorts(999).cohorts, 64);
+  EXPECT_EQ(scenario.with_cohorts(7).cohorts, 7);
 }
 
 }  // namespace

@@ -57,7 +57,11 @@ TEST_F(ObsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
   EXPECT_EQ(h.bucket(2), 2u);
   EXPECT_EQ(h.bucket(3), 2u);
   EXPECT_EQ(h.count(), 8u);
-  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 5.0 + 9.0 + 10.0 + 11.0 + 1e9);
+  // The sum accumulates in fixed point (Histogram::kSumScale units) so
+  // that merging per-shard sheaves is associative; each observation is
+  // quantized to the nearest 1/kSumScale.
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 5.0 + 9.0 + 10.0 + 11.0 + 1e9,
+              8.0 * 0.5 / Histogram::kSumScale);
 }
 
 TEST_F(ObsTest, StockBucketLayoutsAreSortedAndUnique) {

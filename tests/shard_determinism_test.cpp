@@ -1,9 +1,13 @@
-// The engine's headline contract (DESIGN.md §10): the merged dataset is a
-// pure function of the Scenario — Scenario::shards only changes how many
-// worker threads execute the per-carrier shards, never what they produce.
-// We check that by byte-comparing every CSV export surface between a
-// serial (shards=1) and a maximally parallel (shards=4) run of the same
-// Scenario, and that parallel runs are reproducible against themselves.
+// The engine's headline contract (DESIGN.md §13): the merged dataset and
+// metrics are a pure function of the Scenario — Scenario::shards (worker
+// threads) and Scenario::cohorts (device cohorts per carrier) are purely
+// wall-clock levers, never result-visible. We check that by
+// byte-comparing every CSV export surface *and* the full Prometheus
+// metrics rendering between a serial reference (cohorts=1, workers=1) and
+// every combination of cohorts {1,3,7} × workers {1,4} of the same
+// Scenario. Cohort count 7 divides none of the six study fleets evenly
+// (33, 9, 31, 64, 17, 4 devices) and exceeds the 4-device fleet, so
+// uneven slices and empty shards are both exercised.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -12,34 +16,44 @@
 
 #include "analysis/export.h"
 #include "core/study.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace curtain {
 namespace {
 
-core::Scenario scenario(int shards) {
+core::Scenario scenario(int cohorts, int workers) {
   // ~0.6 days: a few hundred experiments across all six carriers, enough
   // for every record stream (probes, traceroutes, vantage) to be non-empty.
   return core::Scenario::paper_2014()
       .with_seed(8675309)
       .with_scale(0.004)
-      .with_shards(shards);
+      .with_cohorts(cohorts)
+      .with_shards(workers);
 }
 
 struct Exported {
   size_t devices = 0;
+  size_t shards = 0;
   std::string totals;  // summary() minus the wall-clock report suffix
+  std::string metrics;  // Prometheus text of the merged global registry
   std::vector<std::string> csv;
 };
 
 Exported run_and_export(const core::Scenario& config) {
+  // Each run merges its shard sheaves into the global registry; zero it
+  // first so the metrics comparison sees exactly one campaign.
+  obs::metrics().reset_for_tests();
   core::Study study(config);
   study.run();
 
   Exported out;
   out.devices = study.device_count();
+  out.shards = study.shard_count();
   const std::string summary = study.summary();
   const std::string suffix = study.report().summary_suffix();
   out.totals = summary.substr(0, summary.size() - suffix.size());
+  out.metrics = obs::to_prometheus_text(obs::metrics().snapshot());
 
   using Writer = void (*)(const measure::Dataset&, std::ostream&);
   static constexpr Writer kWriters[] = {
@@ -61,6 +75,7 @@ Exported run_and_export(const core::Scenario& config) {
 void expect_identical(const Exported& a, const Exported& b) {
   EXPECT_EQ(a.devices, b.devices);
   EXPECT_EQ(a.totals, b.totals);
+  EXPECT_EQ(a.metrics, b.metrics) << "merged metrics diverged";
   ASSERT_EQ(a.csv.size(), b.csv.size());
   static constexpr const char* kSurfaces[] = {
       "experiments", "resolutions",           "probes",
@@ -72,27 +87,50 @@ void expect_identical(const Exported& a, const Exported& b) {
   }
 }
 
-TEST(ShardDeterminism, SerialAndParallelAreByteIdentical) {
-  const Exported serial = run_and_export(scenario(1));
-  const Exported parallel = run_and_export(scenario(4));
+TEST(ShardDeterminism, CohortAndWorkerCountsAreByteInvisible) {
+  const Exported reference = run_and_export(scenario(1, 1));
   // A degenerate campaign would make byte-equality vacuous.
-  EXPECT_GT(serial.devices, 100u);
-  EXPECT_GT(serial.csv[0].size(), 1000u);
-  expect_identical(serial, parallel);
+  EXPECT_GT(reference.devices, 100u);
+  EXPECT_GT(reference.csv[0].size(), 1000u);
+  EXPECT_EQ(reference.shards, 6u);  // six carriers × one cohort
+  EXPECT_NE(reference.metrics.find("curtain_fleet_devices 158"),
+            std::string::npos)
+      << reference.metrics;
+
+  for (const int cohorts : {1, 3, 7}) {
+    for (const int workers : {1, 4}) {
+      if (cohorts == 1 && workers == 1) continue;
+      const Exported run = run_and_export(scenario(cohorts, workers));
+      EXPECT_EQ(run.shards, 6u * static_cast<size_t>(cohorts));
+      SCOPED_TRACE("cohorts=" + std::to_string(cohorts) +
+                   " workers=" + std::to_string(workers));
+      expect_identical(reference, run);
+    }
+  }
 }
 
 TEST(ShardDeterminism, ParallelRunsAreReproducible) {
-  const Exported first = run_and_export(scenario(4));
-  const Exported second = run_and_export(scenario(4));
+  const Exported first = run_and_export(scenario(3, 4));
+  const Exported second = run_and_export(scenario(3, 4));
   expect_identical(first, second);
 }
 
-TEST(ShardDeterminism, WorkerCapBeyondCarrierCountIsHarmless) {
-  // shards caps concurrency; more workers than carriers must not change
-  // the dataset either.
-  const Exported wide = run_and_export(scenario(16));
-  const Exported serial = run_and_export(scenario(1));
-  expect_identical(wide, serial);
+TEST(ShardDeterminism, AutoCohortsMatchTheSerialReference) {
+  // cohorts=0 lets the engine size the partition from the worker count;
+  // whatever it picks must still be invisible in the exports.
+  const Exported reference = run_and_export(scenario(1, 1));
+  const Exported auto_sized = run_and_export(scenario(0, 4));
+  expect_identical(reference, auto_sized);
+}
+
+// High cohort × worker counts (96 shards on 16 threads, with empty shards
+// for the 4-device carrier): the scripts/check.sh TSAN leg runs this
+// suite to shake out data races in the laned-state partitioning.
+TEST(ShardDeterminism, StressManyCohortsManyWorkers) {
+  const Exported reference = run_and_export(scenario(1, 1));
+  const Exported stressed = run_and_export(scenario(16, 16));
+  EXPECT_EQ(stressed.shards, 96u);
+  expect_identical(reference, stressed);
 }
 
 }  // namespace
