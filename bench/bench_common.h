@@ -15,6 +15,7 @@
 #include "analysis/figures.h"
 #include "core/study.h"
 #include "net/rng.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -37,8 +38,8 @@ inline std::chrono::steady_clock::time_point& bench_start() {  // lint: wallcloc
 }
 
 /// Emits the bench's one-line machine-readable run record to stdout:
-/// name, wall-clock, and the headline obs counters. Greppable as
-/// `"bench_record"` from a loop over `build/bench/*`.
+/// name, wall-clock, peak RSS, and the headline obs counters. Greppable
+/// as `"bench_record"` from a loop over `build/bench/*`.
 inline void emit_json_record(const std::string& name) {
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
@@ -52,6 +53,12 @@ inline void emit_json_record(const std::string& name) {
   std::string out = "{\"bench_record\":\"" + name + "\"";
   char buf[64];
   std::snprintf(buf, sizeof(buf), ",\"wall_ms\":%.1f", wall_ms);
+  out += buf;
+  // Peak RSS belongs in the perf evidence alongside wall-clock: a change
+  // that trades memory for speed must show up in the same record.
+  std::snprintf(buf, sizeof(buf), ",\"peak_rss_mb\":%.1f",
+                static_cast<double>(obs::read_peak_rss_bytes()) /
+                    (1024.0 * 1024.0));
   out += buf;
   for (const char* key : kKeyCounters) {
     std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-command CI matrix for the curtain tree.
 #
-#   scripts/check.sh          # full matrix (plain, asan+ubsan, tsan, lint)
+#   scripts/check.sh          # full matrix (plain, asan+ubsan, tsan, lint,
+#                             # bench-smoke, profile-smoke)
 #   scripts/check.sh plain    # just one leg: plain | sanitize | tsan | lint
+#                             #   | bench-smoke | profile-smoke
 #
 # Legs:
 #   plain     default build (all warnings + -Werror) and the full ctest
@@ -22,6 +24,11 @@
 #             fails unless every binary emits a well-formed one-line
 #             bench_record JSON — catches bit-rot in the perf evidence
 #             pipeline (scripts/bench_baseline.sh) without a full bench run.
+#   profile-smoke
+#             runs a small campaign with CURTAIN_PROFILE_OUT set and fails
+#             unless the chrome trace parses as JSON and every worker lane
+#             carries at least one shard span — catches bit-rot in the
+#             flight-recorder pipeline (obs/flight_recorder.h).
 #
 # Every leg uses its own build directory, so re-runs are incremental.
 set -euo pipefail
@@ -81,7 +88,7 @@ bench_smoke_leg() {
       exit 1
     fi
     if ! grep '^{"bench_record":"' <<<"$out" |
-        grep -q '"wall_ms":[0-9.]*,"curtain_'; then
+        grep -q '"wall_ms":[0-9.]*,"peak_rss_mb":[0-9.]*,"curtain_'; then
       echo "bench-smoke: $bench bench_record JSON is malformed:" >&2
       grep '^{"bench_record":"' <<<"$out" >&2 || true
       exit 1
@@ -90,23 +97,55 @@ bench_smoke_leg() {
   done
 }
 
+profile_smoke_leg() {
+  run_leg "profile smoke (flight recorder -> chrome trace)"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target table1_clients
+  local trace
+  trace="$(mktemp -t curtain_trace.XXXXXX.json)"
+  CURTAIN_SCALE=0.02 CURTAIN_SHARDS=2 CURTAIN_PROFILE_OUT="$trace" \
+    ./build/bench/table1_clients >/dev/null
+  # The trace must parse and show >=1 shard span on every worker lane —
+  # a recorder that silently drops a lane would still produce valid JSON.
+  python3 - "$trace" <<'PYEOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+workers = trace["otherData"]["workers"]
+spans_by_lane = {}
+for e in events:
+    if e["ph"] == "X" and e.get("tid", 0) > 0:
+        spans_by_lane.setdefault(e["tid"], 0)
+        spans_by_lane[e["tid"]] += 1
+missing = [lane for lane in range(1, workers + 1) if lane not in spans_by_lane]
+if missing:
+    sys.exit(f"profile-smoke: worker lanes {missing} have no shard spans "
+             f"(lanes seen: {sorted(spans_by_lane)})")
+print(f"profile-smoke: ok ({sum(spans_by_lane.values())} spans across "
+      f"{len(spans_by_lane)} worker lanes)")
+PYEOF
+  rm -f "$trace"
+}
+
 case "$LEG" in
   plain)    plain_leg ;;
   sanitize) sanitize_leg ;;
   tsan)     tsan_leg ;;
   lint)     lint_leg ;;
   bench-smoke) bench_smoke_leg ;;
+  profile-smoke) profile_smoke_leg ;;
   all)
     plain_leg
     sanitize_leg
     tsan_leg
     lint_leg
     bench_smoke_leg
+    profile_smoke_leg
     echo
     echo "=== check.sh: all legs green ==="
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|sanitize|tsan|lint|bench-smoke|all]" >&2
+    echo "usage: scripts/check.sh [plain|sanitize|tsan|lint|bench-smoke|profile-smoke|all]" >&2
     exit 2
     ;;
 esac

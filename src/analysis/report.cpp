@@ -60,7 +60,11 @@ void write_report(const Dataset& dataset, const ReportConfig& config,
          "threads (0 = one per hardware thread) and `CURTAIN_COHORTS=<c>` "
          "to split each carrier's fleet into c device cohorts (0 = auto); "
          "the dataset and every number below are byte-identical "
-         "regardless (DESIGN.md §13).\n";
+         "regardless (DESIGN.md §13).\n"
+      << "- set `CURTAIN_PROFILE_OUT=<path>` to record an execution "
+         "profile of the run (per-worker shard timeline, queue waits, "
+         "memory) as a chrome://tracing trace — also byte-invisible in "
+         "the exports (DESIGN.md §14).\n";
 
   // --- Table 1 ---------------------------------------------------------
   section(out, "Table 1 — measurement clients per carrier");

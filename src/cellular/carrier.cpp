@@ -81,6 +81,24 @@ dns::Cache& ClientFacingResolver::cache_for(net::NodeId instance) {
   return (*caches)[instance];  // default-constructed on first use
 }
 
+obs::LaneMemory ClientFacingResolver::approx_lane_bytes() const {
+  obs::LaneMemory memory;
+  memory.state_bytes += lane_caches_.capacity() * sizeof(lane_caches_[0]);
+  constexpr size_t kMapNodeOverhead = 2 * sizeof(void*);
+  for (const auto& caches : lane_caches_) {
+    if (!caches) continue;
+    memory.state_bytes +=
+        sizeof(InstanceCaches) +
+        caches->size() *
+            (sizeof(net::NodeId) + sizeof(dns::Cache) + kMapNodeOverhead);
+    // Commutative integer sum: hash order cannot leak into the result.
+    for (const auto& [node, cache] : *caches) {  // lint: order-insensitive
+      memory.cache_bytes += cache.approx_bytes();
+    }
+  }
+  return memory;
+}
+
 dns::ServedResponse ClientFacingResolver::handle_query(
     std::span<const uint8_t> query_wire, net::Ipv4Addr source_ip,
     net::SimTime now, net::Rng& rng) {
@@ -173,6 +191,20 @@ CellularNetwork::CellularNetwork(CarrierProfile profile, uint32_t owner_tag,
 }
 
 CellularNetwork::~CellularNetwork() = default;
+
+obs::LaneMemory CellularNetwork::approx_lane_state_bytes() const {
+  obs::LaneMemory memory;
+  for (const auto& resolver : client_resolvers_) {
+    memory += resolver->approx_lane_bytes();
+  }
+  for (const auto& resolver : external_resolvers_) {
+    memory += resolver->approx_lane_bytes();
+  }
+  for (const Gateway& gateway : gateways_) {
+    memory.state_bytes += gateway.nat_cursors.capacity() * sizeof(uint64_t);
+  }
+  return memory;
+}
 
 void CellularNetwork::build_regions(const CarrierBuildContext& /*context*/) {
   const auto& metros =

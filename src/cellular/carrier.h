@@ -20,6 +20,7 @@
 #include "net/ip_allocator.h"
 #include "net/ipv4.h"
 #include "net/topology.h"
+#include "obs/memory.h"
 
 namespace curtain::cellular {
 
@@ -53,6 +54,10 @@ class ClientFacingResolver : public dns::DnsServer {
   net::NodeId node_for(net::Ipv4Addr source, net::SimTime now) const override;
 
   int index() const { return index_; }
+
+  /// Approximate heap bytes of the laned per-instance caches. A
+  /// profiling gauge — see obs/memory.h.
+  obs::LaneMemory approx_lane_bytes() const;
 
  private:
   using InstanceCaches = std::unordered_map<net::NodeId, dns::Cache>;
@@ -144,6 +149,12 @@ class CellularNetwork {
   external_resolvers() const {
     return external_resolvers_;
   }
+
+  /// Approximate heap bytes of the carrier's laned mutable state: DNS
+  /// caches (client-facing instance caches + external resolver lanes)
+  /// vs the rest (NAT cursors, lane containers). A profiling gauge —
+  /// see obs/memory.h.
+  obs::LaneMemory approx_lane_state_bytes() const;
 
  private:
   struct Gateway {

@@ -16,6 +16,7 @@ Scenario Scenario::from_env() {
   scenario.shards = util::campaign_shards();
   scenario.cohorts = util::campaign_cohorts();
   scenario.metrics_out = util::env_string("CURTAIN_METRICS_OUT", "");
+  scenario.profile_out = util::profile_out();
   return scenario;
 }
 
@@ -43,6 +44,11 @@ Scenario& Scenario::with_cohorts(int value) {
 
 Scenario& Scenario::with_metrics_out(std::string path) {
   metrics_out = std::move(path);
+  return *this;
+}
+
+Scenario& Scenario::with_profile_out(std::string path) {
+  profile_out = std::move(path);
   return *this;
 }
 

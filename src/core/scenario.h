@@ -45,6 +45,11 @@ struct Scenario {
   /// When non-empty, Study::run() writes the metrics registry there on
   /// completion (".prom" suffix: Prometheus text; anything else: JSON).
   std::string metrics_out;
+  /// When non-empty, Study::run() arms the flight recorder and writes a
+  /// chrome://tracing trace_event JSON file there on completion
+  /// (CURTAIN_PROFILE_OUT; obs/flight_recorder.h). Profiling never
+  /// perturbs results: exports are byte-identical either way.
+  std::string profile_out;
 
   // --- world shape ------------------------------------------------------
   int google_sites = 30;  ///< paper §6.1: 30 distributed /24s
@@ -65,8 +70,8 @@ struct Scenario {
   static Scenario paper_2014();
 
   /// Reads CURTAIN_SEED / CURTAIN_SCALE / CURTAIN_SHARDS /
-  /// CURTAIN_COHORTS / CURTAIN_METRICS_OUT from the environment and
-  /// applies CURTAIN_LOG to the logger.
+  /// CURTAIN_COHORTS / CURTAIN_METRICS_OUT / CURTAIN_PROFILE_OUT from
+  /// the environment and applies CURTAIN_LOG to the logger.
   static Scenario from_env();
 
   // --- chainable setters ------------------------------------------------
@@ -75,6 +80,7 @@ struct Scenario {
   Scenario& with_shards(int value);
   Scenario& with_cohorts(int value);
   Scenario& with_metrics_out(std::string path);
+  Scenario& with_profile_out(std::string path);
   Scenario& with_google_ecs(bool enabled);
   Scenario& with_cdn_answer_ttl(uint32_t ttl_s);
   Scenario& with_carriers(std::vector<cellular::CarrierProfile> profiles);

@@ -58,6 +58,8 @@ class Study {
   measure::Dataset dataset_;
   obs::RunReport report_;
   bool ran_ = false;
+  /// True when this study armed the flight recorder (profile_out set).
+  bool armed_recorder_ = false;
 };
 
 }  // namespace curtain::core

@@ -61,6 +61,16 @@ World::World(Scenario config)
 
 World::~World() = default;
 
+obs::LaneMemory World::approx_lane_state_bytes() const {
+  obs::LaneMemory memory;
+  for (const auto& carrier : carriers_) {
+    memory += carrier->approx_lane_state_bytes();
+  }
+  if (google_) memory += google_->approx_lane_bytes();
+  if (opendns_) memory += opendns_->approx_lane_bytes();
+  return memory;
+}
+
 void World::build_backbone() {
   const auto& metros = net::world_metros();
   backbone_nodes_.reserve(metros.size());

@@ -71,6 +71,11 @@ class World {
 
   const Scenario& config() const { return config_; }
 
+  /// Approximate heap bytes of all laned (per-device) mutable state:
+  /// carrier NAT cursors and resolver caches plus public-DNS instance
+  /// lanes. A profiling gauge for the flight recorder — see obs/memory.h.
+  obs::LaneMemory approx_lane_state_bytes() const;
+
  private:
   void build_backbone();
   void build_vantage();

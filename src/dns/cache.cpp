@@ -127,6 +127,23 @@ void Cache::clear() {
   expiry_.clear();
 }
 
+size_t Cache::approx_bytes() const {
+  // Hash-map node ≈ key + entry + bucket/next pointers; the multimap node
+  // carries the usual rb-tree overhead. Commutative integer sum, so the
+  // hash iteration order cannot leak into the result.
+  constexpr size_t kMapNodeOverhead = 2 * sizeof(void*);
+  constexpr size_t kTreeNodeOverhead = 4 * sizeof(void*);
+  size_t bytes =
+      entries_.size() *
+          (sizeof(Key) + sizeof(Entry) + kMapNodeOverhead) +
+      expiry_.size() *
+          (sizeof(net::SimTime) + sizeof(const Key*) + kTreeNodeOverhead);
+  for (const auto& [key, entry] : entries_) {  // lint: order-insensitive
+    bytes += entry.data.records.capacity() * sizeof(ResourceRecord);
+  }
+  return bytes;
+}
+
 void Cache::set_ttl_bounds(uint32_t min_ttl_s, uint32_t max_ttl_s) {
   min_ttl_s_ = min_ttl_s;
   max_ttl_s_ = std::max(min_ttl_s, max_ttl_s);

@@ -115,6 +115,11 @@ class Cache {
   size_t size() const { return entries_.size(); }
   const CacheStats& stats() const { return stats_; }
 
+  /// Approximate heap bytes held by the entry map, the expiry index and
+  /// the cached rrsets. A profiling gauge (obs/memory.h) — counts node
+  /// and record-vector capacities, not exact allocator accounting.
+  size_t approx_bytes() const;
+
   /// TTL clamps; exposed so tests can exercise the bounds.
   void set_ttl_bounds(uint32_t min_ttl_s, uint32_t max_ttl_s);
 

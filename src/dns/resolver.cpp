@@ -70,6 +70,17 @@ void RecursiveResolver::set_state_lanes(size_t lanes) {
   lanes_.resize(lanes == 0 ? 1 : lanes);
 }
 
+obs::LaneMemory RecursiveResolver::approx_lane_bytes() const {
+  obs::LaneMemory memory;
+  memory.state_bytes += lanes_.capacity() * sizeof(lanes_[0]);
+  for (const auto& lane : lanes_) {
+    if (!lane) continue;
+    memory.state_bytes += sizeof(LaneState);
+    memory.cache_bytes += lane->cache.approx_bytes();
+  }
+  return memory;
+}
+
 RecursiveResolver::LaneState& RecursiveResolver::lane_state() const {
   const auto lane = static_cast<size_t>(net::current_state_lane());
   auto& slot = lanes_[lane < lanes_.size() ? lane : 0];

@@ -17,6 +17,7 @@
 #include "dns/message.h"
 #include "dns/server.h"
 #include "net/shard_slot.h"
+#include "obs/memory.h"
 
 namespace curtain::dns {
 
@@ -109,6 +110,10 @@ class RecursiveResolver : public DnsServer {
     warm_eligible_ = std::move(eligible);
   }
   double background_interarrival_s() const { return bg_interarrival_s_; }
+
+  /// Approximate heap bytes of the laned query-time state (allocated
+  /// lanes, their caches). A profiling gauge — see obs/memory.h.
+  obs::LaneMemory approx_lane_bytes() const;
 
  private:
   /// One step: resolve `qname` to either a terminal rrset or a CNAME.

@@ -8,6 +8,8 @@
 
 #include "cellular/fleet.h"
 #include "net/shard_slot.h"
+#include "obs/flight_recorder.h"
+#include "obs/memory.h"
 #include "util/contract.h"
 
 namespace curtain::exec {
@@ -159,14 +161,34 @@ void CampaignEngine::run(measure::Dataset& dataset) {
   const size_t pool = std::min(static_cast<size_t>(config_.workers),
                                shards_.size() == 0 ? size_t{1}
                                                    : shards_.size());
+
+  // Flight-recorder hooks. One enabled() test (a relaxed load) when off;
+  // everything below the `profiling` branches is per *shard*, so the
+  // unprofiled campaign pays a few branches per shard, not per event.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  const bool profiling = recorder.enabled();
+  if (profiling) {
+    std::vector<obs::FlightRecorder::ShardMeta> meta;
+    meta.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      meta.push_back(obs::FlightRecorder::ShardMeta{
+          shard->label(), shard->carrier_index(), shard->cohort_index(),
+          shard->device_count()});
+    }
+    recorder.begin_run(pool, std::move(meta));
+  }
+  const int64_t queue_open_us = profiling ? recorder.now_us() : 0;
+
   std::atomic<size_t> next{0};
-  auto work = [this, &next] {
+  auto work = [this, &next, &recorder, profiling,
+               queue_open_us](uint16_t worker_lane) {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= shards_.size()) return;
       Shard& shard = *shards_[i];
       // Wall-clock per-shard busy time, for shard_stats() reporting and
       // the bench scheduling model only — never result-visible.
+      const int64_t pickup_us = profiling ? recorder.now_us() : 0;
       const auto started = std::chrono::steady_clock::now();  // lint: wallclock
       {
         net::ShardSlotGuard slot(shard.shard_index() + 1);
@@ -177,20 +199,49 @@ void CampaignEngine::run(measure::Dataset& dataset) {
           std::chrono::steady_clock::now() - started;  // lint: wallclock
       stats_[i].busy_ms =
           std::chrono::duration<double, std::milli>(elapsed).count();
+      if (profiling) {
+        // Queue depth after this pickup: shards nobody has pulled yet
+        // (approximate under concurrent pulls; monotone per worker).
+        const size_t pulled =
+            std::min(next.load(std::memory_order_relaxed), shards_.size());
+        recorder.record_shard(
+            worker_lane, static_cast<int32_t>(i), pickup_us,
+            recorder.now_us(), pickup_us - queue_open_us,
+            static_cast<double>(shards_.size() - pulled),
+            obs::read_current_rss_bytes(), shard.approx_dataset_bytes());
+        stats_[i].queue_wait_ms =
+            static_cast<double>(pickup_us - queue_open_us) / 1000.0;
+        stats_[i].worker = worker_lane;
+      }
     }
   };
   std::vector<std::thread> threads;
   threads.reserve(pool);
-  for (size_t w = 0; w < pool; ++w) threads.emplace_back(work);
+  for (size_t w = 0; w < pool; ++w) {
+    threads.emplace_back(work, static_cast<uint16_t>(w + 1));
+  }
   for (auto& thread : threads) thread.join();
 
   // Deterministic merge: shard-index order — (carrier, cohort) order,
   // i.e. global device-enrollment order — independent of which worker
   // finished when. This is what makes every (cohorts, workers) setting
   // export byte-identical results.
+  const int64_t merge_data_start_us = profiling ? recorder.now_us() : 0;
   for (auto& shard : shards_) append_shard(dataset, shard->dataset());
+  if (profiling) {
+    recorder.record_phase(0, "merge_datasets", merge_data_start_us,
+                          recorder.now_us());
+  }
+  const int64_t merge_metrics_start_us = profiling ? recorder.now_us() : 0;
   for (auto& shard : shards_) {
     obs::metrics().merge_snapshot(shard->sheaf().snapshot());
+  }
+  if (profiling) {
+    recorder.record_phase(0, "merge_metrics", merge_metrics_start_us,
+                          recorder.now_us());
+    recorder.record_counter(0, "rss_mb", recorder.now_us(),
+                            static_cast<double>(obs::read_current_rss_bytes()) /
+                                (1024.0 * 1024.0));
   }
 }
 

@@ -52,15 +52,20 @@ struct EngineConfig {
   measure::ExperimentConfig experiment;
 };
 
-/// Per-shard execution record, in shard (merge) order. busy_ms is real
-/// wall-clock time and exists only for reporting and bench scheduling
-/// models — nothing result-visible may read it.
+/// Per-shard execution record, in shard (merge) order. busy_ms,
+/// queue_wait_ms and worker are real wall-clock/scheduling facts and
+/// exist only for reporting and bench scheduling models — nothing
+/// result-visible may read them.
 struct ShardStat {
   std::string label;  ///< "<carrier>/cohort<k>"
   int carrier_index = 0;
   int cohort_index = 0;
   size_t devices = 0;
   double busy_ms = 0.0;
+  /// Queue-open → pickup wait; 0 unless the flight recorder was armed.
+  double queue_wait_ms = 0.0;
+  /// Worker lane (1-based) that ran the shard; 0 unless profiled.
+  int worker = 0;
 };
 
 class CampaignEngine {

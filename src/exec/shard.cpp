@@ -39,6 +39,8 @@ Shard::Shard(int shard_index, int carrier_index, int cohort_index,
   sheaf_.set_label(label_);
 }
 
+size_t Shard::approx_dataset_bytes() const { return dataset_.approx_bytes(); }
+
 void Shard::run() {
   shard_metrics().devices.set(static_cast<double>(devices_.size()));
   const net::SimTime horizon = net::SimTime::from_days(campaign_.duration_days);

@@ -66,6 +66,11 @@ class Shard {
   measure::Dataset& dataset() { return dataset_; }
   obs::MetricsRegistry& sheaf() { return sheaf_; }
 
+  /// Approximate heap bytes of the shard's private dataset — what this
+  /// shard contributed to the run's memory high-water mark. A profiling
+  /// gauge for the flight recorder (obs/memory.h).
+  size_t approx_dataset_bytes() const;
+
   /// Runs the shard's whole campaign into its private dataset. Must run
   /// with the shard slot (net::ShardSlotGuard) and the sheaf
   /// (obs::ScopedMetricsSheaf) bound; binds each device's state lane

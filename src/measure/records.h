@@ -120,6 +120,33 @@ struct Dataset {
   /// Totals the paper reports in §3.1 (for sanity reporting).
   size_t total_resolutions() const { return resolutions.size(); }
   size_t total_probes() const { return probes.size() + traceroutes.size(); }
+
+  /// Approximate heap footprint of the record vectors, counting
+  /// *capacities* (what RSS sees) plus the dynamic payloads inside
+  /// records. A profiling gauge (obs/memory.h) — megabyte-accurate, not
+  /// byte-exact: small-string buffers double-count and allocator
+  /// headers are uncounted.
+  size_t approx_bytes() const {
+    size_t bytes =
+        experiments.capacity() * sizeof(ExperimentContext) +
+        resolutions.capacity() * sizeof(DnsMeasurement) +
+        probes.capacity() * sizeof(ProbeMeasurement) +
+        traceroutes.capacity() * sizeof(TracerouteMeasurement) +
+        resolver_observations.capacity() * sizeof(ResolverObservation) +
+        vantage_probes.capacity() * sizeof(VantageProbe) +
+        resolution_traces.capacity() * sizeof(obs::ResolutionTrace);
+    for (const auto& r : resolutions) {
+      bytes += r.addresses.capacity() * sizeof(net::Ipv4Addr);
+    }
+    for (const auto& t : traceroutes) {
+      bytes += t.hop_names.capacity() * sizeof(std::string);
+      for (const auto& hop : t.hop_names) bytes += hop.capacity();
+    }
+    for (const auto& t : resolution_traces) {
+      bytes += t.spans.capacity() * sizeof(obs::TraceSpan);
+    }
+    return bytes;
+  }
 };
 
 }  // namespace curtain::measure

@@ -178,6 +178,16 @@ class EventQueue {
   size_t size() const { return events_.size(); }
   SimTime next_time() const;
 
+  /// Approximate heap bytes held by the event heap, the handler slab and
+  /// the free list — capacities, since capacity is what RSS sees. A
+  /// profiling gauge (obs/memory.h); excludes handlers' own heap
+  /// fallbacks (closures above EventFn::kInlineSize).
+  size_t approx_slab_bytes() const {
+    return events_.capacity() * sizeof(Event) +
+           handlers_.capacity() * sizeof(Handler) +
+           free_slots_.capacity() * sizeof(uint32_t);
+  }
+
   /// Pops and runs the earliest event, advancing `clock` to its time.
   /// Returns false if the queue was empty.
   bool run_next(SimClock& clock);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 namespace curtain::obs {
 namespace {
@@ -33,11 +34,40 @@ std::string json_escape(const std::string& s) {
 
 void append_help_type(std::string& out, const std::string& name,
                       const std::string& help, const char* type) {
-  if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+  if (!help.empty()) {
+    out += "# HELP " + name + " " + prometheus_escape_help(help) + "\n";
+  }
   out += "# TYPE " + name + " " + std::string(type) + "\n";
 }
 
 }  // namespace
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
   std::string out;
@@ -54,7 +84,8 @@ std::string to_prometheus_text(const MetricsSnapshot& snapshot) {
     uint64_t cumulative = 0;
     for (size_t i = 0; i < row.bounds.size(); ++i) {
       cumulative += row.buckets[i];
-      out += row.name + "_bucket{le=\"" + num(row.bounds[i]) + "\"} " +
+      out += row.name + "_bucket{le=\"" +
+             prometheus_escape_label(num(row.bounds[i])) + "\"} " +
              std::to_string(cumulative) + "\n";
     }
     out += row.name + "_bucket{le=\"+Inf\"} " + std::to_string(row.count) +
@@ -118,10 +149,161 @@ std::string to_json(const MetricsSnapshot& snapshot, const RunReport* report) {
       out += "\": ";
       out += num(value);
     }
-    out += "}\n  }";
+    out += "}";
+    if (report->config.set()) {
+      out += ",\n    \"config\": {\"workers\": " +
+             std::to_string(report->config.workers) +
+             ", \"cohorts\": " + std::to_string(report->config.cohorts) +
+             ", \"shards\": " + std::to_string(report->config.shards) + "}";
+    }
+    if (report->profile.enabled) {
+      const auto& profile = report->profile;
+      out += ",\n    \"profile\": {\"queue_wait_p50_ms\": " +
+             num(profile.queue_wait_p50_ms) +
+             ", \"queue_wait_p95_ms\": " + num(profile.queue_wait_p95_ms) +
+             ", \"worker_utilization_pct\": " +
+             num(profile.worker_utilization_pct) +
+             ", \"peak_rss_mb\": " + num(profile.peak_rss_mb) +
+             ", \"median_shard_wall_ms\": " +
+             num(profile.median_shard_wall_ms) +
+             ", \"stall_factor\": " + num(profile.stall_factor) +
+             ", \"shards\": [";
+      first = true;
+      for (const auto& shard : profile.shards) {
+        out += first ? "" : ", ";
+        first = false;
+        out += "{\"label\": \"" + json_escape(shard.label) +
+               "\", \"worker\": " + std::to_string(shard.worker) +
+               ", \"wall_ms\": " + num(shard.wall_ms) +
+               ", \"queue_wait_ms\": " + num(shard.queue_wait_ms) +
+               ", \"stalled\": " + (shard.stalled ? "true" : "false") + "}";
+      }
+      out += "]}";
+    }
+    out += "\n  }";
   }
   out += "\n}\n";
   return out;
+}
+
+namespace {
+
+/// chrome://tracing reserved color names, assigned per carrier so every
+/// carrier's shard spans share a hue across worker lanes.
+const char* carrier_cname(int carrier_index) {
+  static const char* const kPalette[] = {
+      "thread_state_running", "rail_response",    "rail_animation",
+      "rail_idle",            "thread_state_iowait", "rail_load",
+      "good",                 "bad",
+  };
+  constexpr int kPaletteSize = static_cast<int>(std::size(kPalette));
+  int slot = carrier_index % kPaletteSize;
+  if (slot < 0) slot += kPaletteSize;
+  return kPalette[slot];
+}
+
+void append_trace_event(std::string& out, bool& first,
+                        const std::string& event) {
+  out += first ? "\n    " : ",\n    ";
+  first = false;
+  out += event;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const FlightRecorder::Dump& dump) {
+  std::string out = "{\n  \"traceEvents\": [";
+  bool first = true;
+
+  append_trace_event(out, first,
+                     "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+                     "\"process_name\", \"args\": {\"name\": "
+                     "\"curtain campaign\"}}");
+  append_trace_event(out, first,
+                     "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+                     "\"thread_name\", \"args\": {\"name\": "
+                     "\"coordinator\"}}");
+  for (size_t lane = 1; lane <= dump.worker_lanes; ++lane) {
+    append_trace_event(
+        out, first,
+        "{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(lane) +
+            ", \"name\": \"thread_name\", \"args\": {\"name\": \"worker " +
+            std::to_string(lane) + "\"}}");
+  }
+
+  for (const ExecRecord& record : dump.records) {
+    const auto ts = std::to_string(record.start_us);
+    const auto tid = std::to_string(record.worker);
+    switch (record.kind) {
+      case ExecRecord::Kind::kShardSpan: {
+        std::string label = "shard";
+        std::string args;
+        if (record.shard_index >= 0 &&
+            static_cast<size_t>(record.shard_index) < dump.shards.size()) {
+          const FlightRecorder::ShardMeta& meta =
+              dump.shards[static_cast<size_t>(record.shard_index)];
+          label = meta.label;
+          args = "\"carrier\": " + std::to_string(meta.carrier_index) +
+                 ", \"cohort\": " + std::to_string(meta.cohort_index) +
+                 ", \"devices\": " + std::to_string(meta.devices) + ", ";
+        }
+        const int carrier =
+            record.shard_index >= 0 &&
+                    static_cast<size_t>(record.shard_index) <
+                        dump.shards.size()
+                ? dump.shards[static_cast<size_t>(record.shard_index)]
+                      .carrier_index
+                : 0;
+        append_trace_event(
+            out, first,
+            "{\"ph\": \"X\", \"pid\": 1, \"tid\": " + tid + ", \"ts\": " +
+                ts + ", \"dur\": " +
+                std::to_string(record.end_us - record.start_us) +
+                ", \"name\": \"" + json_escape(label) + "\", \"cname\": \"" +
+                carrier_cname(carrier) + "\", \"args\": {" + args +
+                "\"shard\": " + std::to_string(record.shard_index) +
+                ", \"queue_wait_us\": " +
+                std::to_string(record.queue_wait_us) +
+                ", \"dataset_mb\": " +
+                num(static_cast<double>(record.bytes) / (1024.0 * 1024.0)) +
+                "}}");
+        break;
+      }
+      case ExecRecord::Kind::kPhaseSpan:
+        append_trace_event(
+            out, first,
+            "{\"ph\": \"X\", \"pid\": 1, \"tid\": " + tid + ", \"ts\": " +
+                ts + ", \"dur\": " +
+                std::to_string(record.end_us - record.start_us) +
+                ", \"name\": \"" + json_escape(record.name) +
+                "\", \"args\": {}}");
+        break;
+      case ExecRecord::Kind::kCounter:
+        // Counter tracks aggregate per (pid, name); pinning tid 0 keeps
+        // one RSS and one queue-depth track for the whole process.
+        append_trace_event(
+            out, first,
+            "{\"ph\": \"C\", \"pid\": 1, \"tid\": 0, \"ts\": " + ts +
+                ", \"name\": \"" + json_escape(record.name) +
+                "\", \"args\": {\"" + json_escape(record.name) +
+                "\": " + num(record.value) + "}}");
+        break;
+    }
+  }
+
+  out += "\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": "
+         "{\"workers\": " +
+         std::to_string(dump.worker_lanes) +
+         ", \"shards\": " + std::to_string(dump.shards.size()) + "}\n}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const FlightRecorder::Dump& dump) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << to_chrome_trace(dump);
+  return out.good();
 }
 
 bool write_metrics_file(const std::string& path,

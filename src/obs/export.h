@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -18,6 +19,14 @@ namespace curtain::obs {
 
 /// Prometheus text exposition of every registered metric.
 std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Escapes a Prometheus label *value*: backslash, double quote and
+/// newline become \\, \" and \n (exposition-format spec).
+std::string prometheus_escape_label(const std::string& value);
+
+/// Escapes Prometheus HELP text: backslash and newline only (quotes are
+/// legal in HELP, unlike in label values).
+std::string prometheus_escape_help(const std::string& help);
 
 /// JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}
 /// plus a "report" object when `report` is given.
@@ -29,5 +38,16 @@ std::string to_json(const MetricsSnapshot& snapshot,
 bool write_metrics_file(const std::string& path,
                         const MetricsSnapshot& snapshot,
                         const RunReport* report = nullptr);
+
+/// Renders a flight-recorder dump as chrome://tracing `trace_event` JSON
+/// (object form): one lane per worker plus the coordinator lane, "X"
+/// complete events for shard/phase spans (colored by carrier), "C"
+/// counter tracks for RSS and queue depth, and thread-name metadata.
+/// Load via chrome://tracing or https://ui.perfetto.dev.
+std::string to_chrome_trace(const FlightRecorder::Dump& dump);
+
+/// Writes to_chrome_trace() to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const FlightRecorder::Dump& dump);
 
 }  // namespace curtain::obs

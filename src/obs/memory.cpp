@@ -1,0 +1,54 @@
+#include "obs/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace curtain::obs {
+namespace {
+
+/// Reads a "Vm...:  <kB> kB" line from /proc/self/status. Returns 0 when
+/// the file or the field is absent (non-Linux hosts).
+size_t proc_status_kb(const char* field) {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    unsigned long long value = 0;
+    if (std::sscanf(line + field_len, ": %llu", &value) == 1) {
+      kb = static_cast<size_t>(value);
+    }
+    break;
+  }
+  std::fclose(status);
+  return kb;
+}
+
+}  // namespace
+
+size_t read_current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+size_t read_peak_rss_bytes() {
+  const size_t hwm = proc_status_kb("VmHWM") * 1024;
+  if (hwm != 0) return hwm;
+#if defined(__linux__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    // Linux reports ru_maxrss in kB, macOS in bytes.
+#if defined(__APPLE__)
+    return static_cast<size_t>(usage.ru_maxrss);
+#else
+    return static_cast<size_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace curtain::obs

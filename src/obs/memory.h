@@ -1,0 +1,47 @@
+// curtain::obs — process- and subsystem-level memory accounting.
+//
+// The ROADMAP's million-device campaigns rise or fall on RSS, so the
+// flight recorder (flight_recorder.h) samples two channels:
+//
+//   * process RSS read from the kernel (/proc/self/status, with a
+//     getrusage fallback for the peak) — what the container limit sees;
+//   * per-subsystem approx_bytes() accounting on the big allocators
+//     (measure::Dataset, net::EventQueue, dns::Cache, the laned fleet
+//     state) — what explains the RSS.
+//
+// The approx_bytes() methods report heap *capacities*, not sizes: RSS is
+// driven by what vectors reserved, not what they filled. They are
+// approximations (small-string buffers double-count, allocator headers
+// are uncounted) intended for megabyte-scale attribution, not byte-exact
+// audits. LaneMemory is the roll-up pair those methods aggregate into.
+//
+// Everything here is profiling-only: values are host-dependent and must
+// never feed result state or default metric exports (DESIGN.md §14).
+#pragma once
+
+#include <cstddef>
+
+namespace curtain::obs {
+
+/// Current resident set size in bytes (VmRSS); 0 when unreadable.
+size_t read_current_rss_bytes();
+
+/// Peak resident set size in bytes (VmHWM, falling back to
+/// getrusage ru_maxrss); 0 when unreadable.
+size_t read_peak_rss_bytes();
+
+/// Roll-up of laned (per-device result-visible) state: DNS cache payload
+/// vs everything else (query ids, NAT cursors, container overhead).
+struct LaneMemory {
+  size_t cache_bytes = 0;  ///< dns::Cache entries across all lanes
+  size_t state_bytes = 0;  ///< non-cache laned state + container overhead
+
+  size_t total() const { return cache_bytes + state_bytes; }
+  LaneMemory& operator+=(const LaneMemory& other) {
+    cache_bytes += other.cache_bytes;
+    state_bytes += other.state_bytes;
+    return *this;
+  }
+};
+
+}  // namespace curtain::obs

@@ -17,6 +17,14 @@ std::string format_value(double v) {
 
 }  // namespace
 
+std::vector<std::string> RunReport::Profile::stalled_labels() const {
+  std::vector<std::string> labels;
+  for (const auto& shard : shards) {
+    if (shard.stalled) labels.push_back(shard.label);
+  }
+  return labels;
+}
+
 void RunReport::add_phase(std::string name, double wall_ms) {
   phases.push_back(Phase{std::move(name), wall_ms});
 }
@@ -45,7 +53,13 @@ std::string RunReport::summary_suffix() const {
 
 std::string RunReport::render() const {
   std::string out = "run report\n";
-  char buf[128];
+  char buf[192];
+  if (config.set()) {
+    std::snprintf(buf, sizeof(buf),
+                  "  config: workers=%d cohorts=%d shards=%zu\n",
+                  config.workers, config.cohorts, config.shards);
+    out += buf;
+  }
   for (const auto& phase : phases) {
     std::snprintf(buf, sizeof(buf), "  phase %-16s %10.1f ms\n",
                   phase.name.c_str(), phase.wall_ms);
@@ -55,6 +69,21 @@ std::string RunReport::render() const {
     std::snprintf(buf, sizeof(buf), "  %-24s %s\n", name.c_str(),
                   format_value(value).c_str());
     out += buf;
+  }
+  if (profile.enabled) {
+    std::snprintf(buf, sizeof(buf),
+                  "  profile: queue_wait p50=%.2fms p95=%.2fms"
+                  " utilization=%.1f%% peak_rss=%.1fMB\n",
+                  profile.queue_wait_p50_ms, profile.queue_wait_p95_ms,
+                  profile.worker_utilization_pct, profile.peak_rss_mb);
+    out += buf;
+    for (const auto& shard : profile.shards) {
+      std::snprintf(buf, sizeof(buf),
+                    "    shard %-20s worker=%d wall=%.1fms wait=%.2fms%s\n",
+                    shard.label.c_str(), shard.worker, shard.wall_ms,
+                    shard.queue_wait_ms, shard.stalled ? "  [STALLED]" : "");
+      out += buf;
+    }
   }
   return out;
 }

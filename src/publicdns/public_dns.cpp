@@ -70,6 +70,16 @@ PublicDnsService::PublicDnsService(std::string name, net::Ipv4Addr vip,
 
 PublicDnsService::~PublicDnsService() = default;
 
+obs::LaneMemory PublicDnsService::approx_lane_bytes() const {
+  obs::LaneMemory memory;
+  for (const PublicDnsSite& site : sites_) {
+    for (const auto& instance : site.instances) {
+      memory += instance->approx_lane_bytes();
+    }
+  }
+  return memory;
+}
+
 int PublicDnsService::route_site(net::Ipv4Addr source_ip,
                                  net::SimTime now) const {
   const uint32_t slash24 = source_ip.slash24().value();

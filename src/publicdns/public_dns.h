@@ -60,6 +60,10 @@ class PublicDnsService : public dns::DnsServer {
   const std::string& service_name() const { return name_; }
   const std::vector<PublicDnsSite>& sites() const { return sites_; }
 
+  /// Approximate heap bytes of the laned state across every site's
+  /// instances. A profiling gauge — see obs/memory.h.
+  obs::LaneMemory approx_lane_bytes() const;
+
   // DnsServer:
   dns::ServedResponse handle_query(std::span<const uint8_t> query_wire,
                                    net::Ipv4Addr source_ip, net::SimTime now,

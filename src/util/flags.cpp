@@ -48,4 +48,12 @@ int campaign_cohorts() {
   return cohorts > 64 ? 64 : static_cast<int>(cohorts);
 }
 
+std::string profile_out() { return env_string("CURTAIN_PROFILE_OUT", ""); }
+
+double profile_stall_factor() {
+  const double factor = env_double("CURTAIN_PROFILE_STALL_K", 4.0);
+  if (factor < 1.5) return 1.5;
+  return factor > 100.0 ? 100.0 : factor;
+}
+
 }  // namespace curtain::util

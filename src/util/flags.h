@@ -31,4 +31,14 @@ int campaign_shards();
 /// results are identical for every value (see exec/engine.h).
 int campaign_cohorts();
 
+/// CURTAIN_PROFILE_OUT: when non-empty, Study::run() arms the flight
+/// recorder and writes a chrome://tracing trace_event JSON file here
+/// (obs/flight_recorder.h). Profiling never perturbs results.
+std::string profile_out();
+
+/// CURTAIN_PROFILE_STALL_K in [1.5, 100] (default 4): the stall
+/// watchdog flags shards slower than this multiple of the median shard
+/// wall in the run report.
+double profile_stall_factor();
+
 }  // namespace curtain::util

@@ -155,6 +155,26 @@ TEST(EventQueue, RunUntilRunsEventsScheduledDuringTheRun) {
   EXPECT_TRUE(queue.empty());
 }
 
+TEST(EventQueue, ApproxSlabBytesTracksCapacity) {
+  // The memory-accounting probe counts capacities (what RSS actually
+  // holds), so it must be zero for a fresh queue, grow with scheduling,
+  // and not shrink when events run (vectors keep their slabs).
+  SimClock clock;
+  EventQueue queue;
+  EXPECT_EQ(queue.approx_slab_bytes(), 0u);
+  queue.reserve(256);
+  const size_t reserved = queue.approx_slab_bytes();
+  EXPECT_GT(reserved, 0u);
+  for (int i = 0; i < 64; ++i) {
+    queue.schedule(SimTime::from_seconds(i), [](SimTime) {});
+  }
+  EXPECT_GE(queue.approx_slab_bytes(), reserved);
+  const size_t loaded = queue.approx_slab_bytes();
+  while (queue.run_next(clock)) {
+  }
+  EXPECT_GE(queue.approx_slab_bytes(), loaded);
+}
+
 TEST(EventQueue, ReservePreservesBehavior) {
   SimClock clock;
   EventQueue queue;

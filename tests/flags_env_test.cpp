@@ -167,6 +167,30 @@ TEST(CampaignKnobs, SeedDefaultIsTheImc14Date) {
   EXPECT_EQ(util::study_seed(), 20141105u);
 }
 
+TEST(CampaignKnobs, ProfileStallFactorClampsTo1Point5Through100) {
+  {
+    ScopedEnv clear("CURTAIN_PROFILE_STALL_K", nullptr);
+    EXPECT_EQ(util::profile_stall_factor(), 4.0);
+  }
+  {
+    // Below the floor a watchdog would flag normal scheduling jitter.
+    ScopedEnv set("CURTAIN_PROFILE_STALL_K", "0.5");
+    EXPECT_EQ(util::profile_stall_factor(), 1.5);
+  }
+  {
+    ScopedEnv set("CURTAIN_PROFILE_STALL_K", "1e9");
+    EXPECT_EQ(util::profile_stall_factor(), 100.0);
+  }
+  {
+    ScopedEnv set("CURTAIN_PROFILE_STALL_K", "garbage");
+    EXPECT_EQ(util::profile_stall_factor(), 4.0);
+  }
+  {
+    ScopedEnv set("CURTAIN_PROFILE_STALL_K", "6");
+    EXPECT_EQ(util::profile_stall_factor(), 6.0);
+  }
+}
+
 // ------------------------------------------------------ Scenario::from_env
 
 TEST(ScenarioFromEnv, ReadsAllKnobs) {
@@ -175,12 +199,14 @@ TEST(ScenarioFromEnv, ReadsAllKnobs) {
   ScopedEnv shards("CURTAIN_SHARDS", "2");
   ScopedEnv cohorts("CURTAIN_COHORTS", "5");
   ScopedEnv metrics("CURTAIN_METRICS_OUT", "/tmp/m.json");
+  ScopedEnv profile("CURTAIN_PROFILE_OUT", "/tmp/trace.json");
   const auto scenario = core::Scenario::from_env();
   EXPECT_EQ(scenario.seed, 42u);
   EXPECT_EQ(scenario.scale, 0.5);
   EXPECT_EQ(scenario.shards, 2);
   EXPECT_EQ(scenario.cohorts, 5);
   EXPECT_EQ(scenario.metrics_out, "/tmp/m.json");
+  EXPECT_EQ(scenario.profile_out, "/tmp/trace.json");
 }
 
 TEST(ScenarioFromEnv, HostileValuesYieldSafeDefaults) {
@@ -189,12 +215,14 @@ TEST(ScenarioFromEnv, HostileValuesYieldSafeDefaults) {
   ScopedEnv shards("CURTAIN_SHARDS", "-8");
   ScopedEnv cohorts("CURTAIN_COHORTS", "many");
   ScopedEnv metrics("CURTAIN_METRICS_OUT", nullptr);
+  ScopedEnv profile("CURTAIN_PROFILE_OUT", nullptr);
   const auto scenario = core::Scenario::from_env();
   EXPECT_EQ(scenario.seed, 20141105u);
   EXPECT_EQ(scenario.scale, 0.05);
   EXPECT_EQ(scenario.shards, 1);
   EXPECT_EQ(scenario.cohorts, 0);
   EXPECT_TRUE(scenario.metrics_out.empty());
+  EXPECT_TRUE(scenario.profile_out.empty());  // profiling stays opt-in
   // A from_env scenario must always satisfy campaign_config()'s contracts.
   const auto config = scenario.campaign_config();
   EXPECT_GT(config.duration_days, 0.0);

@@ -91,6 +91,26 @@ TEST(LintWallclock, WaiverSuppresses) {
   EXPECT_EQ(count_rule(findings, "wallclock"), 0);
 }
 
+TEST(LintWallclock, ProfilerWallclockAliasSuppresses) {
+  // The flight recorder's sanctioned spelling: reads like a statement of
+  // intent ("this is profiler time") rather than a bare rule name.
+  const auto findings = lint_file(
+      "src/obs/fixture.cpp",
+      "auto t = std::chrono::steady_clock::now();  // lint: profiler-wallclock\n");
+  EXPECT_EQ(count_rule(findings, "wallclock"), 0);
+}
+
+TEST(LintWallclock, ProfilerWallclockAliasOnlyCoversWallclock) {
+  // The alias must not leak into unrelated rules on the same line.
+  const auto findings = lint_file("src/analysis/fixture.cpp", R"cpp(
+std::unordered_map<int, double> totals;
+void dump() {
+  for (const auto& [k, v] : totals) print(k, v);  // lint: profiler-wallclock
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
 // ----------------------------------------------------------- unordered-iter
 
 TEST(LintUnorderedIter, FlagsRangeForInExportReachingFile) {

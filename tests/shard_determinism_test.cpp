@@ -10,6 +10,8 @@
 // uneven slices and empty shards are both exercised.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -131,6 +133,80 @@ TEST(ShardDeterminism, StressManyCohortsManyWorkers) {
   const Exported stressed = run_and_export(scenario(16, 16));
   EXPECT_EQ(stressed.shards, 96u);
   expect_identical(reference, stressed);
+}
+
+// Drops the curtain_mem_* gauges a profiled run registers — the only
+// metrics delta the flight recorder is allowed to introduce.
+std::string strip_memory_gauges(const std::string& metrics) {
+  std::istringstream in(metrics);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("curtain_mem_") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// The flight recorder must be a pure observer: arming it (and writing a
+// chrome trace) may add profiling metadata but can never change a byte of
+// the dataset exports or of any pre-existing metric.
+TEST(ShardDeterminism, FlightRecorderIsByteInvisible) {
+  const std::string trace_path =
+      testing::TempDir() + "curtain_determinism_trace.json";
+  const Exported off = run_and_export(scenario(3, 2));
+  Exported on = run_and_export(scenario(3, 2).with_profile_out(trace_path));
+
+  // Metrics may differ only by the added curtain_mem_* gauges.
+  EXPECT_NE(on.metrics, off.metrics)
+      << "profiled run registered no memory gauges";
+  EXPECT_EQ(strip_memory_gauges(on.metrics), off.metrics);
+  on.metrics = off.metrics;
+  expect_identical(off, on);
+  std::remove(trace_path.c_str());
+}
+
+// Schema sanity of the exported chrome trace: it must parse as the
+// trace_event object form and carry one span per shard.
+TEST(ShardDeterminism, ChromeTraceCarriesEveryShard) {
+  const std::string trace_path =
+      testing::TempDir() + "curtain_schema_trace.json";
+  obs::metrics().reset_for_tests();
+  core::Study study(scenario(3, 2).with_profile_out(trace_path));
+  study.run();
+  ASSERT_EQ(study.shard_count(), 18u);
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+
+  EXPECT_NE(trace.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"otherData\": {\"workers\": 2, \"shards\": 18}"),
+            std::string::npos);
+  // One complete-event span per shard: every span carries its shard
+  // index argument exactly once.
+  size_t shard_spans = 0;
+  for (size_t pos = trace.find("\"shard\": "); pos != std::string::npos;
+       pos = trace.find("\"shard\": ", pos + 1)) {
+    ++shard_spans;
+  }
+  EXPECT_EQ(shard_spans, 18u);
+  // The run's profile landed in the report, in shard order.
+  const obs::RunReport& report = study.report();
+  EXPECT_TRUE(report.profile.enabled);
+  ASSERT_EQ(report.profile.shards.size(), 18u);
+  EXPECT_EQ(report.config.workers, 2);
+  EXPECT_EQ(report.config.shards, 18u);
+  for (const auto& shard : report.profile.shards) {
+    EXPECT_GE(shard.worker, 1);
+    EXPECT_LE(shard.worker, 2);
+    EXPECT_GE(shard.queue_wait_ms, 0.0);
+  }
+  std::remove(trace_path.c_str());
 }
 
 }  // namespace
