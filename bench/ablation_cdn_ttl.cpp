@@ -25,7 +25,7 @@ int main() {
                           .with_cdn_answer_ttl(ttl));
     study.run();
 
-    const auto groups = analysis::fig7_cache_effect(study.dataset());
+    const auto groups = analysis::fig7_cache_effect(study.records());
     const auto& first = groups.at("1st Lookup");
     const auto& second = groups.at("2nd Lookup");
     const double threshold = first.quantile(0.75);

@@ -41,9 +41,10 @@ Sample measure_path(core::World& world, size_t carrier_index,
   for (int d = 0; d < 6; ++d) {
     const auto& metros = carrier.profile().country == "KR" ? net::kr_metros()
                                                            : net::us_metros();
-    cellular::Device device(
-        static_cast<uint64_t>(d + 1), &carrier,
-        metros[static_cast<size_t>(d) % metros.size()].location);
+    cellular::Fleet fleet(&carrier, 1);
+    fleet.enroll(0, static_cast<uint64_t>(d + 1),
+                 metros[static_cast<size_t>(d) % metros.size()].location);
+    cellular::Device device = fleet.device(0);
     for (int hour = 0; hour < 72; hour += 6) {
       const auto now = net::SimTime::from_hours(hour);
       const auto snapshot = device.begin_experiment(now, rng);

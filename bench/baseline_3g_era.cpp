@@ -38,10 +38,12 @@ EraStats measure_era(core::World& world, uint64_t seed) {
     auto& carrier = world.carrier(c);
     if (carrier.profile().country != "US") continue;
     for (int d = 0; d < 8; ++d) {
-      cellular::Device device(
-          static_cast<uint64_t>(c * 100 + static_cast<size_t>(d)), &carrier,
+      cellular::Fleet fleet(&carrier, 1);
+      fleet.enroll(
+          0, static_cast<uint64_t>(c * 100 + static_cast<size_t>(d)),
           net::us_metros()[static_cast<size_t>(d) % net::us_metros().size()]
               .location);
+      cellular::Device device = fleet.device(0);
       for (int hour = 0; hour < 48; hour += 4) {
         const auto now = net::SimTime::from_hours(hour);
         const auto snapshot = device.begin_experiment(now, rng);

@@ -55,10 +55,12 @@ int main() {
               "PLT CV", "PLT best", "PLT assigned", "PLT inflation");
   for (size_t c = 0; c < world.carriers().size(); ++c) {
     auto& carrier = world.carrier(c);
-    cellular::Device device(static_cast<uint64_t>(c + 1), &carrier,
-                            carrier.profile().country == "KR"
-                                ? net::GeoPoint{37.57, 126.98}
-                                : net::GeoPoint{33.75, -84.39});
+    cellular::Fleet fleet(&carrier, 1);
+    fleet.enroll(0, static_cast<uint64_t>(c + 1),
+                 carrier.profile().country == "KR"
+                     ? net::GeoPoint{37.57, 126.98}
+                     : net::GeoPoint{33.75, -84.39});
+    cellular::Device device = fleet.device(0);
     Series ping_series;
     Series plt_series;
     Series plt_best;

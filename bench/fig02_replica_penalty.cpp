@@ -9,7 +9,7 @@ int main() {
   bench::banner("Figure 2",
                 "Percent increase of each replica vs the user's best replica");
 
-  const auto groups = analysis::fig2_replica_penalty(bench::study().dataset());
+  const auto groups = analysis::fig2_replica_penalty(bench::study().records());
   for (const auto& [carrier, cdf] : groups) {
     std::printf("%s\n", carrier.c_str());
     bench::print_cdf_row("penalty % CDF", cdf);

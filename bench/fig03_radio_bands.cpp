@@ -7,7 +7,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 3", "Resolution time by radio technology, per carrier");
 
-  const auto groups = analysis::fig3_radio_bands(bench::study().dataset());
+  const auto groups = analysis::fig3_radio_bands(bench::study().records());
   for (const auto& [carrier, by_tech] : groups) {
     bench::print_group(carrier, by_tech);
     bench::print_curves(by_tech, 5);

@@ -7,7 +7,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 4", "Latency to client- vs external-facing resolvers");
 
-  const auto groups = analysis::fig4_resolver_distance(bench::study().dataset());
+  const auto groups = analysis::fig4_resolver_distance(bench::study().records());
   for (const auto& [carrier, group] : groups) {
     bench::print_group(carrier, group);
     if (!group.count("External")) {

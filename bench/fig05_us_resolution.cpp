@@ -6,7 +6,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 5", "Resolution time, US carriers (cell LDNS)");
   const auto group =
-      analysis::fig5_fig6_resolution_times(bench::study().dataset(), "US");
+      analysis::fig5_fig6_resolution_times(bench::study().records(), "US");
   bench::print_group("US carriers", group);
   bench::print_curves(group);
   return 0;

@@ -7,7 +7,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 6", "Resolution time, South Korean carriers (cell LDNS)");
   const auto group =
-      analysis::fig5_fig6_resolution_times(bench::study().dataset(), "KR");
+      analysis::fig5_fig6_resolution_times(bench::study().records(), "KR");
   bench::print_group("SK carriers", group);
   bench::print_curves(group);
   return 0;

@@ -7,7 +7,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 7", "1st vs 2nd back-to-back lookup (US carriers)");
 
-  const auto group = analysis::fig7_cache_effect(bench::study().dataset());
+  const auto group = analysis::fig7_cache_effect(bench::study().records());
   bench::print_group("US combined", group);
   bench::print_curves(group);
 

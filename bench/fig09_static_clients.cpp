@@ -7,7 +7,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 9", "Resolver churn for stationary clients (10 km filter)");
 
-  const auto& dataset = bench::study().dataset();
+  const auto& dataset = bench::study().records();
   for (int c = 0; c < 6; ++c) {
     const auto timelines = analysis::static_resolver_timelines(
         dataset, c, measure::ResolverKind::kLocal, 10.0);

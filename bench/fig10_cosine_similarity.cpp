@@ -16,7 +16,7 @@ int main() {
     }
   }
 
-  const auto splits = analysis::fig10_cosine(bench::study().dataset(), buzzfeed);
+  const auto splits = analysis::fig10_cosine(bench::study().records(), buzzfeed);
   for (const auto& [carrier, split] : splits) {
     std::printf("%s\n", carrier.c_str());
     bench::print_cdf_row("same /24", split.same_slash24);

@@ -8,7 +8,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 11", "Latency to cell LDNS vs public DNS resolvers");
 
-  const auto groups = analysis::fig11_public_distance(bench::study().dataset());
+  const auto groups = analysis::fig11_public_distance(bench::study().records());
   for (const auto& [carrier, group] : groups) {
     bench::print_group(carrier, group);
     if (!group.count("Cell LDNS")) {

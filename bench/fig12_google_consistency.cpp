@@ -8,7 +8,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 12", "GoogleDNS resolver/(24) consistency over time");
 
-  const auto& dataset = bench::study().dataset();
+  const auto& dataset = bench::study().records();
   for (int c = 0; c < 6; ++c) {
     const auto timelines = analysis::resolver_timelines(
         dataset, c, measure::ResolverKind::kGoogle);

@@ -7,7 +7,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 13", "Resolution time: cell LDNS vs public DNS");
 
-  const auto groups = analysis::fig13_public_resolution(bench::study().dataset());
+  const auto groups = analysis::fig13_public_resolution(bench::study().records());
   for (const auto& [carrier, group] : groups) {
     bench::print_group(carrier, group);
     if (group.count("local") && group.count("GoogleDNS")) {

@@ -8,7 +8,7 @@ int main() {
   using namespace curtain;
   bench::banner("Figure 14", "Relative replica latency: public vs cell DNS");
 
-  const auto groups = analysis::fig14_public_replica_delta(bench::study().dataset());
+  const auto groups = analysis::fig14_public_replica_delta(bench::study().records());
   for (const auto& [carrier, group] : groups) {
     std::printf("%s\n", carrier.c_str());
     for (const auto& [kind, cdf] : group) {

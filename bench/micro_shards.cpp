@@ -53,7 +53,7 @@ RunOutcome run_campaign(const curtain::core::Scenario& base, int cohorts,
                                  .with_shards(workers));
   study.run();
   RunOutcome out;
-  out.experiments = study.dataset().experiments.size();
+  out.experiments = study.records().experiment_count();
   out.shards = study.shard_count();
   out.stats = study.shard_stats();
   for (const auto& stat : out.stats) {

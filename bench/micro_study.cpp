@@ -26,15 +26,17 @@ void BM_FullExperiment(benchmark::State& state) {
       measure::WorldView{world.topology(), world.registry()},
       measure::ResolverIdentifier(world.research_apex()),
       measure::ExperimentConfig{});
-  cellular::Device device(1, &world.carrier(0), net::GeoPoint{40.71, -74.01});
-  measure::Dataset dataset;
+  cellular::Fleet fleet(&world.carrier(0), 1);
+  fleet.enroll(0, 1, net::GeoPoint{40.71, -74.01});
+  cellular::Device device = fleet.device(0);
+  measure::RecordStore records;
   auto rng = bench::bench_rng("micro_study/full-experiment");
   int64_t hour = 0;
   for (auto _ : state) {
-    runner.run(device, 0, net::SimTime::from_hours(static_cast<double>(++hour)), rng, dataset);
+    runner.run(device, 0, net::SimTime::from_hours(static_cast<double>(++hour)), rng, records);
   }
-  state.SetLabel(std::to_string(dataset.resolutions.size() /
-                                std::max<size_t>(1, dataset.experiments.size())) +
+  state.SetLabel(std::to_string(records.resolution_count() /
+                                std::max<size_t>(1, records.experiment_count())) +
                  " resolutions/experiment");
 }
 BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
@@ -42,7 +44,9 @@ BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
 void BM_SingleCellResolution(benchmark::State& state) {
   core::World world;
   auto& carrier = world.carrier(0);
-  cellular::Device device(2, &carrier, net::GeoPoint{40.71, -74.01});
+  cellular::Fleet fleet(&carrier, 1);
+  fleet.enroll(0, 2, net::GeoPoint{40.71, -74.01});
+  cellular::Device device = fleet.device(0);
   auto rng = bench::bench_rng("micro_study/single-resolution");
   const auto host = dns::DnsName::parse("www.buzzfeed.com");
   int64_t second = 0;
@@ -63,7 +67,9 @@ BENCHMARK(BM_SingleCellResolution);
 void BM_SingleCellResolutionWarm(benchmark::State& state) {
   core::World world;
   auto& carrier = world.carrier(0);
-  cellular::Device device(3, &carrier, net::GeoPoint{40.71, -74.01});
+  cellular::Fleet fleet(&carrier, 1);
+  fleet.enroll(0, 3, net::GeoPoint{40.71, -74.01});
+  cellular::Device device = fleet.device(0);
   auto rng = bench::bench_rng("micro_study/single-resolution-warm");
   const auto host = dns::DnsName::parse("www.buzzfeed.com");
   int64_t second = 0;

@@ -15,7 +15,7 @@ int main() {
   using namespace curtain;
   bench::banner("Sec 2.2", "Ephemeral, itinerant client IPs (geolocation failure)");
 
-  const auto& dataset = bench::study().dataset();
+  const auto& dataset = bench::study().records();
 
   for (int c = 0; c < 6; ++c) {
     // (a) distinct public IPs per device.
@@ -23,7 +23,7 @@ int main() {
     std::map<uint64_t, size_t> experiments_per_device;
     // (b) per /24: locations observed using it.
     std::map<uint32_t, std::vector<net::GeoPoint>> locations_per_prefix;
-    for (const auto& context : dataset.experiments) {
+    for (const auto& context : dataset.experiments()) {
       if (context.carrier_index != c) continue;
       ips_per_device[context.device_id].insert(context.public_ip.value());
       ++experiments_per_device[context.device_id];

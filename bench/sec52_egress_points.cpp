@@ -9,7 +9,7 @@ int main() {
   using namespace curtain;
   bench::banner("Sec 5.2", "Egress points discovered from client traceroutes");
 
-  const auto stats = analysis::egress_points(bench::study().dataset());
+  const auto stats = analysis::egress_points(bench::study().records());
   std::printf("  %-12s %-12s %s\n", "Carrier", "Discovered", "Provisioned");
   for (const auto& row : stats) {
     const auto& profile =

@@ -10,9 +10,9 @@ int main() {
 
   std::printf("  %-12s %-8s %-8s %s\n", "Carrier", "#Clients", "Country",
               "(measured devices with >=1 experiment)");
-  const auto& dataset = bench::study().dataset();
+  const auto& dataset = bench::study().records();
   std::vector<std::set<uint64_t>> active(cellular::study_carriers().size());
-  for (const auto& context : dataset.experiments) {
+  for (const auto& context : dataset.experiments()) {
     active[static_cast<size_t>(context.carrier_index)].insert(context.device_id);
   }
   int total = 0;

@@ -9,10 +9,10 @@ int main() {
   using namespace curtain;
   bench::banner("Table 2", "Popular mobile sites measured (all CNAME-fronted)");
 
-  const auto& dataset = bench::study().dataset();
+  const auto& dataset = bench::study().records();
   // Count distinct replica /24s each domain resolved to across the fleet.
   std::vector<std::set<uint32_t>> replica_prefixes(cdn::study_domains().size());
-  for (const auto& resolution : dataset.resolutions) {
+  for (const auto& resolution : dataset.resolutions()) {
     for (const auto address : resolution.addresses) {
       replica_prefixes[resolution.domain_index].insert(
           address.slash24().value());

@@ -7,7 +7,7 @@ int main() {
   using namespace curtain;
   bench::banner("Table 3", "LDNS pairs seen by the fleet, with consistency");
 
-  const auto stats = analysis::ldns_pair_stats(bench::study().dataset());
+  const auto stats = analysis::ldns_pair_stats(bench::study().records());
   std::printf("  %-12s %-8s %-9s %-7s %s\n", "Provider", "Client", "External",
               "Pairs", "Consistency %");
   for (const auto& row : stats) {

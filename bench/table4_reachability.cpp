@@ -8,7 +8,7 @@ int main() {
   using namespace curtain;
   bench::banner("Table 4", "External resolvers reachable from the vantage point");
 
-  const auto table = analysis::external_reachability(bench::study().dataset());
+  const auto table = analysis::external_reachability(bench::study().records());
   std::printf("  %-12s %-7s %-6s %s\n", "Provider", "Total", "Ping",
               "Traceroute");
   for (const auto& row : table) {

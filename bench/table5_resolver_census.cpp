@@ -7,7 +7,7 @@ int main() {
   using namespace curtain;
   bench::banner("Table 5", "Resolver census: unique IPs and /24s per provider");
 
-  const auto census = analysis::resolver_census(bench::study().dataset());
+  const auto census = analysis::resolver_census(bench::study().records());
   const auto kind = [](measure::ResolverKind k) { return static_cast<size_t>(k); };
   std::printf("  %-12s %-18s %-18s %-18s\n", "Provider", "Local (IP,/24)",
               "GoogleDNS (IP,/24)", "OpenDNS (IP,/24)");

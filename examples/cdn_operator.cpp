@@ -30,11 +30,12 @@ int main() {
   std::printf("%-12s %14s %14s %14s\n", "Carrier", "resolver-based",
               "client-oracle", "country-only");
   for (const auto& carrier : world.carriers()) {
-    cellular::Device device(1, carrier.get(),
-                            carrier->profile().country == "KR"
-                                ? net::GeoPoint{35.18, 129.08}   // Busan
-                                : net::GeoPoint{39.74, -104.99}  // Denver
-    );
+    cellular::Fleet fleet(carrier.get(), 1);
+    fleet.enroll(0, 1,
+                 carrier->profile().country == "KR"
+                     ? net::GeoPoint{35.18, 129.08}    // Busan
+                     : net::GeoPoint{39.74, -104.99});  // Denver
+    cellular::Device device = fleet.device(0);
     double sum_resolver = 0.0;
     double sum_oracle = 0.0;
     double sum_country = 0.0;

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   study.run();
   std::printf("campaign: %s\n", study.summary().c_str());
 
-  const int written = analysis::export_dataset(study.dataset(), directory);
+  const int written = analysis::export_records(study.records(), directory);
   std::printf("wrote %d files into %s/ (see MANIFEST.txt)\n", written,
               directory.c_str());
   return written == 7 ? 0 : 1;

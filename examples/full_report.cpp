@@ -17,6 +17,6 @@ int main() {
   analysis::ReportConfig config;
   config.scale = study.scenario().scale;
   config.seed = study.scenario().seed;
-  analysis::write_report(study.dataset(), config, std::cout);
+  analysis::write_report(study.records(), config, std::cout);
   return 0;
 }

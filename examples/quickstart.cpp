@@ -27,7 +27,7 @@ int main() {
     std::printf("DNS resolution time, %s carriers (cell LDNS):\n",
                 country.c_str());
     for (const auto& [carrier, cdf] :
-         analysis::fig5_fig6_resolution_times(study.dataset(), country)) {
+         analysis::fig5_fig6_resolution_times(study.records(), country)) {
       std::printf("  %-12s %s\n", carrier.c_str(),
                   analysis::describe_cdf(cdf).c_str());
     }
@@ -36,7 +36,7 @@ int main() {
   // The paper's headline: public DNS picks equal-or-better replicas most
   // of the time despite being farther from the client.
   const double headline =
-      analysis::headline_public_equal_or_better(study.dataset());
+      analysis::headline_public_equal_or_better(study.records());
   std::printf("\npublic DNS replicas equal-or-better than cell DNS: %.1f%%"
               " of comparisons (paper: >75%%)\n",
               headline * 100.0);

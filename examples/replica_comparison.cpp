@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
   }
 
   net::Rng rng(net::hash_tag("replica-comparison"));
-  cellular::Device device(1, carrier, net::GeoPoint{41.88, -87.63});  // Chicago
+  cellular::Fleet fleet(carrier, 1);
+  fleet.enroll(0, 1, net::GeoPoint{41.88, -87.63});  // Chicago
+  cellular::Device device = fleet.device(0);
   const auto snapshot = device.begin_experiment(net::SimTime::zero(), rng);
   std::printf("device on %s  gateway=%d  public IP=%s  configured DNS=%s\n\n",
               carrier->profile().name.c_str(), snapshot.gateway_index,

@@ -26,8 +26,9 @@ int main() {
     const net::GeoPoint home = carrier->profile().country == "KR"
                                    ? net::GeoPoint{37.57, 126.98}   // Seoul
                                    : net::GeoPoint{33.75, -84.39};  // Atlanta
-    cellular::Device device(device_id++, carrier.get(), home,
-                            /*travel_probability=*/0.0);
+    cellular::Fleet fleet(carrier.get(), 1, /*travel_probability=*/0.0);
+    fleet.enroll(0, device_id++, home);
+    cellular::Device device = fleet.device(0);
 
     std::printf("%s (stationary device, 30 days of hourly probes)\n",
                 carrier->profile().name.c_str());

@@ -2,9 +2,9 @@
 # One-command CI matrix for the curtain tree.
 #
 #   scripts/check.sh          # full matrix (plain, asan+ubsan, tsan, lint,
-#                             # bench-smoke, profile-smoke)
+#                             # bench-smoke, profile-smoke, rss-smoke)
 #   scripts/check.sh plain    # just one leg: plain | sanitize | tsan | lint
-#                             #   | bench-smoke | profile-smoke
+#                             #   | bench-smoke | profile-smoke | rss-smoke
 #
 # Legs:
 #   plain     default build (all warnings + -Werror) and the full ctest
@@ -29,6 +29,12 @@
 #             unless the chrome trace parses as JSON and every worker lane
 #             carries at least one shard span — catches bit-rot in the
 #             flight-recorder pipeline (obs/flight_recorder.h).
+#   rss-smoke
+#             runs bench/micro_fleet on a scaled-down fleet (CURTAIN_SCALE,
+#             default 0.1 = 100k devices) under CURTAIN_RSS_CEILING_MB; the
+#             bench exits nonzero if peak RSS breaches the ceiling or if
+#             record-path memory grows with campaign length — the
+#             bounded-memory gate for the streaming record pipeline.
 #
 # Every leg uses its own build directory, so re-runs are incremental.
 set -euo pipefail
@@ -127,6 +133,20 @@ PYEOF
   rm -f "$trace"
 }
 
+rss_smoke_leg() {
+  run_leg "rss smoke (scaled-down fleet sweep under an RSS ceiling)"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target micro_fleet
+  # micro_fleet itself fails the run on a ceiling breach or if record-path
+  # memory grows with campaign length; the leg picks a 10% fleet (100k
+  # devices) and a proportional ceiling so the gate stays cheap. Run the
+  # full million-device sweep with CURTAIN_SCALE=1 CURTAIN_RSS_CEILING_MB=6144
+  # when regenerating BENCH_fleet_memory.json.
+  CURTAIN_SCALE="${CURTAIN_SCALE:-0.1}" \
+  CURTAIN_RSS_CEILING_MB="${CURTAIN_RSS_CEILING_MB:-1024}" \
+    ./build/bench/micro_fleet
+}
+
 case "$LEG" in
   plain)    plain_leg ;;
   sanitize) sanitize_leg ;;
@@ -134,6 +154,7 @@ case "$LEG" in
   lint)     lint_leg ;;
   bench-smoke) bench_smoke_leg ;;
   profile-smoke) profile_smoke_leg ;;
+  rss-smoke) rss_smoke_leg ;;
   all)
     plain_leg
     sanitize_leg
@@ -141,11 +162,12 @@ case "$LEG" in
     lint_leg
     bench_smoke_leg
     profile_smoke_leg
+    rss_smoke_leg
     echo
     echo "=== check.sh: all legs green ==="
     ;;
   *)
-    echo "usage: scripts/check.sh [plain|sanitize|tsan|lint|bench-smoke|profile-smoke|all]" >&2
+    echo "usage: scripts/check.sh [plain|sanitize|tsan|lint|bench-smoke|profile-smoke|rss-smoke|all]" >&2
     exit 2
     ;;
 esac

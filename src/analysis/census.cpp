@@ -6,14 +6,14 @@
 
 namespace curtain::analysis {
 
-std::vector<ResolverCensusRow> resolver_census(const measure::Dataset& dataset) {
+std::vector<ResolverCensusRow> resolver_census(const measure::RecordStore& dataset) {
   const size_t carriers = cellular::study_carriers().size();
   std::vector<std::array<std::set<uint32_t>, measure::kNumResolverKinds>> ips(
       carriers);
   std::vector<std::array<std::set<uint32_t>, measure::kNumResolverKinds>>
       prefixes(carriers);
 
-  for (const auto& observation : dataset.resolver_observations) {
+  for (const auto& observation : dataset.observations()) {
     if (!observation.responded) continue;
     const auto& context = dataset.context_of(observation.experiment_id);
     const auto carrier = static_cast<size_t>(context.carrier_index);

@@ -5,7 +5,7 @@
 #include <array>
 #include <vector>
 
-#include "measure/records.h"
+#include "measure/record_store.h"
 
 namespace curtain::analysis {
 
@@ -16,6 +16,6 @@ struct ResolverCensusRow {
   std::array<size_t, measure::kNumResolverKinds> unique_slash24s{};
 };
 
-std::vector<ResolverCensusRow> resolver_census(const measure::Dataset& dataset);
+std::vector<ResolverCensusRow> resolver_census(const measure::RecordStore& dataset);
 
 }  // namespace curtain::analysis

@@ -9,7 +9,7 @@
 namespace curtain::analysis {
 namespace {
 
-using measure::Dataset;
+using measure::RecordStore;
 using measure::ProbeTargetKind;
 using measure::ResolverKind;
 
@@ -27,7 +27,7 @@ const std::string& carrier_name(int carrier_index) {
   return cellular::study_carriers()[static_cast<size_t>(carrier_index)].name;
 }
 
-std::map<std::string, Ecdf> fig2_replica_penalty(const Dataset& d) {
+std::map<std::string, Ecdf> fig2_replica_penalty(const RecordStore& d) {
   // The paper shows four domains; use the four CNAME-heavy consumer sites.
   const std::vector<uint16_t> domains = {2, 5, 6, 7};  // fb, buzzfeed, yelp, twitter
   auto by_carrier = replica_penalty_by_carrier(d, domains);
@@ -38,9 +38,9 @@ std::map<std::string, Ecdf> fig2_replica_penalty(const Dataset& d) {
   return out;
 }
 
-std::map<std::string, CdfGroup> fig3_radio_bands(const Dataset& d) {
+std::map<std::string, CdfGroup> fig3_radio_bands(const RecordStore& d) {
   std::map<std::string, CdfGroup> out;
-  for (const auto& resolution : d.resolutions) {
+  for (const auto& resolution : d.resolutions()) {
     if (resolution.resolver != ResolverKind::kLocal || resolution.second_lookup ||
         !resolution.responded) {
       continue;
@@ -53,9 +53,9 @@ std::map<std::string, CdfGroup> fig3_radio_bands(const Dataset& d) {
   return out;
 }
 
-std::map<std::string, CdfGroup> fig4_resolver_distance(const Dataset& d) {
+std::map<std::string, CdfGroup> fig4_resolver_distance(const RecordStore& d) {
   std::map<std::string, CdfGroup> out;
-  for (const auto& probe : d.probes) {
+  for (const auto& probe : d.probes()) {
     if (probe.is_http || !probe.responded) continue;
     const bool client = probe.target_kind == ProbeTargetKind::kClientResolver;
     const bool external =
@@ -69,11 +69,11 @@ std::map<std::string, CdfGroup> fig4_resolver_distance(const Dataset& d) {
   return out;
 }
 
-CdfGroup fig5_fig6_resolution_times(const Dataset& d,
+CdfGroup fig5_fig6_resolution_times(const RecordStore& d,
                                     const std::string& country) {
   const auto& carriers = cellular::study_carriers();
   CdfGroup out;
-  for (const auto& resolution : d.resolutions) {
+  for (const auto& resolution : d.resolutions()) {
     if (resolution.resolver != ResolverKind::kLocal || resolution.second_lookup ||
         !resolution.responded) {
       continue;
@@ -87,10 +87,10 @@ CdfGroup fig5_fig6_resolution_times(const Dataset& d,
   return out;
 }
 
-CdfGroup fig7_cache_effect(const Dataset& d) {
+CdfGroup fig7_cache_effect(const RecordStore& d) {
   const auto& carriers = cellular::study_carriers();
   CdfGroup out;
-  for (const auto& resolution : d.resolutions) {
+  for (const auto& resolution : d.resolutions()) {
     if (resolution.resolver != ResolverKind::kLocal || !resolution.responded) {
       continue;
     }
@@ -104,7 +104,7 @@ CdfGroup fig7_cache_effect(const Dataset& d) {
   return out;
 }
 
-std::map<std::string, CosineSplit> fig10_cosine(const Dataset& d,
+std::map<std::string, CosineSplit> fig10_cosine(const RecordStore& d,
                                                 uint16_t domain_index) {
   std::map<std::string, CosineSplit> out;
   for (int c = 0; c < num_carriers(); ++c) {
@@ -113,9 +113,9 @@ std::map<std::string, CosineSplit> fig10_cosine(const Dataset& d,
   return out;
 }
 
-std::map<std::string, CdfGroup> fig11_public_distance(const Dataset& d) {
+std::map<std::string, CdfGroup> fig11_public_distance(const RecordStore& d) {
   std::map<std::string, CdfGroup> out;
-  for (const auto& probe : d.probes) {
+  for (const auto& probe : d.probes()) {
     if (probe.is_http || !probe.responded) continue;
     const auto& context = d.context_of(probe.experiment_id);
     const std::string& carrier = carrier_name(context.carrier_index);
@@ -131,9 +131,9 @@ std::map<std::string, CdfGroup> fig11_public_distance(const Dataset& d) {
   return out;
 }
 
-std::map<std::string, CdfGroup> fig13_public_resolution(const Dataset& d) {
+std::map<std::string, CdfGroup> fig13_public_resolution(const RecordStore& d) {
   std::map<std::string, CdfGroup> out;
-  for (const auto& resolution : d.resolutions) {
+  for (const auto& resolution : d.resolutions()) {
     if (resolution.second_lookup || !resolution.responded) continue;
     const auto& context = d.context_of(resolution.experiment_id);
     out[carrier_name(context.carrier_index)]
@@ -157,9 +157,9 @@ struct ReplicaSample {
 
 using SampleKey = std::tuple<uint32_t, uint16_t, int>;
 
-std::map<SampleKey, ReplicaSample> collect_replica_samples(const Dataset& d) {
+std::map<SampleKey, ReplicaSample> collect_replica_samples(const RecordStore& d) {
   std::map<SampleKey, ReplicaSample> samples;
-  for (const auto& probe : d.probes) {
+  for (const auto& probe : d.probes()) {
     if (probe.target_kind != ProbeTargetKind::kReplica || !probe.is_http ||
         !probe.responded) {
       continue;
@@ -176,7 +176,7 @@ std::map<SampleKey, ReplicaSample> collect_replica_samples(const Dataset& d) {
 
 }  // namespace
 
-std::map<std::string, CdfGroup> fig14_public_replica_delta(const Dataset& d) {
+std::map<std::string, CdfGroup> fig14_public_replica_delta(const RecordStore& d) {
   const auto samples = collect_replica_samples(d);
   std::map<std::string, CdfGroup> out;
   for (const auto& [key, local] : samples) {
@@ -206,7 +206,7 @@ std::map<std::string, CdfGroup> fig14_public_replica_delta(const Dataset& d) {
   return out;
 }
 
-double headline_public_equal_or_better(const Dataset& d) {
+double headline_public_equal_or_better(const RecordStore& d) {
   const auto groups = fig14_public_replica_delta(d);
   uint64_t total = 0;
   uint64_t equal_or_better = 0;

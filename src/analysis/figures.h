@@ -18,45 +18,45 @@ using CdfGroup = std::map<std::string, Ecdf>;
 
 /// Fig. 2: per carrier, CDF of percent increase in replica HTTP latency
 /// vs the best replica each user saw (four domains, like the paper).
-std::map<std::string, Ecdf> fig2_replica_penalty(const measure::Dataset& d);
+std::map<std::string, Ecdf> fig2_replica_penalty(const measure::RecordStore& d);
 
 /// Fig. 3: per carrier, DNS resolution time grouped by radio technology
 /// (local resolver, first lookups).
-std::map<std::string, CdfGroup> fig3_radio_bands(const measure::Dataset& d);
+std::map<std::string, CdfGroup> fig3_radio_bands(const measure::RecordStore& d);
 
 /// Fig. 4: per carrier, ping RTT to the configured (client-facing) vs the
 /// identified external-facing resolver.
-std::map<std::string, CdfGroup> fig4_resolver_distance(const measure::Dataset& d);
+std::map<std::string, CdfGroup> fig4_resolver_distance(const measure::RecordStore& d);
 
 /// Figs. 5/6: resolution-time CDFs for the given country ("US" or "KR"),
 /// local resolver, first lookups.
-CdfGroup fig5_fig6_resolution_times(const measure::Dataset& d,
+CdfGroup fig5_fig6_resolution_times(const measure::RecordStore& d,
                                     const std::string& country);
 
 /// Fig. 7: 1st vs 2nd back-to-back lookups, US carriers combined.
-CdfGroup fig7_cache_effect(const measure::Dataset& d);
+CdfGroup fig7_cache_effect(const measure::RecordStore& d);
 
 /// Fig. 10: same-/24 vs different-/24 cosine similarity for one domain
 /// (the paper uses buzzfeed.com), per carrier.
-std::map<std::string, CosineSplit> fig10_cosine(const measure::Dataset& d,
+std::map<std::string, CosineSplit> fig10_cosine(const measure::RecordStore& d,
                                                 uint16_t domain_index);
 
 /// Fig. 11: per carrier, ping RTT to the cell external resolver vs the
 /// public VIPs.
-std::map<std::string, CdfGroup> fig11_public_distance(const measure::Dataset& d);
+std::map<std::string, CdfGroup> fig11_public_distance(const measure::RecordStore& d);
 
 /// Fig. 13: per carrier, resolution times local vs Google vs OpenDNS.
-std::map<std::string, CdfGroup> fig13_public_resolution(const measure::Dataset& d);
+std::map<std::string, CdfGroup> fig13_public_resolution(const measure::RecordStore& d);
 
 /// Fig. 14: per carrier and public service, CDF of the percent difference
 /// between public-DNS-selected and local-DNS-selected replica latency,
 /// replicas aggregated by /24 (intersecting /24 sets count as equal).
 std::map<std::string, CdfGroup> fig14_public_replica_delta(
-    const measure::Dataset& d);
+    const measure::RecordStore& d);
 
 /// Headline number (abstract): fraction of comparisons where public DNS
 /// replicas performed equal-or-better than the cell DNS replicas.
-double headline_public_equal_or_better(const measure::Dataset& d);
+double headline_public_equal_or_better(const measure::RecordStore& d);
 
 /// Carrier display name for an index.
 const std::string& carrier_name(int carrier_index);

@@ -15,11 +15,11 @@ struct Joined {
   const measure::ResolverObservation* observation;
 };
 
-std::vector<Joined> joined_observations(const measure::Dataset& dataset,
+std::vector<Joined> joined_observations(const measure::RecordStore& dataset,
                                         int carrier_index,
                                         measure::ResolverKind kind) {
   std::vector<Joined> out;
-  for (const auto& observation : dataset.resolver_observations) {
+  for (const auto& observation : dataset.observations()) {
     if (observation.resolver != kind || !observation.responded) continue;
     const auto& context = dataset.context_of(observation.experiment_id);
     if (context.carrier_index != carrier_index) continue;
@@ -68,7 +68,7 @@ size_t ResolverTimeline::unique_slash24s() const {
                                                      slash24_rank.end()));
 }
 
-std::vector<LdnsPairStats> ldns_pair_stats(const measure::Dataset& dataset) {
+std::vector<LdnsPairStats> ldns_pair_stats(const measure::RecordStore& dataset) {
   const int carriers = static_cast<int>(cellular::study_carriers().size());
   std::vector<LdnsPairStats> out;
   for (int c = 0; c < carriers; ++c) {
@@ -115,7 +115,7 @@ std::vector<LdnsPairStats> ldns_pair_stats(const measure::Dataset& dataset) {
 }
 
 std::vector<ResolverTimeline> resolver_timelines(
-    const measure::Dataset& dataset, int carrier_index,
+    const measure::RecordStore& dataset, int carrier_index,
     measure::ResolverKind kind) {
   const auto joined = joined_observations(dataset, carrier_index, kind);
   std::map<uint64_t, std::vector<Joined>> by_device;
@@ -129,7 +129,7 @@ std::vector<ResolverTimeline> resolver_timelines(
 }
 
 std::vector<ResolverTimeline> static_resolver_timelines(
-    const measure::Dataset& dataset, int carrier_index,
+    const measure::RecordStore& dataset, int carrier_index,
     measure::ResolverKind kind, double radius_km) {
   const auto joined = joined_observations(dataset, carrier_index, kind);
   std::map<uint64_t, std::vector<Joined>> by_device;

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "measure/records.h"
+#include "measure/record_store.h"
 
 namespace curtain::analysis {
 
@@ -22,7 +22,7 @@ struct LdnsPairStats {
 };
 
 /// Computes Table 3 from the dataset (local resolver kind only).
-std::vector<LdnsPairStats> ldns_pair_stats(const measure::Dataset& dataset);
+std::vector<LdnsPairStats> ldns_pair_stats(const measure::RecordStore& dataset);
 
 /// One device's resolver-association history (the Fig. 8 / Fig. 9 / Fig. 12
 /// timelines): for each observation, the time and the first-appearance
@@ -40,14 +40,14 @@ struct ResolverTimeline {
 /// Timelines for all devices of a carrier, for the given resolver kind
 /// (kLocal reproduces Figs. 8/9; kGoogle reproduces Fig. 12).
 std::vector<ResolverTimeline> resolver_timelines(
-    const measure::Dataset& dataset, int carrier_index,
+    const measure::RecordStore& dataset, int carrier_index,
     measure::ResolverKind kind);
 
 /// Same, but keeping only observations within `radius_km` of the device's
 /// modal location — the paper's "static location" filter (Fig. 9 uses
 /// 10 km).
 std::vector<ResolverTimeline> static_resolver_timelines(
-    const measure::Dataset& dataset, int carrier_index,
+    const measure::RecordStore& dataset, int carrier_index,
     measure::ResolverKind kind, double radius_km = 10.0);
 
 }  // namespace curtain::analysis

@@ -1,16 +1,18 @@
 #include "analysis/reach.h"
 
+#include <string_view>
+
 #include "cellular/carrier_profile.h"
 #include "util/strings.h"
 
 namespace curtain::analysis {
 
 std::vector<ReachabilityStats> external_reachability(
-    const measure::Dataset& dataset) {
+    const measure::RecordStore& dataset) {
   const int carriers = static_cast<int>(cellular::study_carriers().size());
   std::vector<ReachabilityStats> out(static_cast<size_t>(carriers));
   for (int c = 0; c < carriers; ++c) out[static_cast<size_t>(c)].carrier_index = c;
-  for (const auto& probe : dataset.vantage_probes) {
+  for (const auto& probe : dataset.vantage_probes()) {
     auto& stats = out[static_cast<size_t>(probe.carrier_index)];
     ++stats.total;
     if (probe.ping_responded) ++stats.ping_responded;
@@ -19,14 +21,14 @@ std::vector<ReachabilityStats> external_reachability(
   return out;
 }
 
-std::vector<EgressStats> egress_points(const measure::Dataset& dataset) {
+std::vector<EgressStats> egress_points(const measure::RecordStore& dataset) {
   const auto& carriers = cellular::study_carriers();
   std::vector<EgressStats> out(carriers.size());
   for (size_t c = 0; c < carriers.size(); ++c) {
     out[c].carrier_index = static_cast<int>(c);
   }
 
-  for (const auto& trace : dataset.traceroutes) {
+  for (const auto& trace : dataset.traceroutes()) {
     const auto& context = dataset.context_of(trace.experiment_id);
     const auto carrier_index = static_cast<size_t>(context.carrier_index);
     const std::string& carrier_name = carriers[carrier_index].name;
@@ -36,10 +38,11 @@ std::vector<EgressStats> egress_points(const measure::Dataset& dataset) {
     // reveal no egress and are skipped, exactly as in the paper's method.
     std::string last_in_carrier;
     bool saw_foreign = false;
-    for (const auto& hop : trace.hop_names) {
+    for (size_t h = 0; h < trace.hop_count; ++h) {
+      const std::string_view hop = trace.hop(h);
       if (hop == "*") continue;
       if (util::starts_with(hop, carrier_name)) {
-        last_in_carrier = hop;
+        last_in_carrier = std::string(hop);
       } else {
         saw_foreign = true;
         break;  // first hop outside the carrier network

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "measure/records.h"
+#include "measure/record_store.h"
 
 namespace curtain::analysis {
 
@@ -19,7 +19,7 @@ struct ReachabilityStats {
 };
 
 std::vector<ReachabilityStats> external_reachability(
-    const measure::Dataset& dataset);
+    const measure::RecordStore& dataset);
 
 /// §5.2: egress points per carrier, extracted the way the paper did —
 /// from client traceroutes, take the last in-carrier hop before the first
@@ -31,6 +31,6 @@ struct EgressStats {
   std::set<std::string> egress_names;
 };
 
-std::vector<EgressStats> egress_points(const measure::Dataset& dataset);
+std::vector<EgressStats> egress_points(const measure::RecordStore& dataset);
 
 }  // namespace curtain::analysis

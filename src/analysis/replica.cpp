@@ -9,9 +9,9 @@ namespace {
 
 /// experiment_id -> external resolver IP (local kind) for joins.
 std::map<uint32_t, uint32_t> local_external_by_experiment(
-    const measure::Dataset& dataset) {
+    const measure::RecordStore& dataset) {
   std::map<uint32_t, uint32_t> out;
-  for (const auto& observation : dataset.resolver_observations) {
+  for (const auto& observation : dataset.observations()) {
     if (observation.resolver == measure::ResolverKind::kLocal &&
         observation.responded) {
       out[observation.experiment_id] = observation.external_ip.value();
@@ -54,7 +54,7 @@ double ReplicaMap::cosine_similarity(const ReplicaMap& other) const {
 }
 
 std::map<int, Ecdf> replica_penalty_by_carrier(
-    const measure::Dataset& dataset,
+    const measure::RecordStore& dataset,
     const std::vector<uint16_t>& domain_filter) {
   // (device, domain, replica) -> running mean of HTTP TTFB.
   struct Acc {
@@ -64,7 +64,7 @@ std::map<int, Ecdf> replica_penalty_by_carrier(
   std::map<std::tuple<uint64_t, uint16_t, uint32_t>, Acc> latency;
   std::map<uint64_t, int> device_carrier;
 
-  for (const auto& probe : dataset.probes) {
+  for (const auto& probe : dataset.probes()) {
     if (probe.target_kind != measure::ProbeTargetKind::kReplica ||
         !probe.is_http || !probe.responded ||
         probe.resolver != measure::ResolverKind::kLocal) {
@@ -111,10 +111,10 @@ std::map<int, Ecdf> replica_penalty_by_carrier(
 }
 
 std::map<uint32_t, ReplicaMap> replica_maps_by_resolver(
-    const measure::Dataset& dataset, uint16_t domain_index, int carrier_index) {
+    const measure::RecordStore& dataset, uint16_t domain_index, int carrier_index) {
   const auto externals = local_external_by_experiment(dataset);
   std::map<uint32_t, ReplicaMap> maps;
-  for (const auto& resolution : dataset.resolutions) {
+  for (const auto& resolution : dataset.resolutions()) {
     if (resolution.resolver != measure::ResolverKind::kLocal ||
         resolution.second_lookup || !resolution.responded ||
         resolution.domain_index != domain_index) {
@@ -132,7 +132,7 @@ std::map<uint32_t, ReplicaMap> replica_maps_by_resolver(
   return maps;
 }
 
-CosineSplit cosine_by_prefix(const measure::Dataset& dataset,
+CosineSplit cosine_by_prefix(const measure::RecordStore& dataset,
                              uint16_t domain_index, int carrier_index) {
   const auto maps = replica_maps_by_resolver(dataset, domain_index, carrier_index);
   // maps is ordered by resolver IP, so the pairwise sweep below visits

@@ -14,7 +14,7 @@
 #include <map>
 
 #include "analysis/stats.h"
-#include "measure/records.h"
+#include "measure/record_store.h"
 
 namespace curtain::analysis {
 
@@ -45,12 +45,12 @@ class ReplicaMap {
 /// `domain_filter` restricts to specific domain indices (Fig. 2 shows 4
 /// domains); empty = all.
 std::map<int, Ecdf> replica_penalty_by_carrier(
-    const measure::Dataset& dataset, const std::vector<uint16_t>& domain_filter);
+    const measure::RecordStore& dataset, const std::vector<uint16_t>& domain_filter);
 
 /// Fig. 10 input: replica maps keyed by the *external resolver* (local
 /// kind) that served the experiment, for one domain.
 std::map<uint32_t, ReplicaMap> replica_maps_by_resolver(
-    const measure::Dataset& dataset, uint16_t domain_index, int carrier_index);
+    const measure::RecordStore& dataset, uint16_t domain_index, int carrier_index);
 
 struct CosineSplit {
   Ecdf same_slash24;
@@ -59,7 +59,7 @@ struct CosineSplit {
 
 /// Fig. 10: pairwise cosine similarity between resolver replica maps,
 /// split by whether the two resolvers share a /24.
-CosineSplit cosine_by_prefix(const measure::Dataset& dataset,
+CosineSplit cosine_by_prefix(const measure::RecordStore& dataset,
                              uint16_t domain_index, int carrier_index);
 
 }  // namespace curtain::analysis

@@ -10,7 +10,7 @@
 namespace curtain::analysis {
 namespace {
 
-using measure::Dataset;
+using measure::RecordStore;
 
 std::string ms(double v) { return util::format_double(v, 1) + " ms"; }
 std::string pct(double v) { return util::format_double(v * 100.0, 1) + "%"; }
@@ -35,7 +35,7 @@ void table_row(std::ostream& out, const std::vector<std::string>& cells) {
 
 }  // namespace
 
-void write_report(const Dataset& dataset, const ReportConfig& config,
+void write_report(const RecordStore& dataset, const ReportConfig& config,
                   std::ostream& out) {
   const auto& carriers = cellular::study_carriers();
 
@@ -46,8 +46,8 @@ void write_report(const Dataset& dataset, const ReportConfig& config,
       << "- campaign scale: " << util::format_double(config.scale, 3)
       << " of the paper's five months (CURTAIN_SCALE), seed " << config.seed
       << "\n"
-      << "- dataset: " << dataset.experiments.size() << " experiments, "
-      << dataset.resolutions.size() << " resolutions, "
+      << "- dataset: " << dataset.experiment_count() << " experiments, "
+      << dataset.resolution_count() << " resolutions, "
       << dataset.total_probes() << " probes/traceroutes (paper: ~28k / 8.1M / "
          "2.4M at full scale)\n"
       << "- shape, not absolute numbers, is the reproduction target: the "
@@ -64,7 +64,12 @@ void write_report(const Dataset& dataset, const ReportConfig& config,
       << "- set `CURTAIN_PROFILE_OUT=<path>` to record an execution "
          "profile of the run (per-worker shard timeline, queue waits, "
          "memory) as a chrome://tracing trace — also byte-invisible in "
-         "the exports (DESIGN.md §14).\n";
+         "the exports (DESIGN.md §14).\n"
+      << "- memory is bounded by fleet size, not campaign length: shards "
+         "stream fixed-budget record blocks (`CURTAIN_BLOCK_ROWS`) "
+         "through `measure::RecordSink`, and `CURTAIN_RSS_CEILING_MB` "
+         "gates `bench/micro_fleet`'s million-device sweep "
+         "(`BENCH_fleet_memory.json`, DESIGN.md §15).\n";
 
   // --- Table 1 ---------------------------------------------------------
   section(out, "Table 1 — measurement clients per carrier");

@@ -8,7 +8,7 @@
 
 #include <ostream>
 
-#include "measure/records.h"
+#include "measure/record_store.h"
 
 namespace curtain::analysis {
 
@@ -18,7 +18,7 @@ struct ReportConfig {
 };
 
 /// Writes the full reproduction report for `dataset` as markdown.
-void write_report(const measure::Dataset& dataset, const ReportConfig& config,
+void write_report(const measure::RecordStore& dataset, const ReportConfig& config,
                   std::ostream& out);
 
 }  // namespace curtain::analysis

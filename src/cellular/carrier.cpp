@@ -71,28 +71,26 @@ CarrierMetrics& carrier_metrics() {
 ClientFacingResolver::ClientFacingResolver(CellularNetwork* carrier, int index,
                                            net::Ipv4Addr ip)
     : carrier_(carrier), index_(index), ip_(ip) {
-  lane_caches_.resize(static_cast<size_t>(carrier->state_lanes()));
+  lane_caches_.reset(static_cast<size_t>(carrier->state_lanes()));
 }
 
 dns::Cache& ClientFacingResolver::cache_for(net::NodeId instance) {
   const auto lane = static_cast<size_t>(net::current_state_lane());
-  auto& caches = lane_caches_[lane < lane_caches_.size() ? lane : 0];
-  if (!caches) caches = std::make_unique<InstanceCaches>();
-  return (*caches)[instance];  // default-constructed on first use
+  return lane_caches_[lane][instance];  // default-constructed on first use
 }
 
 obs::LaneMemory ClientFacingResolver::approx_lane_bytes() const {
   obs::LaneMemory memory;
-  memory.state_bytes += lane_caches_.capacity() * sizeof(lane_caches_[0]);
-  constexpr size_t kMapNodeOverhead = 2 * sizeof(void*);
-  for (const auto& caches : lane_caches_) {
-    if (!caches) continue;
+  memory.state_bytes += lane_caches_.approx_container_bytes();
+  constexpr size_t kMapNodeOverhead =
+      2 * sizeof(void*) + obs::kAllocOverheadBytes;
+  // Commutative integer sums: hash order cannot leak into the result.
+  for (const auto& [lane, caches] : lane_caches_) {  // lint: order-insensitive
     memory.state_bytes +=
-        sizeof(InstanceCaches) +
-        caches->size() *
-            (sizeof(net::NodeId) + sizeof(dns::Cache) + kMapNodeOverhead);
-    // Commutative integer sum: hash order cannot leak into the result.
-    for (const auto& [node, cache] : *caches) {  // lint: order-insensitive
+        caches.size() *
+            (sizeof(net::NodeId) + sizeof(dns::Cache) + kMapNodeOverhead) +
+        caches.bucket_count() * sizeof(void*);
+    for (const auto& [node, cache] : caches) {  // lint: order-insensitive
       memory.cache_bytes += cache.approx_bytes();
     }
   }
@@ -201,7 +199,7 @@ obs::LaneMemory CellularNetwork::approx_lane_state_bytes() const {
     memory += resolver->approx_lane_bytes();
   }
   for (const Gateway& gateway : gateways_) {
-    memory.state_bytes += gateway.nat_cursors.capacity() * sizeof(uint64_t);
+    memory.state_bytes += gateway.nat_cursors.approx_container_bytes();
   }
   return memory;
 }
@@ -272,8 +270,8 @@ void CellularNetwork::build_gateways(const CarrierBuildContext& context) {
                         /*tunneled=*/false);
 
     gateway.nat_pool = allocator_->alloc_block(24);
-    gateway.nat_cursors.assign(static_cast<size_t>(state_lanes_),
-                               Gateway::kUnseededCursor);
+    gateway.nat_cursors.reset(static_cast<size_t>(state_lanes_),
+                              Gateway::kUnseededCursor);
     gateway_by_pool_[gateway.nat_pool.address().value()] = g;
   }
 }
@@ -561,7 +559,8 @@ net::Ipv4Addr CellularNetwork::assign_ip(int gateway_index, net::Rng& rng) {
   // cross-device interleaving.
   Gateway& gateway = gateways_[static_cast<size_t>(gateway_index)];
   const auto raw_lane = static_cast<size_t>(net::current_state_lane());
-  const size_t lane = raw_lane < gateway.nat_cursors.size() ? raw_lane : 0;
+  const size_t lane =
+      raw_lane < gateway.nat_cursors.lane_count() ? raw_lane : 0;
   uint64_t& cursor = gateway.nat_cursors[lane];
   const uint64_t hosts = gateway.nat_pool.size() - 1;
   if (cursor == Gateway::kUnseededCursor) {

@@ -19,6 +19,7 @@
 #include "dns/server.h"
 #include "net/ip_allocator.h"
 #include "net/ipv4.h"
+#include "net/shard_slot.h"
 #include "net/topology.h"
 #include "obs/memory.h"
 
@@ -62,14 +63,14 @@ class ClientFacingResolver : public dns::DnsServer {
  private:
   using InstanceCaches = std::unordered_map<net::NodeId, dns::Cache>;
 
-  /// The calling lane's cache for `instance`; allocated on first touch
-  /// (one device timeline per lane, so lazy creation is race-free).
+  /// The calling lane's cache for `instance`; materialized on first touch
+  /// (sparse-table rules — clamping, race-freedom — are LaneTable's).
   dns::Cache& cache_for(net::NodeId instance);
 
   CellularNetwork* carrier_;
   int index_;
   net::Ipv4Addr ip_;
-  std::vector<std::unique_ptr<InstanceCaches>> lane_caches_;
+  net::LaneTable<InstanceCaches> lane_caches_;
 };
 
 /// Everything the world builder must provide to a carrier.
@@ -168,8 +169,10 @@ class CellularNetwork {
     /// (not in the world's IpAllocator) so address churn is
     /// carrier-private state campaign shards can mutate without touching
     /// the shared world, and they are laned per device so a device's
-    /// address sequence is independent of the cohort partition.
-    std::vector<uint64_t> nat_cursors;
+    /// address sequence is independent of the cohort partition. Sparse:
+    /// a cursor materializes (unseeded) the first time its device
+    /// attaches through this gateway.
+    net::LaneTable<uint64_t> nat_cursors;
   };
   struct Region {
     net::GeoPoint location;

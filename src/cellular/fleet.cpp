@@ -6,8 +6,8 @@
 
 namespace curtain::cellular {
 
-std::vector<std::unique_ptr<Device>> build_carrier_fleet(
-    CellularNetwork& network, int carrier_index, uint64_t study_seed) {
+Fleet build_carrier_fleet(CellularNetwork& network, int carrier_index,
+                          uint64_t study_seed, uint64_t id_band) {
   // Per-carrier device stream: volunteers cluster in large metros, with
   // scatter within a suburb. Keying by carrier index (not a fleet-wide
   // cursor) keeps every carrier's draws independent of the others'.
@@ -17,20 +17,19 @@ std::vector<std::unique_ptr<Device>> build_carrier_fleet(
   const auto& metros =
       profile.country == "KR" ? net::kr_metros() : net::us_metros();
   CURTAIN_CHECK(!metros.empty()) << "no metros for country " << profile.country;
-  // Device ids are banded per carrier in blocks of 1000; a larger fleet
-  // would collide ids across carriers.
-  CURTAIN_CHECK(profile.study_clients < 1000)
-      << profile.name << " exceeds the 999-device id band";
-  std::vector<std::unique_ptr<Device>> fleet;
-  fleet.reserve(static_cast<size_t>(profile.study_clients));
+  // Device ids are banded per carrier in blocks of id_band; a larger
+  // fleet would collide ids across carriers.
+  CURTAIN_CHECK(static_cast<uint64_t>(profile.study_clients) < id_band)
+      << profile.name << " exceeds the " << (id_band - 1) << "-device id band";
+  Fleet fleet(&network, static_cast<size_t>(profile.study_clients));
   for (int d = 0; d < profile.study_clients; ++d) {
     const auto& metro =
         metros[static_cast<size_t>(rng.uniform_u64(0, metros.size() - 1))];
     const net::GeoPoint home = net::offset_km(
         metro.location, rng.uniform(-15, 15), rng.uniform(-15, 15));
-    const uint64_t device_id = static_cast<uint64_t>(carrier_index) * 1000 +
+    const uint64_t device_id = static_cast<uint64_t>(carrier_index) * id_band +
                                static_cast<uint64_t>(d) + 1;
-    fleet.push_back(std::make_unique<Device>(device_id, &network, home));
+    fleet.enroll(static_cast<size_t>(d), device_id, home);
   }
   return fleet;
 }

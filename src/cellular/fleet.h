@@ -7,19 +7,20 @@
 // per-device RNG stream identical for any cohort count.
 #pragma once
 
-#include <memory>
-#include <vector>
+#include <cstdint>
 
 #include "cellular/carrier.h"
 #include "cellular/device.h"
 
 namespace curtain::cellular {
 
-/// Builds `network`'s study fleet: profile().study_clients devices homed
-/// near the carrier's country metros, with ids banded per carrier
-/// (carrier_index * 1000 + d + 1) so they stay stable and unique no
-/// matter how the fleet is later partitioned.
-std::vector<std::unique_ptr<Device>> build_carrier_fleet(
-    CellularNetwork& network, int carrier_index, uint64_t study_seed);
+/// Builds `network`'s study fleet as one SoA arena: profile().study_clients
+/// devices homed near the carrier's country metros, with ids banded per
+/// carrier (carrier_index * id_band + d + 1) so they stay stable and
+/// unique no matter how the fleet is later partitioned. The default band
+/// of 1000 matches the paper-scale study; million-device runs pass a
+/// wider band (the engine widens it until every carrier's fleet fits).
+Fleet build_carrier_fleet(CellularNetwork& network, int carrier_index,
+                          uint64_t study_seed, uint64_t id_band = 1000);
 
 }  // namespace curtain::cellular

@@ -93,10 +93,4 @@ struct Scenario {
   size_t carrier_count() const;
 };
 
-/// Deprecated aliases: the old three-struct configuration surface. World
-/// and Study now both consume a Scenario; these keep old call sites
-/// compiling while they migrate.
-using StudyConfig [[deprecated("use core::Scenario")]] = Scenario;
-using WorldConfig [[deprecated("use core::Scenario")]] = Scenario;
-
 }  // namespace curtain::core

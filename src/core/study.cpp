@@ -22,6 +22,28 @@ double wall_ms_since(std::chrono::steady_clock::time_point start) {  // lint: wa
   return std::chrono::duration<double, std::milli>(elapsed).count();
 }
 
+/// "NAME=value (kind, default D, range R) — help", one per knob.
+std::vector<std::string> flag_listing() {
+  std::vector<std::string> lines;
+  for (const util::FlagInfo& flag : util::describe_flags()) {
+    std::string line = flag.name;
+    line += "=";
+    line += flag.value;
+    line += " (";
+    line += flag.kind;
+    line += ", default ";
+    line += flag.fallback;
+    if (flag.range[0] != '-' || flag.range[1] != '\0') {
+      line += ", range ";
+      line += flag.range;
+    }
+    line += ") — ";
+    line += flag.help;
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
 }  // namespace
 
 Study::Study(Scenario scenario)
@@ -84,7 +106,7 @@ void Study::run() {
 
   const int64_t campaign_start_us = profiling ? recorder.now_us() : 0;
   const auto campaign_start = std::chrono::steady_clock::now();  // lint: wallclock
-  engine_->run(dataset_);
+  engine_->run(records_);
   report_.add_phase("campaign", wall_ms_since(campaign_start));
   if (profiling) {
     recorder.record_phase(0, "campaign", campaign_start_us,
@@ -100,32 +122,39 @@ void Study::run() {
       measure::WorldView{world_->topology(), world_->registry()},
       world_->vantage_node(), world_->vantage_ip());
   prober.probe_observed_resolvers(
-      dataset_, net::SimTime::from_days(campaign_.duration_days), vantage_rng);
+      records_, net::SimTime::from_days(campaign_.duration_days), vantage_rng);
   report_.add_phase("vantage_sweep", wall_ms_since(sweep_start));
   if (profiling) {
     recorder.record_phase(0, "vantage_sweep", sweep_start_us,
                           recorder.now_us());
   }
 
-  report_.add_total("experiments", static_cast<double>(dataset_.experiments.size()));
-  report_.add_total("resolutions", static_cast<double>(dataset_.resolutions.size()));
-  report_.add_total("probes", static_cast<double>(dataset_.total_probes()));
-  report_.add_total("traces", static_cast<double>(dataset_.resolution_traces.size()));
+  report_.add_total("experiments",
+                    static_cast<double>(records_.experiment_count()));
+  report_.add_total("resolutions",
+                    static_cast<double>(records_.resolution_count()));
+  report_.add_total("probes", static_cast<double>(records_.total_probes()));
+  report_.add_total("traces", static_cast<double>(records_.trace_count()));
 
   // Self-describing reports: a committed report is meaningless without
   // the execution configuration that produced it.
   report_.config.workers = scenario_.shards;
   report_.config.cohorts = engine_->cohorts_per_carrier();
   report_.config.shards = engine_->shard_count();
+  report_.config.flags = flag_listing();
 
   if (profiling) {
     // Memory gauges are host-dependent, so they are registered only on
     // profiled runs: the default metrics export must stay byte-identical
     // across hosts and across recorder on/off.
     obs::metrics()
-        .gauge("curtain_mem_dataset_bytes",
-               "merged dataset heap bytes (approx, profiled runs only)")
-        .set(static_cast<double>(dataset_.approx_bytes()));
+        .gauge("curtain_mem_records_bytes",
+               "merged record-block heap bytes (approx, profiled runs only)")
+        .set(static_cast<double>(records_.approx_bytes()));
+    obs::metrics()
+        .gauge("curtain_mem_fleet_arena_bytes",
+               "SoA fleet arena bytes across all carriers")
+        .set(static_cast<double>(engine_->fleet_arena_bytes()));
     const obs::LaneMemory lanes = world_->approx_lane_state_bytes();
     obs::metrics()
         .gauge("curtain_mem_dns_cache_bytes",
@@ -175,10 +204,10 @@ void Study::run() {
 std::string Study::summary() const {
   std::string out;
   out += "devices=" + std::to_string(device_count());
-  out += " experiments=" + std::to_string(dataset_.experiments.size());
-  out += " resolutions=" + std::to_string(dataset_.resolutions.size());
-  out += " probes=" + std::to_string(dataset_.probes.size());
-  out += " traceroutes=" + std::to_string(dataset_.traceroutes.size());
+  out += " experiments=" + std::to_string(records_.experiment_count());
+  out += " resolutions=" + std::to_string(records_.resolution_count());
+  out += " probes=" + std::to_string(records_.probe_count());
+  out += " traceroutes=" + std::to_string(records_.traceroute_count());
   out += " days=" + std::to_string(campaign_.duration_days);
   if (!report_.empty()) out += report_.summary_suffix();
   return out;

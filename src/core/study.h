@@ -11,6 +11,7 @@
 #include "core/scenario.h"
 #include "core/world.h"
 #include "exec/engine.h"
+#include "measure/record_store.h"
 #include "obs/report.h"
 
 namespace curtain::core {
@@ -23,12 +24,13 @@ class Study {
   Study& operator=(const Study&) = delete;
 
   /// Runs the full sharded campaign plus the vantage-point reachability
-  /// sweep; the merged dataset is byte-identical for every
+  /// sweep; the merged record stream is byte-identical for every
   /// Scenario::shards and Scenario::cohorts setting.
   void run();
 
   World& world() { return *world_; }
-  const measure::Dataset& dataset() const { return dataset_; }
+  /// The merged campaign records (retained mode); filled by run().
+  const measure::RecordStore& records() const { return records_; }
   /// Devices enrolled across every campaign shard (Table 1 totals).
   size_t device_count() const { return engine_->device_count(); }
   /// (carrier, cohort) shards in the campaign partition.
@@ -39,15 +41,13 @@ class Study {
     return engine_->shard_stats();
   }
   const Scenario& scenario() const { return scenario_; }
-  /// Deprecated spelling of scenario(), kept for old call sites.
-  const Scenario& config() const { return scenario_; }
   const measure::CampaignConfig& campaign() const { return campaign_; }
 
-  /// One-line dataset summary (§3.1-style totals), with per-phase
+  /// One-line record-stream summary (§3.1-style totals), with per-phase
   /// wall-clock appended once run() has completed.
   std::string summary() const;
 
-  /// Per-phase wall-clock and dataset totals; filled by run().
+  /// Per-phase wall-clock and record totals; filled by run().
   const obs::RunReport& report() const { return report_; }
 
  private:
@@ -55,7 +55,7 @@ class Study {
   std::unique_ptr<World> world_;
   measure::CampaignConfig campaign_;
   std::unique_ptr<exec::CampaignEngine> engine_;
-  measure::Dataset dataset_;
+  measure::RecordStore records_;
   obs::RunReport report_;
   bool ran_ = false;
   /// True when this study armed the flight recorder (profile_out set).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/memory.h"
 #include "obs/metrics.h"
 
 namespace curtain::dns {
@@ -83,17 +84,20 @@ void Cache::insert_negative(const DnsName& name, RRType type, uint32_t ttl_s,
 }
 
 void Cache::insert_entry(Key key, CachedRrset entry) {
+  // Eager sweep: every insert drops entries already past their TTL. A
+  // dead entry can only ever read as a miss, so reclaiming it here is
+  // invisible to lookups — but without the sweep, long campaigns strand
+  // megabytes of expired short-TTL rrsets in every device's lane caches
+  // (the cache is only consulted again if that device resolves again).
+  purge_expired(entry.inserted);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Overwrite: drop the stale index slot; the map node stays put.
     expiry_.erase(it->second.expiry_it);
   } else {
-    if (entries_.size() >= max_entries_) {
-      // Sweep *all* expired entries before charging anyone a capacity
-      // eviction: a cache saturated with dead entries is not "full".
-      purge_expired(entry.inserted);
-      while (entries_.size() >= max_entries_) evict_for_capacity();
-    }
+    // The sweep above already cleared dead entries, so anything evicted
+    // for capacity now is genuinely live.
+    while (entries_.size() >= max_entries_) evict_for_capacity();
     it = entries_.emplace(std::move(key), Entry{}).first;
   }
   it->second.data = std::move(entry);
@@ -129,17 +133,28 @@ void Cache::clear() {
 
 size_t Cache::approx_bytes() const {
   // Hash-map node ≈ key + entry + bucket/next pointers; the multimap node
-  // carries the usual rb-tree overhead. Commutative integer sum, so the
-  // hash iteration order cannot leak into the result.
-  constexpr size_t kMapNodeOverhead = 2 * sizeof(void*);
-  constexpr size_t kTreeNodeOverhead = 4 * sizeof(void*);
+  // carries the usual rb-tree overhead. Every node and record vector is a
+  // separate allocation, so each is charged obs::kAllocOverheadBytes, and
+  // the rrsets' owned heap (name/rdata spill) is counted per record.
+  // Commutative integer sum, so the hash iteration order cannot leak into
+  // the result.
+  constexpr size_t kMapNodeOverhead =
+      2 * sizeof(void*) + obs::kAllocOverheadBytes;
+  constexpr size_t kTreeNodeOverhead =
+      4 * sizeof(void*) + obs::kAllocOverheadBytes;
   size_t bytes =
       entries_.size() *
           (sizeof(Key) + sizeof(Entry) + kMapNodeOverhead) +
       expiry_.size() *
-          (sizeof(net::SimTime) + sizeof(const Key*) + kTreeNodeOverhead);
+          (sizeof(net::SimTime) + sizeof(const Key*) + kTreeNodeOverhead) +
+      entries_.bucket_count() * sizeof(void*);
   for (const auto& [key, entry] : entries_) {  // lint: order-insensitive
-    bytes += entry.data.records.capacity() * sizeof(ResourceRecord);
+    bytes += key.name.approx_heap_bytes();
+    if (entry.data.records.capacity() != 0) {
+      bytes += entry.data.records.capacity() * sizeof(ResourceRecord) +
+               obs::kAllocOverheadBytes;
+    }
+    for (const auto& rr : entry.data.records) bytes += rr.approx_heap_bytes();
   }
   return bytes;
 }

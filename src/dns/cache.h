@@ -9,7 +9,11 @@
 // copied on lookup; TTL aging is computed once per hit and applied lazily
 // by the caller. Eviction runs off an expiry-ordered index (multimap, so
 // equal expiries keep insertion order and eviction stays deterministic)
-// instead of the old O(n) scan per capacity-bound insert.
+// instead of the old O(n) scan per capacity-bound insert. Every insert
+// also sweeps entries already past their TTL: expired entries can only
+// read as misses, so the sweep is invisible to lookups, and it keeps a
+// lane's cache sized by what is *live* — million-device campaigns would
+// otherwise strand expired short-TTL rrsets in every touched lane.
 #pragma once
 
 #include <cstdint>

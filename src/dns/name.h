@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/memory.h"
 #include "util/smallvec.h"
 
 namespace curtain::dns {
@@ -82,6 +83,20 @@ class DnsName {
 
   /// Hash compatible with operator== (labels are canonically lowercased).
   size_t hash() const;
+
+  /// Heap bytes this name owns beyond its object footprint: the label
+  /// buffer once it spills the std::string small-buffer and the offset
+  /// array once it spills the inline slots, each charged
+  /// obs::kAllocOverheadBytes. Zero for typical short names — a profiling
+  /// gauge (obs/memory.h), not an exact audit.
+  size_t approx_heap_bytes() const {
+    size_t heap = 0;
+    if (bytes_.capacity() > std::string().capacity())
+      heap += bytes_.capacity() + 1 + obs::kAllocOverheadBytes;
+    if (!ends_.inlined())
+      heap += ends_.capacity() * sizeof(uint8_t) + obs::kAllocOverheadBytes;
+    return heap;
+  }
 
  private:
   std::string bytes_;  ///< concatenated lowercased labels, no separators

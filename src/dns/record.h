@@ -91,6 +91,11 @@ struct ResourceRecord {
 
   bool operator==(const ResourceRecord&) const = default;
 
+  /// Heap bytes the record owns beyond sizeof(ResourceRecord): name and
+  /// rdata-name spill, TXT string storage. A profiling gauge
+  /// (obs/memory.h) for cache accounting, not an exact audit.
+  size_t approx_heap_bytes() const;
+
   /// Human-readable zone-file-ish line for logs and tests.
   std::string to_string() const;
 };

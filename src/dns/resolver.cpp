@@ -65,31 +65,20 @@ RecursiveResolver::RecursiveResolver(std::string name, net::NodeId node,
   set_state_lanes(1);
 }
 
-void RecursiveResolver::set_state_lanes(size_t lanes) {
-  lanes_.clear();
-  lanes_.resize(lanes == 0 ? 1 : lanes);
-}
+void RecursiveResolver::set_state_lanes(size_t lanes) { lanes_.reset(lanes); }
 
 obs::LaneMemory RecursiveResolver::approx_lane_bytes() const {
   obs::LaneMemory memory;
-  memory.state_bytes += lanes_.capacity() * sizeof(lanes_[0]);
-  for (const auto& lane : lanes_) {
-    if (!lane) continue;
-    memory.state_bytes += sizeof(LaneState);
-    memory.cache_bytes += lane->cache.approx_bytes();
+  memory.state_bytes += lanes_.approx_container_bytes();
+  // Commutative integer sum: hash order cannot leak into the result.
+  for (const auto& [lane, state] : lanes_) {  // lint: order-insensitive
+    memory.cache_bytes += state.cache.approx_bytes();
   }
   return memory;
 }
 
 RecursiveResolver::LaneState& RecursiveResolver::lane_state() const {
-  const auto lane = static_cast<size_t>(net::current_state_lane());
-  auto& slot = lanes_[lane < lanes_.size() ? lane : 0];
-  if (!slot) {
-    slot = std::make_unique<LaneState>();
-    // CDN-era resolvers honor short TTLs; cap at a day like common software.
-    slot->cache.set_ttl_bounds(0, 86400);
-  }
-  return *slot;
+  return lanes_[static_cast<size_t>(net::current_state_lane())];
 }
 
 ResolutionResult RecursiveResolver::resolve(const DnsName& name, RRType type,

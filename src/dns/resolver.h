@@ -150,13 +150,15 @@ class RecursiveResolver : public DnsServer {
 
   /// Mutable query-time state, one copy per state lane.
   struct LaneState {
+    /// CDN-era resolvers honor short TTLs; cap at a day like common
+    /// software.
+    LaneState() { cache.set_ttl_bounds(0, 86400); }
     Cache cache;
     uint16_t next_query_id = 1;
     bool warming = false;  ///< reentrancy guard for the warm-hit path
   };
-  /// The calling thread's lane state, allocated on first touch. Lazy
-  /// creation is race-free: a lane belongs to exactly one device, and a
-  /// device's whole timeline runs on one thread (exec/shard.h).
+  /// The calling thread's lane state, materialized on first touch (the
+  /// sparse-table rules — clamping, race-freedom — are LaneTable's).
   LaneState& lane_state() const;
 
   std::string name_;
@@ -165,7 +167,7 @@ class RecursiveResolver : public DnsServer {
   const net::Topology* topology_;
   const ServerRegistry* registry_;
   net::Ipv4Addr root_ip_;
-  mutable std::vector<std::unique_ptr<LaneState>> lanes_;
+  mutable net::LaneTable<LaneState> lanes_;
   double warm_hit_p_ = 0.0;
   double bg_interarrival_s_ = 0.0;
   bool ecs_enabled_ = false;

@@ -6,7 +6,6 @@
 #include <limits>
 #include <thread>
 
-#include "cellular/fleet.h"
 #include "net/shard_slot.h"
 #include "obs/flight_recorder.h"
 #include "obs/memory.h"
@@ -14,59 +13,6 @@
 
 namespace curtain::exec {
 namespace {
-
-/// Appends `in` to `out`, renumbering experiment ids and trace indices as
-/// if `in`'s records had been produced right after `out`'s.
-void append_shard(measure::Dataset& out, measure::Dataset& in) {
-  // Renumbering bases must fit the record id types or merged ids collide.
-  CURTAIN_CHECK(out.experiments.size() + in.experiments.size() <=
-                std::numeric_limits<uint32_t>::max())
-      << "merged experiment ids overflow uint32 at "
-      << out.experiments.size() << " + " << in.experiments.size();
-  CURTAIN_CHECK(out.resolution_traces.size() + in.resolution_traces.size() <=
-                static_cast<size_t>(std::numeric_limits<int32_t>::max()))
-      << "merged trace indices overflow int32";
-  const auto experiment_base = static_cast<uint32_t>(out.experiments.size());
-  const auto trace_base = static_cast<int32_t>(out.resolution_traces.size());
-
-  out.experiments.reserve(out.experiments.size() + in.experiments.size());
-  for (auto& record : in.experiments) {
-    record.experiment_id += experiment_base;
-    out.experiments.push_back(std::move(record));
-  }
-  out.resolutions.reserve(out.resolutions.size() + in.resolutions.size());
-  for (auto& record : in.resolutions) {
-    record.experiment_id += experiment_base;
-    if (record.trace_index >= 0) {
-      CURTAIN_DCHECK(static_cast<size_t>(record.trace_index) <
-                     in.resolution_traces.size())
-          << "shard-local trace_index " << record.trace_index
-          << " out of range before renumbering";
-      record.trace_index += trace_base;
-    }
-    out.resolutions.push_back(std::move(record));
-  }
-  out.probes.reserve(out.probes.size() + in.probes.size());
-  for (auto& record : in.probes) {
-    record.experiment_id += experiment_base;
-    out.probes.push_back(std::move(record));
-  }
-  out.traceroutes.reserve(out.traceroutes.size() + in.traceroutes.size());
-  for (auto& record : in.traceroutes) {
-    record.experiment_id += experiment_base;
-    out.traceroutes.push_back(std::move(record));
-  }
-  for (auto& record : in.resolver_observations) {
-    record.experiment_id += experiment_base;
-    out.resolver_observations.push_back(std::move(record));
-  }
-  for (auto& record : in.vantage_probes) {
-    out.vantage_probes.push_back(std::move(record));
-  }
-  for (auto& trace : in.resolution_traces) {
-    out.resolution_traces.push_back(std::move(trace));
-  }
-}
 
 /// Cohorts per carrier for the auto (cohorts == 0) setting: oversubscribe
 /// the worker pool ~4× so the deterministic pull queue load-balances
@@ -81,6 +27,21 @@ int resolve_cohorts(int cohorts, int workers, size_t carriers) {
   return want > 64 ? 64 : want;
 }
 
+/// Device-id band width: 1000 at paper scale (so ids match the study's
+/// published numbering exactly), widened by decimal orders of magnitude
+/// when any carrier's fleet outgrows it — ids stay unique and stable per
+/// (carrier, enrollment ordinal) at any fleet size.
+uint64_t resolve_id_band(
+    const std::vector<CampaignEngine::CarrierRef>& carriers) {
+  uint64_t band = 1000;
+  for (const auto& carrier : carriers) {
+    const auto clients =
+        static_cast<uint64_t>(carrier.network.profile().study_clients);
+    while (clients >= band) band *= 1000;
+  }
+  return band;
+}
+
 }  // namespace
 
 CampaignEngine::CampaignEngine(measure::WorldView world,
@@ -91,18 +52,21 @@ CampaignEngine::CampaignEngine(measure::WorldView world,
   if (config_.workers < 1) config_.workers = 1;
   cohorts_ = resolve_cohorts(config_.cohorts, config_.workers,
                              carriers.size());
+  const uint64_t id_band = resolve_id_band(carriers);
 
-  // Build each carrier's fleet exactly once, then slice it into cohorts.
-  // State lanes are global device-enrollment ordinals (+1 to skip the
-  // main thread's lane 0): they advance across carriers in carrier-table
-  // order and never depend on the cohort count, so a device keeps the
-  // same lane — and therefore the same laned state — under every
-  // partition.
+  // Build each carrier's fleet arena exactly once, then slice it into
+  // cohorts of device handles. State lanes are global device-enrollment
+  // ordinals (+1 to skip the main thread's lane 0): they advance across
+  // carriers in carrier-table order and never depend on the cohort count,
+  // so a device keeps the same lane — and therefore the same laned state —
+  // under every partition.
   int shard_index = 0;
   int lane_base = 1;
   for (const CarrierRef& carrier : carriers) {
-    auto fleet = cellular::build_carrier_fleet(
-        carrier.network, carrier.carrier_index, config_.seed);
+    fleets_.push_back(
+        std::make_unique<cellular::Fleet>(cellular::build_carrier_fleet(
+            carrier.network, carrier.carrier_index, config_.seed, id_band)));
+    cellular::Fleet& fleet = *fleets_.back();
     const size_t fleet_size = fleet.size();
     for (int k = 0; k < cohorts_; ++k) {
       // Contiguous slice [k*N/C, (k+1)*N/C): covers the fleet exactly,
@@ -114,8 +78,8 @@ CampaignEngine::CampaignEngine(measure::WorldView world,
       std::vector<Shard::CohortDevice> slice;
       slice.reserve(end - begin);
       for (size_t d = begin; d < end; ++d) {
-        slice.push_back(Shard::CohortDevice{
-            std::move(fleet[d]), lane_base + static_cast<int>(d)});
+        slice.push_back(Shard::CohortDevice{fleet.device(d),
+                                            lane_base + static_cast<int>(d)});
       }
       shards_.push_back(std::make_unique<Shard>(
           shard_index++, carrier.carrier_index, k, carrier.network, world,
@@ -137,7 +101,13 @@ size_t CampaignEngine::device_count() const {
   return count;
 }
 
-void CampaignEngine::run(measure::Dataset& dataset) {
+size_t CampaignEngine::fleet_arena_bytes() const {
+  size_t bytes = 0;
+  for (const auto& fleet : fleets_) bytes += fleet->arena_bytes();
+  return bytes;
+}
+
+void CampaignEngine::run_pool() {
   // A shard slot that exceeds the route cache's way count would silently
   // fall back to way 0 and race the main thread; the study wires the
   // ways after construction, so verify the contract here.
@@ -208,7 +178,7 @@ void CampaignEngine::run(measure::Dataset& dataset) {
             worker_lane, static_cast<int32_t>(i), pickup_us,
             recorder.now_us(), pickup_us - queue_open_us,
             static_cast<double>(shards_.size() - pulled),
-            obs::read_current_rss_bytes(), shard.approx_dataset_bytes());
+            obs::read_current_rss_bytes(), shard.approx_record_bytes());
         stats_[i].queue_wait_ms =
             static_cast<double>(pickup_us - queue_open_us) / 1000.0;
         stats_[i].worker = worker_lane;
@@ -221,17 +191,69 @@ void CampaignEngine::run(measure::Dataset& dataset) {
     threads.emplace_back(work, static_cast<uint16_t>(w + 1));
   }
   for (auto& thread : threads) thread.join();
+}
+
+void CampaignEngine::run(measure::RecordSink& sink) {
+  run_pool();
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  const bool profiling = recorder.enabled();
 
   // Deterministic merge: shard-index order — (carrier, cohort) order,
   // i.e. global device-enrollment order — independent of which worker
-  // finished when. This is what makes every (cohorts, workers) setting
-  // export byte-identical results.
-  const int64_t merge_data_start_us = profiling ? recorder.now_us() : 0;
-  for (auto& shard : shards_) append_shard(dataset, shard->dataset());
+  // finished when. Renumbering per shard with accumulated bases makes the
+  // drained stream indistinguishable from one sequential run, which is
+  // what makes every (cohorts, workers, block-rows) setting export
+  // byte-identical results.
+  const int64_t merge_records_start_us = profiling ? recorder.now_us() : 0;
+  uint32_t experiment_base = 0;
+  int32_t trace_base = 0;
+  for (auto& shard : shards_) {
+    measure::RecordStore& records = shard->records();
+    const size_t experiments = records.experiment_count();
+    const size_t traces = records.trace_count();
+    records.drain_renumbered(sink, experiment_base, trace_base);
+    CURTAIN_CHECK(experiments <=
+                  std::numeric_limits<uint32_t>::max() - experiment_base)
+        << "merged experiment ids overflow uint32";
+    CURTAIN_CHECK(traces <= static_cast<size_t>(
+                                std::numeric_limits<int32_t>::max() -
+                                trace_base))
+        << "merged trace indices overflow int32";
+    experiment_base += static_cast<uint32_t>(experiments);
+    trace_base += static_cast<int32_t>(traces);
+  }
+  sink.finish();
   if (profiling) {
-    recorder.record_phase(0, "merge_datasets", merge_data_start_us,
+    recorder.record_phase(0, "merge_records", merge_records_start_us,
                           recorder.now_us());
   }
+  const int64_t merge_metrics_start_us = profiling ? recorder.now_us() : 0;
+  for (auto& shard : shards_) {
+    obs::metrics().merge_snapshot(shard->sheaf().snapshot());
+  }
+  if (profiling) {
+    recorder.record_phase(0, "merge_metrics", merge_metrics_start_us,
+                          recorder.now_us());
+    recorder.record_counter(0, "rss_mb", recorder.now_us(),
+                            static_cast<double>(obs::read_current_rss_bytes()) /
+                                (1024.0 * 1024.0));
+  }
+}
+
+void CampaignEngine::run_streaming(
+    const std::vector<measure::RecordSink*>& sinks) {
+  CURTAIN_CHECK(sinks.size() == shards_.size())
+      << "run_streaming needs one sink per shard: " << sinks.size()
+      << " sinks for " << shards_.size() << " shards";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    CURTAIN_CHECK(sinks[i] != nullptr) << "null sink for shard " << i;
+    shards_[i]->stream_to(sinks[i]);
+  }
+  run_pool();
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  const bool profiling = recorder.enabled();
   const int64_t merge_metrics_start_us = profiling ? recorder.now_us() : 0;
   for (auto& shard : shards_) {
     obs::metrics().merge_snapshot(shard->sheaf().snapshot());

@@ -13,27 +13,34 @@
 // keyed by (seed, device id) alone; every piece of result-visible mutable
 // state is keyed by the device's global state lane (net/shard_slot.h),
 // which depends only on the fleet — never on cohort or worker counts.
-// Fleets are built once per carrier and sliced, so the devices themselves
-// are partition-invariant too. The merge happens in (carrier, cohort)
-// order, which equals global device-enrollment order; together this makes
-// the merged dataset and metrics byte-identical for every cohort count
+// Fleets are built once per carrier (as SoA arenas the engine owns) and
+// sliced into device handles, so the devices themselves are
+// partition-invariant too. The merge happens in (carrier, cohort) order,
+// which equals global device-enrollment order; together this makes the
+// merged record stream and metrics byte-identical for every cohort count
 // and worker count — both knobs are purely wall-clock levers.
 //
-// Merge semantics:
-//   * datasets are concatenated in shard order, renumbering experiment_id
-//     and trace_index so the result is indistinguishable from one
-//     sequential run over the same shard order;
-//   * each shard's metrics sheaf is summed into the calling thread's
-//     registry (normally the global one), in shard order; histogram sums
-//     accumulate in fixed point, so even the merged totals are exact and
-//     partition-invariant.
+// Two output modes:
+//   * run(sink): each shard retains its record blocks; after the join the
+//     engine drains them into `sink` in shard-index order, renumbering
+//     experiment ids and trace indices so the stream is indistinguishable
+//     from one sequential run over the same shard order;
+//   * run_streaming(sinks): each shard drains sealed blocks to its own
+//     sink *during* the run, on the worker thread, with shard-local ids —
+//     the bounded-memory path for 10^6-device fleets (peak record memory
+//     is one open block per shard).
+// In both modes each shard's metrics sheaf is summed into the calling
+// thread's registry, in shard order; histogram sums accumulate in fixed
+// point, so even the merged totals are exact and partition-invariant.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cellular/fleet.h"
 #include "exec/shard.h"
+#include "measure/record_store.h"
 #include "measure/worldview.h"
 
 namespace curtain::exec {
@@ -94,19 +101,37 @@ class CampaignEngine {
   /// Cohorts per carrier after resolving the auto (0) setting.
   int cohorts_per_carrier() const { return cohorts_; }
 
-  /// Runs every shard on a pool of min(workers, shards) threads pulling
-  /// from a deterministic queue, then merges shard datasets into
-  /// `dataset` and shard metric sheaves into the calling thread's
-  /// registry, both in shard-index order.
-  void run(measure::Dataset& dataset);
+  /// Bytes of all carrier fleet arenas (SoA device state). A profiling
+  /// gauge — see obs/memory.h.
+  size_t fleet_arena_bytes() const;
 
-  /// Populated by run(): one entry per shard, in shard order.
+  /// Runs every shard on a pool of min(workers, shards) threads pulling
+  /// from a deterministic queue, then drains shard record blocks into
+  /// `sink` (renumbered, in shard-index order, finish()ed at the end) and
+  /// merges shard metric sheaves into the calling thread's registry.
+  void run(measure::RecordSink& sink);
+
+  /// Bounded-memory mode: `sinks[i]` consumes shard i's sealed blocks on
+  /// the worker thread as they fill, with shard-local experiment ids.
+  /// `sinks` must have exactly shard_count() entries; each sink sees its
+  /// shard's complete stream (finish() included) but sinks for different
+  /// shards run concurrently. Metrics merge as in run().
+  void run_streaming(const std::vector<measure::RecordSink*>& sinks);
+
+  /// Populated by run()/run_streaming(): one entry per shard, in shard
+  /// order.
   const std::vector<ShardStat>& shard_stats() const { return stats_; }
 
  private:
+  /// The shared worker-pool execution (everything up to the join).
+  void run_pool();
+
   EngineConfig config_;
   int cohorts_ = 1;
   measure::WorldView world_;
+  /// Fleet arenas live here (stable addresses) because shards hold Device
+  /// handles that point into them.
+  std::vector<std::unique_ptr<cellular::Fleet>> fleets_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<ShardStat> stats_;
 };

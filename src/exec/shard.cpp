@@ -39,7 +39,12 @@ Shard::Shard(int shard_index, int carrier_index, int cohort_index,
   sheaf_.set_label(label_);
 }
 
-size_t Shard::approx_dataset_bytes() const { return dataset_.approx_bytes(); }
+void Shard::stream_to(measure::RecordSink* sink) {
+  stream_sink_ = sink;
+  records_.drain_to(sink);
+}
+
+size_t Shard::approx_record_bytes() const { return records_.approx_bytes(); }
 
 void Shard::run() {
   shard_metrics().devices.set(static_cast<double>(devices_.size()));
@@ -59,17 +64,23 @@ void Shard::run() {
   for (CohortDevice& entry : devices_) {
     net::StateLaneGuard lane(entry.state_lane);
     runner_.begin_device();
-    net::Rng rng = campaign_rng.derive("device-stream", entry.device->id());
+    net::Rng rng = campaign_rng.derive("device-stream", entry.device.id());
     // Hourly wakes from a per-device phase; each wake tosses the
     // participation coin and possibly runs one experiment.
     net::SimTime at = net::SimTime::from_seconds(rng.uniform(0.0, 3600.0));
     while (at < horizon) {
       shard_metrics().wakeups.inc();
       if (rng.bernoulli(campaign_.participation)) {
-        runner_.run(*entry.device, carrier_index_, at, rng, dataset_);
+        runner_.run(entry.device, carrier_index_, at, rng, records_);
       }
       at = at + net::SimTime::from_hours(1.0);
     }
+  }
+  if (stream_sink_ != nullptr) {
+    // Forward the final partial block and let the sink flush, still on
+    // the worker thread: the engine never touches streamed records.
+    records_.flush();
+    stream_sink_->finish();
   }
 }
 

@@ -6,11 +6,10 @@
 // cohorts per carrier. A shard owns everything mutable its slice of
 // devices touches during the run:
 //
-//   * the cohort's devices (a contiguous slice of the carrier fleet built
-//     by cellular::build_carrier_fleet), each carrying its global state
-//     lane,
+//   * the cohort's devices (handles into the carrier's SoA fleet built by
+//     cellular::build_carrier_fleet), each carrying its global state lane,
 //   * an ExperimentRunner whose sampling counters reset per device,
-//   * a private Dataset the measurements append to, and
+//   * a private RecordStore the measurements append to, and
 //   * a private metrics sheaf (obs::MetricsRegistry) all metric handles
 //     on the executing thread bind to while the shard runs.
 //
@@ -20,12 +19,15 @@
 // draw comes from the device's own stream, derived from (study seed,
 // device id) alone — no shard or cohort index anywhere — so the shard's
 // output is the concatenation of its devices' outputs regardless of the
-// partition. CampaignEngine merges shards in (carrier, cohort) order,
-// which makes the merged dataset byte-identical for every cohort count
-// and worker count.
+// partition. CampaignEngine merges shard record streams in (carrier,
+// cohort) order, which makes the merged stream byte-identical for every
+// cohort count and worker count.
+//
+// For memory-bounded runs, stream_to() puts the shard's store into
+// draining mode: sealed record blocks are forwarded to the given sink on
+// the worker thread (with shard-local ids) instead of being retained.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,7 +35,7 @@
 #include "cellular/device.h"
 #include "measure/campaign.h"
 #include "measure/experiment.h"
-#include "measure/records.h"
+#include "measure/record_store.h"
 #include "measure/worldview.h"
 #include "net/rng.h"
 #include "obs/metrics.h"
@@ -45,7 +47,7 @@ class Shard {
   /// One enrolled device plus the global state lane its timeline runs in
   /// (lane = fleet-wide enrollment ordinal + 1; see net/shard_slot.h).
   struct CohortDevice {
-    std::unique_ptr<cellular::Device> device;
+    cellular::Device device;
     int state_lane = 0;
   };
 
@@ -63,16 +65,20 @@ class Shard {
   const std::string& label() const { return label_; }
 
   /// The shard's private outputs; owned here until the engine merges them.
-  measure::Dataset& dataset() { return dataset_; }
+  measure::RecordStore& records() { return records_; }
   obs::MetricsRegistry& sheaf() { return sheaf_; }
 
-  /// Approximate heap bytes of the shard's private dataset — what this
-  /// shard contributed to the run's memory high-water mark. A profiling
-  /// gauge for the flight recorder (obs/memory.h).
-  size_t approx_dataset_bytes() const;
+  /// Streams sealed record blocks to `sink` (on the worker thread, with
+  /// shard-local ids) instead of retaining them. Must be set before run().
+  void stream_to(measure::RecordSink* sink);
 
-  /// Runs the shard's whole campaign into its private dataset. Must run
-  /// with the shard slot (net::ShardSlotGuard) and the sheaf
+  /// Approximate heap bytes of the shard's private record store — what
+  /// this shard contributed to the run's memory high-water mark. A
+  /// profiling gauge for the flight recorder (obs/memory.h).
+  size_t approx_record_bytes() const;
+
+  /// Runs the shard's whole campaign into its private record store. Must
+  /// run with the shard slot (net::ShardSlotGuard) and the sheaf
   /// (obs::ScopedMetricsSheaf) bound; binds each device's state lane
   /// itself.
   void run();
@@ -86,7 +92,8 @@ class Shard {
   uint64_t seed_;
   measure::ExperimentRunner runner_;
   std::vector<CohortDevice> devices_;
-  measure::Dataset dataset_;
+  measure::RecordStore records_;
+  measure::RecordSink* stream_sink_ = nullptr;
   obs::MetricsRegistry sheaf_;
 };
 

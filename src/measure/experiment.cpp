@@ -75,7 +75,7 @@ void ExperimentRunner::probe_target(cellular::Device& device,
                                     ProbeTargetKind target_kind,
                                     ResolverKind kind, net::Ipv4Addr target,
                                     uint32_t experiment_id, net::SimTime& now,
-                                    net::Rng& rng, Dataset& dataset,
+                                    net::Rng& rng, RecordStore& records,
                                     uint16_t domain_index, bool with_http) {
   {
     const ProbeOrigin origin = origin_for(device, now, rng);
@@ -89,7 +89,7 @@ void ExperimentRunner::probe_target(cellular::Device& device,
     record.is_http = false;
     record.responded = ping.responded;
     record.rtt_ms = ping.rtt_ms;
-    dataset.probes.push_back(std::move(record));
+    records.add_probe(record);
     experiment_metrics().probes.inc();
     now += ms(ping.responded ? ping.rtt_ms : 1000.0);  // timeout cost
   }
@@ -105,7 +105,7 @@ void ExperimentRunner::probe_target(cellular::Device& device,
     record.is_http = true;
     record.responded = http.responded;
     record.rtt_ms = http.ttfb_ms;
-    dataset.probes.push_back(std::move(record));
+    records.add_probe(record);
     experiment_metrics().probes.inc();
     now += ms(http.responded ? http.ttfb_ms : 2000.0);
   }
@@ -118,9 +118,12 @@ void ExperimentRunner::probe_target(cellular::Device& device,
     record.target_kind = target_kind;
     record.reached = trace.reached;
     record.hop_names = std::move(trace.hop_names);
-    dataset.traceroutes.push_back(std::move(record));
+    records.add_traceroute(std::move(record));
     experiment_metrics().traceroutes.inc();
-    now += ms(50.0 * static_cast<double>(record.hop_names.size() + 1));
+    // One 50 ms hop budget, regardless of hop count: the pre-block code
+    // computed this from hop_names *after* moving it into the dataset, so
+    // the count it saw was always zero. Kept for byte-compatibility.
+    now += ms(50.0);
   }
 }
 
@@ -128,7 +131,7 @@ void ExperimentRunner::measure_domains(cellular::Device& device,
                                        ResolverKind kind,
                                        net::Ipv4Addr resolver_ip,
                                        uint32_t experiment_id, net::SimTime& now,
-                                       net::Rng& rng, Dataset& dataset) {
+                                       net::Rng& rng, RecordStore& records) {
   const auto& domains = cdn::study_domains();
   for (uint16_t d = 0; d < domains.size(); ++d) {
     const auto host = dns::DnsName::parse(domains[d].host);
@@ -158,9 +161,7 @@ void ExperimentRunner::measure_domains(cellular::Device& device,
         // Attach only complete resolutions: the 5 s timeout sentinel is not
         // decomposable into spans, so it would break the partition invariant.
         if (result.responded) {
-          record.trace_index =
-              static_cast<int32_t>(dataset.resolution_traces.size());
-          dataset.resolution_traces.push_back(std::move(trace));
+          record.trace_index = records.add_trace(std::move(trace));
           experiment_metrics().traces.inc();
         }
       }
@@ -176,13 +177,13 @@ void ExperimentRunner::measure_domains(cellular::Device& device,
         std::sort(replicas.begin(), replicas.end());
         replicas.erase(std::unique(replicas.begin(), replicas.end()),
                        replicas.end());
-        dataset.resolutions.push_back(std::move(record));
+        records.add_resolution(std::move(record));
         for (const net::Ipv4Addr replica : replicas) {
           probe_target(device, ProbeTargetKind::kReplica, kind, replica,
-                       experiment_id, now, rng, dataset, d, /*with_http=*/true);
+                       experiment_id, now, rng, records, d, /*with_http=*/true);
         }
       } else {
-        dataset.resolutions.push_back(std::move(record));
+        records.add_resolution(std::move(record));
       }
     }
   }
@@ -193,7 +194,7 @@ void ExperimentRunner::identify_resolver(cellular::Device& device,
                                          net::Ipv4Addr resolver_ip,
                                          uint32_t experiment_id,
                                          net::SimTime& now, net::Rng& rng,
-                                         Dataset& dataset) {
+                                         RecordStore& records) {
   const dns::DnsName probe =
       identifier_.probe_name(device.id(), ident_counter_++);
   dns::StubResolver stub(device.gateway_node(), device.snapshot().public_ip,
@@ -211,25 +212,23 @@ void ExperimentRunner::identify_resolver(cellular::Device& device,
     observation.external_ip = *external;
   }
   now += ms(result.responded ? result.total_ms : 5000.0);
-  dataset.resolver_observations.push_back(observation);
+  records.add_observation(observation);
 
   // Ping (+ sampled traceroute) the identified external resolver; for the
   // locally configured resolver this is the Fig. 4 "External" series.
   if (observation.responded) {
     probe_target(device, ProbeTargetKind::kExternalResolver, kind,
-                 observation.external_ip, experiment_id, now, rng, dataset);
+                 observation.external_ip, experiment_id, now, rng, records);
   }
 }
 
 net::SimTime ExperimentRunner::run(cellular::Device& device, int carrier_index,
                                    net::SimTime start, net::Rng& rng,
-                                   Dataset& dataset) {
-  const auto experiment_id = static_cast<uint32_t>(dataset.experiments.size());
+                                   RecordStore& records) {
   experiment_metrics().experiments.inc();
   const cellular::DeviceSnapshot snapshot = device.begin_experiment(start, rng);
 
   ExperimentContext context;
-  context.experiment_id = experiment_id;
   context.device_id = device.id();
   context.carrier_index = carrier_index;
   context.started = start;
@@ -238,38 +237,38 @@ net::SimTime ExperimentRunner::run(cellular::Device& device, int carrier_index,
   context.gateway_index = snapshot.gateway_index;
   context.public_ip = snapshot.public_ip;
   context.configured_resolver = snapshot.configured_resolver;
-  dataset.experiments.push_back(context);
+  const uint32_t experiment_id = records.add_experiment(context);
 
   net::SimTime now = start;
 
   // 1. Bootstrap ping: pays the RRC promotion so the measurements that
   //    follow see the radio in its high-power state (§3.2).
   probe_target(device, ProbeTargetKind::kBootstrap, ResolverKind::kLocal,
-               config_.google_vip, experiment_id, now, rng, dataset);
+               config_.google_vip, experiment_id, now, rng, records);
 
   // 2. Domain resolutions + replica probes for all three resolver kinds.
   measure_domains(device, ResolverKind::kLocal, snapshot.configured_resolver,
-                  experiment_id, now, rng, dataset);
+                  experiment_id, now, rng, records);
   measure_domains(device, ResolverKind::kGoogle, config_.google_vip,
-                  experiment_id, now, rng, dataset);
+                  experiment_id, now, rng, records);
   measure_domains(device, ResolverKind::kOpenDns, config_.opendns_vip,
-                  experiment_id, now, rng, dataset);
+                  experiment_id, now, rng, records);
 
   // 3. Resolver identification (+ external resolver probes).
   identify_resolver(device, ResolverKind::kLocal, snapshot.configured_resolver,
-                    experiment_id, now, rng, dataset);
+                    experiment_id, now, rng, records);
   identify_resolver(device, ResolverKind::kGoogle, config_.google_vip,
-                    experiment_id, now, rng, dataset);
+                    experiment_id, now, rng, records);
   identify_resolver(device, ResolverKind::kOpenDns, config_.opendns_vip,
-                    experiment_id, now, rng, dataset);
+                    experiment_id, now, rng, records);
 
   // 4. Probes to the configured resolver and the public VIPs (Figs. 4, 11).
   probe_target(device, ProbeTargetKind::kClientResolver, ResolverKind::kLocal,
-               snapshot.configured_resolver, experiment_id, now, rng, dataset);
+               snapshot.configured_resolver, experiment_id, now, rng, records);
   probe_target(device, ProbeTargetKind::kPublicVip, ResolverKind::kGoogle,
-               config_.google_vip, experiment_id, now, rng, dataset);
+               config_.google_vip, experiment_id, now, rng, records);
   probe_target(device, ProbeTargetKind::kPublicVip, ResolverKind::kOpenDns,
-               config_.opendns_vip, experiment_id, now, rng, dataset);
+               config_.opendns_vip, experiment_id, now, rng, records);
 
   return now;
 }

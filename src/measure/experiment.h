@@ -15,7 +15,7 @@
 
 #include "cellular/device.h"
 #include "measure/probes.h"
-#include "measure/records.h"
+#include "measure/record_store.h"
 #include "measure/resolver_ident.h"
 
 namespace curtain::measure {
@@ -46,24 +46,24 @@ class ExperimentRunner {
   void begin_device();
 
   /// Runs one experiment for `device` starting at `start`; appends all
-  /// records to `dataset` and returns the experiment's end time.
+  /// records to `records` and returns the experiment's end time.
   net::SimTime run(cellular::Device& device, int carrier_index,
-                   net::SimTime start, net::Rng& rng, Dataset& dataset);
+                   net::SimTime start, net::Rng& rng, RecordStore& records);
 
  private:
   /// One resolver kind's slice of the experiment (step 2 for one column).
   void measure_domains(cellular::Device& device, ResolverKind kind,
                        net::Ipv4Addr resolver_ip, uint32_t experiment_id,
-                       net::SimTime& now, net::Rng& rng, Dataset& dataset);
+                       net::SimTime& now, net::Rng& rng, RecordStore& records);
 
   void identify_resolver(cellular::Device& device, ResolverKind kind,
                          net::Ipv4Addr resolver_ip, uint32_t experiment_id,
-                         net::SimTime& now, net::Rng& rng, Dataset& dataset);
+                         net::SimTime& now, net::Rng& rng, RecordStore& records);
 
   void probe_target(cellular::Device& device, ProbeTargetKind target_kind,
                     ResolverKind kind, net::Ipv4Addr target,
                     uint32_t experiment_id, net::SimTime& now, net::Rng& rng,
-                    Dataset& dataset, uint16_t domain_index = 0,
+                    RecordStore& records, uint16_t domain_index = 0,
                     bool with_http = false);
 
   ProbeOrigin origin_for(cellular::Device& device, net::SimTime now,

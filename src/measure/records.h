@@ -5,6 +5,12 @@
 // probe RTTs, traceroute hop lists, and resolver identities learned through
 // the research ADNS. Analyses never peek at simulator internals; they work
 // from these records exactly as the paper worked from its app logs.
+//
+// These are *transfer* structs: producers fill one record at a time and hand
+// it to a measure::RecordStore (record_store.h), which packs the fields into
+// columnar record blocks (record_block.h). Nothing retains vectors of these
+// fat structs any more — that is the whole point of the record-block
+// pipeline (DESIGN.md §15).
 #pragma once
 
 #include <cstdint>
@@ -15,8 +21,6 @@
 #include "net/geo.h"
 #include "net/ipv4.h"
 #include "net/time.h"
-#include "obs/trace.h"
-#include "util/contract.h"
 
 namespace curtain::measure {
 
@@ -47,7 +51,7 @@ struct DnsMeasurement {
   bool second_lookup = false;  ///< back-to-back repeat (Fig. 7)
   double resolution_ms = 0.0;
   std::vector<net::Ipv4Addr> addresses;
-  /// Index into Dataset::resolution_traces when this resolution was
+  /// Index into the store's resolution traces when this resolution was
   /// sampled for hop-by-hop tracing; -1 otherwise.
   int32_t trace_index = -1;
 };
@@ -97,56 +101,6 @@ struct VantageProbe {
   int carrier_index = 0;
   bool ping_responded = false;
   bool traceroute_reached = false;
-};
-
-/// The whole campaign's output.
-struct Dataset {
-  std::vector<ExperimentContext> experiments;
-  std::vector<DnsMeasurement> resolutions;
-  std::vector<ProbeMeasurement> probes;
-  std::vector<TracerouteMeasurement> traceroutes;
-  std::vector<ResolverObservation> resolver_observations;
-  std::vector<VantageProbe> vantage_probes;
-  /// Hop-by-hop virtual-time traces of sampled resolutions (see
-  /// DnsMeasurement::trace_index).
-  std::vector<obs::ResolutionTrace> resolution_traces;
-
-  const ExperimentContext& context_of(uint32_t experiment_id) const {
-    CURTAIN_DCHECK(experiment_id < experiments.size())
-        << "experiment " << experiment_id << " of " << experiments.size();
-    return experiments[experiment_id];
-  }
-
-  /// Totals the paper reports in §3.1 (for sanity reporting).
-  size_t total_resolutions() const { return resolutions.size(); }
-  size_t total_probes() const { return probes.size() + traceroutes.size(); }
-
-  /// Approximate heap footprint of the record vectors, counting
-  /// *capacities* (what RSS sees) plus the dynamic payloads inside
-  /// records. A profiling gauge (obs/memory.h) — megabyte-accurate, not
-  /// byte-exact: small-string buffers double-count and allocator
-  /// headers are uncounted.
-  size_t approx_bytes() const {
-    size_t bytes =
-        experiments.capacity() * sizeof(ExperimentContext) +
-        resolutions.capacity() * sizeof(DnsMeasurement) +
-        probes.capacity() * sizeof(ProbeMeasurement) +
-        traceroutes.capacity() * sizeof(TracerouteMeasurement) +
-        resolver_observations.capacity() * sizeof(ResolverObservation) +
-        vantage_probes.capacity() * sizeof(VantageProbe) +
-        resolution_traces.capacity() * sizeof(obs::ResolutionTrace);
-    for (const auto& r : resolutions) {
-      bytes += r.addresses.capacity() * sizeof(net::Ipv4Addr);
-    }
-    for (const auto& t : traceroutes) {
-      bytes += t.hop_names.capacity() * sizeof(std::string);
-      for (const auto& hop : t.hop_names) bytes += hop.capacity();
-    }
-    for (const auto& t : resolution_traces) {
-      bytes += t.spans.capacity() * sizeof(obs::TraceSpan);
-    }
-    return bytes;
-  }
 };
 
 }  // namespace curtain::measure

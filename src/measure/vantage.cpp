@@ -10,15 +10,16 @@ VantageProber::VantageProber(WorldView world, net::NodeId vantage_node,
       vantage_node_(vantage_node),
       vantage_ip_(vantage_ip) {}
 
-void VantageProber::probe_observed_resolvers(Dataset& dataset, net::SimTime now,
+void VantageProber::probe_observed_resolvers(RecordStore& records,
+                                             net::SimTime now,
                                              net::Rng& rng) const {
   // Distinct (carrier, external resolver IP) pairs seen by the fleet.
   std::map<std::pair<int, uint32_t>, bool> seen;
-  for (const auto& observation : dataset.resolver_observations) {
+  for (const auto& observation : records.observations()) {
     if (observation.resolver != ResolverKind::kLocal || !observation.responded) {
       continue;
     }
-    const auto& context = dataset.context_of(observation.experiment_id);
+    const auto& context = records.context_of(observation.experiment_id);
     seen[{context.carrier_index, observation.external_ip.value()}] = true;
   }
 
@@ -36,7 +37,7 @@ void VantageProber::probe_observed_resolvers(Dataset& dataset, net::SimTime now,
     record.ping_responded = probes_.ping(origin, target, now, rng).responded;
     record.traceroute_reached =
         probes_.traceroute(origin, target, now, rng).reached;
-    dataset.vantage_probes.push_back(record);
+    records.add_vantage(record);
   }
 }
 

@@ -8,7 +8,7 @@
 #pragma once
 
 #include "measure/probes.h"
-#include "measure/records.h"
+#include "measure/record_store.h"
 
 namespace curtain::measure {
 
@@ -20,7 +20,7 @@ class VantageProber {
   /// Pings and traceroutes every distinct external resolver address the
   /// fleet observed (local resolver kind only), appending VantageProbe
   /// records keyed by carrier.
-  void probe_observed_resolvers(Dataset& dataset, net::SimTime now,
+  void probe_observed_resolvers(RecordStore& records, net::SimTime now,
                                 net::Rng& rng) const;
 
  private:

@@ -59,6 +59,11 @@ std::string RunReport::render() const {
                   "  config: workers=%d cohorts=%d shards=%zu\n",
                   config.workers, config.cohorts, config.shards);
     out += buf;
+    for (const std::string& flag : config.flags) {
+      out += "    flag ";
+      out += flag;
+      out += "\n";
+    }
   }
   for (const auto& phase : phases) {
     std::snprintf(buf, sizeof(buf), "  phase %-16s %10.1f ms\n",

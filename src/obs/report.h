@@ -27,6 +27,10 @@ struct RunReport {
     int workers = 0;    ///< worker-pool size (resolved CURTAIN_SHARDS)
     int cohorts = 0;    ///< cohorts per carrier (resolved CURTAIN_COHORTS)
     size_t shards = 0;  ///< carriers × cohorts
+    /// Every CURTAIN_* knob with its resolved value, `--help`-style
+    /// ("NAME=value (kind, default D, range R) — help"), from
+    /// util::describe_flags(). One line per flag, declaration order.
+    std::vector<std::string> flags;
     bool set() const { return workers > 0; }
   };
 

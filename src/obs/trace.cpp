@@ -89,7 +89,7 @@ void Tracer::close_span(int index, double now_ms) {
 }
 
 std::vector<ResolutionTrace> Tracer::recent() const {
-  std::vector<ResolutionTrace> out;
+  std::vector<ResolutionTrace> out;  // lint: bounded (copy of the ring)
   if (ring_.size() < ring_capacity_) {
     out = ring_;
   } else {

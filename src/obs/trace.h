@@ -84,7 +84,7 @@ class Tracer {
   ResolutionTrace current_;
   std::vector<int> stack_;  ///< indices of open spans, for depth
 
-  std::vector<ResolutionTrace> ring_;
+  std::vector<ResolutionTrace> ring_;  // lint: bounded (fixed-capacity ring)
   size_t ring_capacity_ = 256;
   size_t ring_next_ = 0;
 };

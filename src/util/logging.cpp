@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
+
+#include "util/flags.h"
 
 namespace curtain::util {
 namespace {
@@ -43,14 +44,14 @@ std::optional<LogLevel> parse_log_level(const std::string& text) {
 }
 
 void init_log_level_from_env() {
-  const char* raw = std::getenv("CURTAIN_LOG");
-  if (raw == nullptr) return;
+  const std::string raw = log_flag();
+  if (raw.empty()) return;
   const auto parsed = parse_log_level(raw);
   if (parsed) {
     set_log_level(*parsed);
   } else {
     log_line(LogLevel::kWarn,
-             std::string("CURTAIN_LOG=") + raw +
+             "CURTAIN_LOG=" + raw +
                  " not understood; expected debug|info|warn|error|off");
   }
 }

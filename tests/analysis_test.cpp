@@ -10,7 +10,7 @@
 namespace curtain::analysis {
 namespace {
 
-using measure::Dataset;
+using measure::RecordStore;
 using measure::ResolverKind;
 
 // --- Ecdf ------------------------------------------------------------------
@@ -177,15 +177,13 @@ class SyntheticDataset : public ::testing::Test {
                           net::Ipv4Addr configured,
                           net::GeoPoint location = {40.0, -74.0}) {
     measure::ExperimentContext context;
-    context.experiment_id = static_cast<uint32_t>(d_.experiments.size());
     context.device_id = device;
     context.carrier_index = carrier;
     context.started = net::SimTime::from_hours(hour);
     context.location = location;
     context.configured_resolver = configured;
     context.public_ip = net::Ipv4Addr{100, 0, 0, 1};
-    d_.experiments.push_back(context);
-    return context.experiment_id;
+    return d_.add_experiment(context);
   }
 
   void add_observation(uint32_t experiment, ResolverKind kind,
@@ -195,7 +193,7 @@ class SyntheticDataset : public ::testing::Test {
     observation.resolver = kind;
     observation.responded = true;
     observation.external_ip = external;
-    d_.resolver_observations.push_back(observation);
+    d_.add_observation(observation);
   }
 
   void add_http(uint32_t experiment, ResolverKind kind, uint16_t domain,
@@ -209,7 +207,7 @@ class SyntheticDataset : public ::testing::Test {
     probe.is_http = true;
     probe.responded = true;
     probe.rtt_ms = ttfb;
-    d_.probes.push_back(probe);
+    d_.add_probe(probe);
   }
 
   void add_resolution(uint32_t experiment, ResolverKind kind, uint16_t domain,
@@ -221,10 +219,10 @@ class SyntheticDataset : public ::testing::Test {
     r.responded = true;
     r.resolution_ms = 40.0;
     r.addresses = std::move(addresses);
-    d_.resolutions.push_back(r);
+    d_.add_resolution(std::move(r));
   }
 
-  Dataset d_;
+  RecordStore d_;
 };
 
 TEST_F(SyntheticDataset, LdnsPairStatsConsistency) {
@@ -344,13 +342,13 @@ TEST_F(SyntheticDataset, EgressExtractionFindsLastCarrierHop) {
   trace.experiment_id = e;
   trace.hop_names = {"Verizon-pgw-7", "ix-Chicago", "fastedge-Chicago-r0"};
   trace.reached = true;
-  d_.traceroutes.push_back(trace);
+  d_.add_traceroute(std::move(trace));
 
   measure::TracerouteMeasurement trace2;
   trace2.experiment_id = e;
   trace2.hop_names = {"Verizon-pgw-9", "*", "ix-Dallas"};
   trace2.reached = false;
-  d_.traceroutes.push_back(trace2);
+  d_.add_traceroute(std::move(trace2));
 
   const auto stats = egress_points(d_);
   EXPECT_EQ(stats[3].egress_points, 2u);
@@ -363,9 +361,9 @@ TEST_F(SyntheticDataset, ReachabilityTable) {
   probe.carrier_index = 1;
   probe.ping_responded = true;
   probe.traceroute_reached = false;
-  d_.vantage_probes.push_back(probe);
+  d_.add_vantage(probe);
   probe.ping_responded = false;
-  d_.vantage_probes.push_back(probe);
+  d_.add_vantage(probe);
   const auto table = external_reachability(d_);
   EXPECT_EQ(table[1].total, 2u);
   EXPECT_EQ(table[1].ping_responded, 1u);

@@ -171,7 +171,9 @@ TEST(XuEra, BuildableWorld) {
   ASSERT_EQ(world.carriers().size(), 4u);
   net::Rng rng(99);
   // A device can attach and resolve through the 3G deployment.
-  Device device(1, &world.carrier(0), net::GeoPoint{40.71, -74.01});
+  Fleet fleet(&world.carrier(0), 1);
+  fleet.enroll(0, 1, net::GeoPoint{40.71, -74.01});
+  Device device = fleet.device(0);
   const auto snapshot = device.begin_experiment(net::SimTime::zero(), rng);
   EXPECT_FALSE(snapshot.configured_resolver.is_unspecified());
   EXPECT_NE(snapshot.radio, RadioTech::kLte);

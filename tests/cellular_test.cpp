@@ -301,7 +301,9 @@ TEST_F(BuiltCarrierTest, RepairEpochChangesHomeEventually) {
 
 TEST_F(BuiltCarrierTest, DeviceChurnsIpOverTime) {
   auto& att = world_->carrier(0);
-  Device device(999, &att, net::GeoPoint{40.7, -74.0});
+  Fleet fleet(&att, 1);
+  fleet.enroll(0, 999, net::GeoPoint{40.7, -74.0});
+  Device device = fleet.device(0);
   std::set<uint32_t> ips;
   std::set<int> gateways;
   for (int hour = 0; hour < 24 * 30; ++hour) {
@@ -316,7 +318,9 @@ TEST_F(BuiltCarrierTest, DeviceChurnsIpOverTime) {
 
 TEST_F(BuiltCarrierTest, DeviceRadioMixMostlyLte) {
   auto& verizon = world_->carrier(3);
-  Device device(1000, &verizon, net::GeoPoint{40.7, -74.0});
+  Fleet fleet(&verizon, 1);
+  fleet.enroll(0, 1000, net::GeoPoint{40.7, -74.0});
+  Device device = fleet.device(0);
   int lte = 0;
   const int trials = 400;
   for (int i = 0; i < trials; ++i) {

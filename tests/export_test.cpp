@@ -9,12 +9,11 @@
 namespace curtain::analysis {
 namespace {
 
-using measure::Dataset;
+using measure::RecordStore;
 
-Dataset tiny_dataset() {
-  Dataset d;
+RecordStore tiny_dataset() {
+  RecordStore d;
   measure::ExperimentContext context;
-  context.experiment_id = 0;
   context.device_id = 42;
   context.carrier_index = 3;  // Verizon
   context.started = net::SimTime::from_hours(5.0);
@@ -22,7 +21,7 @@ Dataset tiny_dataset() {
   context.location = {40.0, -74.0};
   context.public_ip = net::Ipv4Addr{100, 1, 2, 3};
   context.configured_resolver = net::Ipv4Addr{10, 0, 0, 53};
-  d.experiments.push_back(context);
+  d.add_experiment(context);
 
   measure::DnsMeasurement r;
   r.experiment_id = 0;
@@ -31,7 +30,7 @@ Dataset tiny_dataset() {
   r.responded = true;
   r.resolution_ms = 44.25;
   r.addresses = {net::Ipv4Addr{20, 0, 1, 1}, net::Ipv4Addr{20, 0, 1, 2}};
-  d.resolutions.push_back(r);
+  d.add_resolution(std::move(r));
 
   measure::ProbeMeasurement p;
   p.experiment_id = 0;
@@ -42,27 +41,27 @@ Dataset tiny_dataset() {
   p.is_http = true;
   p.responded = true;
   p.rtt_ms = 77.5;
-  d.probes.push_back(p);
+  d.add_probe(p);
 
   measure::TracerouteMeasurement t;
   t.experiment_id = 0;
   t.target_ip = net::Ipv4Addr{20, 0, 1, 1};
   t.reached = true;
   t.hop_names = {"Verizon-pgw-3", "ix-Chicago"};
-  d.traceroutes.push_back(t);
+  d.add_traceroute(std::move(t));
 
   measure::ResolverObservation o;
   o.experiment_id = 0;
   o.resolver = measure::ResolverKind::kLocal;
   o.responded = true;
   o.external_ip = net::Ipv4Addr{20, 7, 7, 7};
-  d.resolver_observations.push_back(o);
+  d.add_observation(o);
 
   measure::VantageProbe v;
   v.carrier_index = 3;
   v.target_ip = net::Ipv4Addr{20, 7, 7, 7};
   v.ping_responded = true;
-  d.vantage_probes.push_back(v);
+  d.add_vantage(v);
   return d;
 }
 
@@ -129,13 +128,13 @@ TEST(Export, VantageCsv) {
 TEST(Export, WholeDatasetToDirectory) {
   const std::string dir = ::testing::TempDir() + "/curtain_export";
   std::filesystem::create_directories(dir);
-  EXPECT_EQ(export_dataset(tiny_dataset(), dir), 7);
+  EXPECT_EQ(export_records(tiny_dataset(), dir), 7);
   EXPECT_TRUE(std::filesystem::exists(dir + "/resolutions.csv"));
   EXPECT_TRUE(std::filesystem::exists(dir + "/MANIFEST.txt"));
 }
 
 TEST(Export, UnwritableDirectoryFailsGracefully) {
-  EXPECT_EQ(export_dataset(tiny_dataset(), "/nonexistent/dir/xyz"), 0);
+  EXPECT_EQ(export_records(tiny_dataset(), "/nonexistent/dir/xyz"), 0);
 }
 
 }  // namespace

@@ -191,6 +191,80 @@ TEST(CampaignKnobs, ProfileStallFactorClampsTo1Point5Through100) {
   }
 }
 
+TEST(CampaignKnobs, BlockRowsClampTo256Through1M) {
+  {
+    ScopedEnv clear("CURTAIN_BLOCK_ROWS", nullptr);
+    EXPECT_EQ(util::record_block_rows(), 8192u);
+  }
+  {
+    ScopedEnv set("CURTAIN_BLOCK_ROWS", "1");
+    EXPECT_EQ(util::record_block_rows(), 256u);
+  }
+  {
+    ScopedEnv set("CURTAIN_BLOCK_ROWS", "99999999");
+    EXPECT_EQ(util::record_block_rows(), 1048576u);
+  }
+  {
+    ScopedEnv set("CURTAIN_BLOCK_ROWS", "garbage");
+    EXPECT_EQ(util::record_block_rows(), 8192u);
+  }
+  {
+    ScopedEnv set("CURTAIN_BLOCK_ROWS", "4096");
+    EXPECT_EQ(util::record_block_rows(), 4096u);
+  }
+}
+
+TEST(CampaignKnobs, RssCeilingDefaultsToUnenforced) {
+  {
+    ScopedEnv clear("CURTAIN_RSS_CEILING_MB", nullptr);
+    EXPECT_EQ(util::rss_ceiling_mb(), 0u);  // 0 = unenforced
+  }
+  {
+    ScopedEnv set("CURTAIN_RSS_CEILING_MB", "1500");
+    EXPECT_EQ(util::rss_ceiling_mb(), 1500u);
+  }
+  {
+    ScopedEnv set("CURTAIN_RSS_CEILING_MB", "garbage");
+    EXPECT_EQ(util::rss_ceiling_mb(), 0u);
+  }
+  {
+    ScopedEnv set("CURTAIN_RSS_CEILING_MB", "99999999");
+    EXPECT_EQ(util::rss_ceiling_mb(), 1048576u);
+  }
+}
+
+// ----------------------------------------------------------- the listing
+
+// Every knob the tree reads must appear in describe_flags(), with its
+// resolved value — the table *is* the inventory, so a knob added without
+// a listing row (or with a stale default) fails here.
+TEST(FlagListing, EveryKnobListedWithResolvedValue) {
+  ScopedEnv scale("CURTAIN_SCALE", "0.25");
+  ScopedEnv rows("CURTAIN_BLOCK_ROWS", "512");
+  ScopedEnv ceiling("CURTAIN_RSS_CEILING_MB", nullptr);
+  const auto flags = util::describe_flags();
+  ASSERT_EQ(flags.size(), 11u);
+
+  static constexpr const char* kKnobs[] = {
+      "CURTAIN_SCALE",          "CURTAIN_SEED",
+      "CURTAIN_SHARDS",         "CURTAIN_COHORTS",
+      "CURTAIN_BLOCK_ROWS",     "CURTAIN_RSS_CEILING_MB",
+      "CURTAIN_METRICS_OUT",    "CURTAIN_PROFILE_OUT",
+      "CURTAIN_PROFILE_STALL_K", "CURTAIN_LOG",
+      "CURTAIN_BENCH_CSV_DIR"};
+  ASSERT_EQ(std::size(kKnobs), flags.size());
+  for (size_t i = 0; i < flags.size(); ++i) {
+    EXPECT_STREQ(flags[i].name, kKnobs[i]) << "declaration order changed";
+    EXPECT_NE(flags[i].kind[0], '\0');
+    EXPECT_NE(flags[i].help[0], '\0');
+    EXPECT_NE(flags[i].fallback[0], '\0');
+  }
+  EXPECT_EQ(flags[0].value, "0.2500");       // env override resolved
+  EXPECT_EQ(flags[4].value, "512");          // clamp applied before listing
+  EXPECT_EQ(flags[5].value, "0");            // unset -> rendered default
+  EXPECT_STREQ(flags[4].range, "[256, 1048576]");
+}
+
 // ------------------------------------------------------ Scenario::from_env
 
 TEST(ScenarioFromEnv, ReadsAllKnobs) {

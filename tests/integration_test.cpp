@@ -23,16 +23,16 @@ class StudyIntegrationTest : public ::testing::Test {
     delete study_;
     study_ = nullptr;
   }
-  static const measure::Dataset& data() { return study_->dataset(); }
+  static const measure::RecordStore& data() { return study_->records(); }
   static core::Study* study_;
 };
 
 core::Study* StudyIntegrationTest::study_ = nullptr;
 
 TEST_F(StudyIntegrationTest, CampaignProducedSubstantialData) {
-  EXPECT_GT(data().experiments.size(), 1000u);
-  EXPECT_GT(data().resolutions.size(), 50000u);
-  EXPECT_GT(data().probes.size(), 100000u);
+  EXPECT_GT(data().experiment_count(), 1000u);
+  EXPECT_GT(data().resolution_count(), 50000u);
+  EXPECT_GT(data().probe_count(), 100000u);
 }
 
 // The obs registry saw the campaign: the headline counters every layer
@@ -52,14 +52,12 @@ TEST_F(StudyIntegrationTest, ObservabilityCountersPopulated) {
 // Sampled resolutions carry a hop-by-hop virtual-time trace whose
 // top-level spans partition the recorded resolution time exactly.
 TEST_F(StudyIntegrationTest, ResolutionTracesDecomposeLatency) {
-  ASSERT_FALSE(data().resolution_traces.empty());
+  ASSERT_GT(data().trace_count(), 0u);
   size_t checked = 0;
-  for (const auto& row : data().resolutions) {
+  for (const auto& row : data().resolutions()) {
     if (row.trace_index < 0) continue;
-    ASSERT_LT(static_cast<size_t>(row.trace_index),
-              data().resolution_traces.size());
-    const auto& trace =
-        data().resolution_traces[static_cast<size_t>(row.trace_index)];
+    ASSERT_LT(static_cast<size_t>(row.trace_index), data().trace_count());
+    const auto& trace = data().trace_at(row.trace_index);
     ASSERT_GE(trace.spans.size(), 3u);
     EXPECT_NEAR(trace.top_level_ms(), row.resolution_ms, 1e-6);
     EXPECT_NEAR(trace.total_ms, row.resolution_ms, 1e-6);

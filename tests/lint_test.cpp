@@ -341,7 +341,8 @@ TEST(LintTree, FixtureTreeFiresEveryRuleAndHonorsWaivers) {
   const auto findings = lint_tree({root + "/tools/lint/testdata"});
   // Every rule fires somewhere in the bad_* fixtures...
   for (const char* rule : {"entropy", "wallclock", "unordered-iter",
-                           "rng-seed", "pragma-once", "using-namespace"}) {
+                           "rng-seed", "record-growth", "pragma-once",
+                           "using-namespace"}) {
     EXPECT_GT(count_rule(findings, rule), 0) << rule << " never fired";
   }
   // ...and the fully-waived fixture contributes nothing.

@@ -65,23 +65,23 @@ TEST_F(MeasurePipelineTest, FleetMatchesTableOne) {
 }
 
 TEST_F(MeasurePipelineTest, ExperimentsProduced) {
-  EXPECT_GT(study_->dataset().experiments.size(), 50u);
+  EXPECT_GT(study_->records().experiment_count(), 50u);
 }
 
 TEST_F(MeasurePipelineTest, ResolutionCountsPerExperiment) {
   // 9 domains x 3 resolver kinds x 2 lookups = 54 per experiment, plus
   // possible failures still recorded.
-  const auto& d = study_->dataset();
-  EXPECT_EQ(d.resolutions.size(), d.experiments.size() * 54u);
+  const auto& d = study_->records();
+  EXPECT_EQ(d.resolution_count(), d.experiment_count() * 54u);
 }
 
 TEST_F(MeasurePipelineTest, SecondLookupsAreFasterTypically) {
-  const auto& d = study_->dataset();
+  const auto& d = study_->records();
   double first_sum = 0.0;
   double second_sum = 0.0;
   size_t first_n = 0;
   size_t second_n = 0;
-  for (const auto& r : d.resolutions) {
+  for (const auto& r : d.resolutions()) {
     if (!r.responded || r.resolver != ResolverKind::kLocal) continue;
     if (r.second_lookup) {
       second_sum += r.resolution_ms;
@@ -98,7 +98,7 @@ TEST_F(MeasurePipelineTest, SecondLookupsAreFasterTypically) {
 }
 
 TEST_F(MeasurePipelineTest, ExperimentContextsPopulated) {
-  for (const auto& context : study_->dataset().experiments) {
+  for (const auto& context : study_->records().experiments()) {
     EXPECT_LT(context.carrier_index, 6);
     EXPECT_FALSE(context.public_ip.is_unspecified());
     EXPECT_FALSE(context.configured_resolver.is_unspecified());
@@ -106,10 +106,10 @@ TEST_F(MeasurePipelineTest, ExperimentContextsPopulated) {
 }
 
 TEST_F(MeasurePipelineTest, ReplicaProbesComeInPingHttpPairs) {
-  const auto& d = study_->dataset();
+  const auto& d = study_->records();
   size_t ping = 0;
   size_t http = 0;
-  for (const auto& probe : d.probes) {
+  for (const auto& probe : d.probes()) {
     if (probe.target_kind != ProbeTargetKind::kReplica) continue;
     (probe.is_http ? http : ping) += 1;
   }
@@ -118,21 +118,21 @@ TEST_F(MeasurePipelineTest, ReplicaProbesComeInPingHttpPairs) {
 }
 
 TEST_F(MeasurePipelineTest, ResolverObservationsIdentifyExternals) {
-  const auto& d = study_->dataset();
+  const auto& d = study_->records();
   size_t responded = 0;
-  for (const auto& observation : d.resolver_observations) {
+  for (const auto& observation : d.observations()) {
     if (observation.responded) {
       ++responded;
       EXPECT_FALSE(observation.external_ip.is_unspecified());
     }
   }
   // Identification works through every resolver kind almost always.
-  EXPECT_GT(responded, d.resolver_observations.size() * 9 / 10);
+  EXPECT_GT(responded, d.observation_count() * 9 / 10);
 }
 
 TEST_F(MeasurePipelineTest, ObservedLocalExternalsBelongToCarrier) {
-  const auto& d = study_->dataset();
-  for (const auto& observation : d.resolver_observations) {
+  const auto& d = study_->records();
+  for (const auto& observation : d.observations()) {
     if (observation.resolver != ResolverKind::kLocal || !observation.responded) {
       continue;
     }
@@ -148,12 +148,12 @@ TEST_F(MeasurePipelineTest, ObservedLocalExternalsBelongToCarrier) {
 }
 
 TEST_F(MeasurePipelineTest, GoogleObservationsLandInGoogleSites) {
-  const auto& d = study_->dataset();
+  const auto& d = study_->records();
   std::set<uint32_t> google_prefixes;
   for (const auto& site : study_->world().google_dns().sites()) {
     google_prefixes.insert(site.prefix.address().value());
   }
-  for (const auto& observation : d.resolver_observations) {
+  for (const auto& observation : d.observations()) {
     if (observation.resolver != ResolverKind::kGoogle || !observation.responded) {
       continue;
     }
@@ -163,18 +163,18 @@ TEST_F(MeasurePipelineTest, GoogleObservationsLandInGoogleSites) {
 }
 
 TEST_F(MeasurePipelineTest, TraceroutesRecorded) {
-  const auto& d = study_->dataset();
-  EXPECT_GT(d.traceroutes.size(), 0u);
+  const auto& d = study_->records();
+  EXPECT_GT(d.traceroute_count(), 0u);
   size_t with_gateway_first = 0;
   size_t nonempty = 0;
-  for (const auto& trace : d.traceroutes) {
-    if (trace.hop_names.empty()) continue;
+  for (const auto& trace : d.traceroutes()) {
+    if (trace.hop_count == 0) continue;
     ++nonempty;
     const auto& context = d.context_of(trace.experiment_id);
     const auto& carrier_name =
         cellular::study_carriers()[static_cast<size_t>(context.carrier_index)]
             .name;
-    if (trace.hop_names.front().rfind(carrier_name, 0) == 0) {
+    if (trace.hop(0).rfind(carrier_name, 0) == 0) {
       ++with_gateway_first;
     }
   }
@@ -183,20 +183,20 @@ TEST_F(MeasurePipelineTest, TraceroutesRecorded) {
 }
 
 TEST_F(MeasurePipelineTest, VantageProbesCoverObservedResolvers) {
-  EXPECT_GT(study_->dataset().vantage_probes.size(), 0u);
+  EXPECT_GT(study_->records().vantage_count(), 0u);
 }
 
 TEST_F(MeasurePipelineTest, DeterministicForSeed) {
   core::Study replay(
       core::Scenario::paper_2014().with_seed(7).with_scale(0.004));
   replay.run();
-  const auto& a = study_->dataset();
-  const auto& b = replay.dataset();
-  ASSERT_EQ(a.experiments.size(), b.experiments.size());
-  ASSERT_EQ(a.resolutions.size(), b.resolutions.size());
-  for (size_t i = 0; i < a.resolutions.size(); i += 97) {
-    EXPECT_DOUBLE_EQ(a.resolutions[i].resolution_ms,
-                     b.resolutions[i].resolution_ms);
+  const auto& a = study_->records();
+  const auto& b = replay.records();
+  ASSERT_EQ(a.experiment_count(), b.experiment_count());
+  ASSERT_EQ(a.resolution_count(), b.resolution_count());
+  for (size_t i = 0; i < a.resolution_count(); i += 97) {
+    EXPECT_DOUBLE_EQ(a.resolution_at(i).resolution_ms,
+                     b.resolution_at(i).resolution_ms);
   }
 }
 

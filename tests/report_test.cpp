@@ -18,7 +18,7 @@ TEST(Report, GeneratesAllSections) {
   ReportConfig report_config;
   report_config.scale = scenario.scale;
   report_config.seed = scenario.seed;
-  write_report(study.dataset(), report_config, out);
+  write_report(study.records(), report_config, out);
   const std::string text = out.str();
 
   for (const char* needle :

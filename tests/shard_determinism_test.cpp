@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -57,7 +59,7 @@ Exported run_and_export(const core::Scenario& config) {
   out.totals = summary.substr(0, summary.size() - suffix.size());
   out.metrics = obs::to_prometheus_text(obs::metrics().snapshot());
 
-  using Writer = void (*)(const measure::Dataset&, std::ostream&);
+  using Writer = void (*)(const measure::RecordStore&, std::ostream&);
   static constexpr Writer kWriters[] = {
       analysis::export_experiments_csv,
       analysis::export_resolutions_csv,
@@ -68,7 +70,7 @@ Exported run_and_export(const core::Scenario& config) {
   };
   for (const Writer writer : kWriters) {
     std::ostringstream stream;
-    writer(study.dataset(), stream);
+    writer(study.records(), stream);
     out.csv.push_back(stream.str());
   }
   return out;
@@ -133,6 +135,77 @@ TEST(ShardDeterminism, StressManyCohortsManyWorkers) {
   const Exported stressed = run_and_export(scenario(16, 16));
   EXPECT_EQ(stressed.shards, 96u);
   expect_identical(reference, stressed);
+}
+
+// The record-block row budget (CURTAIN_BLOCK_ROWS) decides only when a
+// block seals — never a byte of any export surface, at any shard/cohort
+// shape. Sweeps from the minimum budget (every block seals almost
+// immediately) to one larger than the whole campaign (a single block).
+TEST(ShardDeterminism, BlockRowBudgetIsByteInvisible) {
+  const Exported reference = run_and_export(scenario(1, 1));
+  for (const char* rows : {"256", "1024", "1048576"}) {
+    ::setenv("CURTAIN_BLOCK_ROWS", rows, 1);
+    SCOPED_TRACE(std::string("CURTAIN_BLOCK_ROWS=") + rows);
+    const Exported run = run_and_export(scenario(3, 4));
+    expect_identical(reference, run);
+  }
+  ::unsetenv("CURTAIN_BLOCK_ROWS");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The streaming CSV exporter (block-at-a-time, bounded memory) must
+// produce byte-identical files to the in-memory cursor path, for every
+// worker/cohort shape — the tentpole contract of the record-block
+// pipeline (DESIGN.md §15).
+TEST(ShardDeterminism, StreamingExportMatchesInMemory) {
+  static constexpr const char* kFiles[] = {
+      "experiments.csv",  "resolutions.csv",
+      "probes.csv",       "traceroutes.csv",
+      "resolver_observations.csv", "vantage_probes.csv",
+      "MANIFEST.txt"};
+  for (const int workers : {1, 4}) {
+    for (const int cohorts : {1, 3}) {
+      std::string shape = "workers=";
+      shape += std::to_string(workers);
+      shape += " cohorts=";
+      shape += std::to_string(cohorts);
+      SCOPED_TRACE(shape);
+      obs::metrics().reset_for_tests();
+      core::Study study(scenario(cohorts, workers));
+      study.run();
+
+      std::string tag = "w";
+      tag += std::to_string(workers);
+      tag += "c";
+      tag += std::to_string(cohorts);
+      const std::string memory_dir =
+          testing::TempDir() + "curtain_export_memory_" + tag;
+      const std::string stream_dir =
+          testing::TempDir() + "curtain_export_stream_" + tag;
+      std::filesystem::create_directories(memory_dir);
+      std::filesystem::create_directories(stream_dir);
+
+      ASSERT_EQ(analysis::export_records(study.records(), memory_dir), 7);
+      analysis::StreamingCsvExporter exporter(stream_dir);
+      study.records().replay(exporter);
+      EXPECT_EQ(exporter.files_written(), 7);
+
+      for (const char* file : kFiles) {
+        EXPECT_EQ(slurp(stream_dir + "/" + file),
+                  slurp(memory_dir + "/" + file))
+            << "streaming export diverged: " << file;
+      }
+      std::filesystem::remove_all(memory_dir);
+      std::filesystem::remove_all(stream_dir);
+    }
+  }
 }
 
 // Drops the curtain_mem_* gauges a profiled run registers — the only

@@ -31,11 +31,11 @@ core::Study* XuCampaignTest::study_ = nullptr;
 TEST_F(XuCampaignTest, FleetSizedByXuProfiles) {
   // Four US carriers: 33 + 9 + 31 + 64 devices.
   EXPECT_EQ(study_->device_count(), 137u);
-  EXPECT_GT(study_->dataset().experiments.size(), 200u);
+  EXPECT_GT(study_->records().experiment_count(), 200u);
 }
 
 TEST_F(XuCampaignTest, NoLteAnywhere) {
-  for (const auto& context : study_->dataset().experiments) {
+  for (const auto& context : study_->records().experiments()) {
     EXPECT_NE(context.radio, cellular::RadioTech::kLte);
   }
 }
@@ -43,14 +43,14 @@ TEST_F(XuCampaignTest, NoLteAnywhere) {
 TEST_F(XuCampaignTest, ResolutionTimes3GClass) {
   // Medians sit far above the LTE era's 40-55 ms.
   const auto group =
-      analysis::fig5_fig6_resolution_times(study_->dataset(), "US");
+      analysis::fig5_fig6_resolution_times(study_->records(), "US");
   for (const auto& [carrier, cdf] : group) {
     EXPECT_GT(cdf.median(), 90.0) << carrier;
   }
 }
 
 TEST_F(XuCampaignTest, FewEgressPointsDiscovered) {
-  const auto stats = analysis::egress_points(study_->dataset());
+  const auto stats = analysis::egress_points(study_->records());
   for (const auto& row : stats) {
     if (row.egress_points == 0) continue;  // KR rows are empty here
     EXPECT_LE(row.egress_points, 6u);  // Xu et al.'s 4-6
@@ -59,10 +59,10 @@ TEST_F(XuCampaignTest, FewEgressPointsDiscovered) {
 
 TEST_F(XuCampaignTest, PipelineStillIdentifiesResolvers) {
   size_t responded = 0;
-  for (const auto& observation : study_->dataset().resolver_observations) {
+  for (const auto& observation : study_->records().observations()) {
     responded += observation.responded ? 1 : 0;
   }
-  EXPECT_GT(responded, study_->dataset().resolver_observations.size() / 2);
+  EXPECT_GT(responded, study_->records().observation_count() / 2);
 }
 
 }  // namespace

@@ -58,6 +58,10 @@ std::set<std::string> parse_waivers(const std::string& comment) {
   std::stringstream parts(rest);
   std::string part;
   while (std::getline(parts, part, ',')) {
+    // A parenthesized note after the rule name — `// lint: record-growth
+    // (retained mode)` — documents *why*; it is not part of the waiver key.
+    const size_t paren = part.find('(');
+    if (paren != std::string::npos) part.resize(paren);
     const size_t first = part.find_first_not_of(" \t");
     if (first == std::string::npos) continue;
     const size_t last = part.find_last_not_of(" \t");
@@ -196,6 +200,7 @@ class Linter {
     check_wallclock();
     check_unordered_iteration();
     check_rng_seed();
+    check_record_growth();
     check_header_hygiene();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -213,6 +218,10 @@ class Linter {
           waivers.count("order-insensitive") != 0) {
         return;
       }
+      // `bounded` is the self-documenting spelling for record vectors whose
+      // size has a structural cap (a block sealed at the row budget, a
+      // fixed ring) rather than growing with campaign length.
+      if (rule == "record-growth" && waivers.count("bounded") != 0) return;
       // `profiler-wallclock` is the self-documenting spelling for clock
       // reads inside the flight recorder / perf-timing substrate: real
       // time that is exported as profiling metadata but never feeds a
@@ -447,6 +456,64 @@ class Linter {
       if (cursor < joined_.text.size() && joined_.text[cursor] == '(') {
         require_seeded_construction(pos, cursor);
       }
+    }
+  }
+
+  // record-growth: a std::vector of measurement-record rows is the
+  // grow-forever accumulation pattern the streaming record-block pipeline
+  // replaced (DESIGN.md §15) — at a million devices it is exactly what
+  // breaks the RSS ceiling. Rows belong in a RecordBlock sealed at the
+  // row budget and flushed to a RecordSink; structurally capped vectors
+  // (the block's own rows, fixed rings) waive with `// lint: bounded`,
+  // and an explicitly retained store waives with `// lint: record-growth`.
+  void check_record_growth() {
+    static const char* const kRecordTypes[] = {
+        "ExperimentContext",     "DnsMeasurement",  "ProbeMeasurement",
+        "TracerouteMeasurement", "ResolverObservation", "VantageProbe",
+        "ResolutionTrace",       "RecordBlock"};
+    for (size_t pos = find_token(joined_.text, "vector");
+         pos != std::string::npos;
+         pos = find_token(joined_.text, "vector", pos + 1)) {
+      size_t cursor = skip_spaces(joined_.text, pos + 6);
+      if (cursor >= joined_.text.size() || joined_.text[cursor] != '<') {
+        continue;
+      }
+      const size_t close = match_bracket(joined_.text, cursor);
+      if (close == std::string::npos) continue;
+      const std::string inner =
+          joined_.text.substr(cursor + 1, close - cursor - 2);
+      const char* matched = nullptr;
+      for (const char* type : kRecordTypes) {
+        if (find_token(inner, type) != std::string::npos) {
+          matched = type;
+          break;
+        }
+      }
+      if (matched == nullptr) continue;
+      // Only owning declarations accumulate: references/pointers view
+      // someone else's storage, and `> name(` / `> Qualified::name(` is a
+      // function signature, not a vector.
+      cursor = skip_spaces(joined_.text, close);
+      if (cursor >= joined_.text.size() || joined_.text[cursor] == '&' ||
+          joined_.text[cursor] == '*') {
+        continue;
+      }
+      size_t name_end = cursor;
+      while (name_end < joined_.text.size() &&
+             (is_ident_char(joined_.text[name_end]) ||
+              joined_.text.compare(name_end, 2, "::") == 0)) {
+        name_end += joined_.text[name_end] == ':' ? size_t{2} : size_t{1};
+      }
+      if (name_end == cursor) continue;
+      if (skip_spaces(joined_.text, name_end) < joined_.text.size() &&
+          joined_.text[skip_spaces(joined_.text, name_end)] == '(') {
+        continue;
+      }
+      report(joined_.line_of(pos), "record-growth",
+             "std::vector<" + std::string(matched) +
+                 "> accumulates measurement records without a bound; "
+                 "stream rows through a RecordBlock/RecordSink, or waive a "
+                 "structurally capped container with `// lint: bounded`");
     }
   }
 

@@ -22,3 +22,8 @@ void bad_wallclock() {
 void bad_rng_seed() {
   net::Rng rng(42);
 }
+
+struct BadRetainer {
+  std::vector<DnsMeasurement> all_measurements;
+  std::vector<measure::RecordBlock> kept_blocks;
+};
