@@ -33,7 +33,7 @@ inline net::Rng bench_rng(std::string_view tag) {  // lint: rng-seed
 
 /// Wall-clock anchor for the whole bench process (first call wins).
 inline std::chrono::steady_clock::time_point& bench_start() {  // lint: wallclock
-  static auto start = std::chrono::steady_clock::now();  // lint: wallclock
+  static auto start = std::chrono::steady_clock::now();  // lint: wallclock, shared-static (process-wide bench anchor)
   return start;
 }
 
@@ -71,7 +71,7 @@ inline void emit_json_record(const std::string& name) {
 
 /// Name registered by banner(); the atexit hook emits its record.
 inline std::string& bench_name() {
-  static std::string name;
+  static std::string name;  // lint: shared-static (single-threaded bench harness)
   return name;
 }
 
@@ -116,13 +116,13 @@ class CsvSink {
 
 /// Process-wide sink bound by banner(); null until then.
 inline std::unique_ptr<CsvSink>& csv_sink() {
-  static std::unique_ptr<CsvSink> sink;
+  static std::unique_ptr<CsvSink> sink;  // lint: shared-static (single-threaded bench harness)
   return sink;
 }
 
 /// Builds, runs and returns the study for this bench process.
 inline core::Study& study() {
-  static core::Study* instance = [] {
+  static core::Study* instance = [] {  // lint: shared-static (one campaign per bench process)
     auto* s = new core::Study(core::Scenario::from_env());
     std::fprintf(stderr,
                  "[bench] running campaign: scale=%.3f seed=%llu shards=%d ...\n",

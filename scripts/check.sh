@@ -16,9 +16,12 @@
 #             (96 shards, more cohorts than any carrier has devices) that
 #             exercises the laned-state partitioning under maximum
 #             interleaving.
-#   lint      curtain_lint over src/ bench/ examples/ (also runs inside
-#             every ctest leg as LintTree; kept separate so a lint check
-#             doesn't need a test run).
+#   lint      curtain_lint over src/ bench/ examples/ tools/ plus the
+#             waiver-inventory diff: `curtain_lint --waivers` must match
+#             the committed tools/lint/WAIVERS.txt exactly, so every new
+#             `// lint:` waiver shows up in review (also runs inside every
+#             ctest leg as LintTree/LintWaiversSynced; kept separate so a
+#             lint check doesn't need a test run).
 #   bench-smoke
 #             runs each micro bench for a fraction of a second per case and
 #             fails unless every binary emits a well-formed one-line
@@ -74,10 +77,19 @@ tsan_leg() {
 }
 
 lint_leg() {
-  run_leg "curtain_lint"
+  run_leg "curtain_lint + waiver inventory"
   cmake -B build -S . >/dev/null
   cmake --build build -j "$JOBS" --target curtain_lint
-  ./build/tools/curtain_lint src bench examples
+  ./build/tools/curtain_lint src bench examples tools
+  # Waiver growth is reviewed, not silent: the committed inventory must
+  # match the tree. Regenerate with
+  #   ./build/tools/curtain_lint --waivers src bench examples tools \
+  #       > tools/lint/WAIVERS.txt
+  if ! diff -u tools/lint/WAIVERS.txt \
+      <(./build/tools/curtain_lint --waivers src bench examples tools); then
+    echo "lint: tools/lint/WAIVERS.txt is out of date (see diff above)" >&2
+    exit 1
+  fi
 }
 
 bench_smoke_leg() {

@@ -1,3 +1,4 @@
+// lint-hot-path (cache lookup/insert path; see dns/cache.h)
 #include "dns/cache.h"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// lint-hot-path (cache key construction/hashing; see dns/name.h)
 #include "dns/name.h"
 
 #include <algorithm>

@@ -10,6 +10,9 @@
 // small-buffer and the inline offset array, so constructing, copying and
 // hashing a name — the DNS cache's key path — touches no heap at all,
 // where the old std::vector<std::string> cost one allocation per label.
+//
+// lint-hot-path: names are the DNS cache's key type, so curtain_lint holds
+// this file to the hot-alloc rule.
 #pragma once
 
 #include <cstdint>

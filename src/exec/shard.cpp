@@ -1,3 +1,4 @@
+// lint-hot-path (per-device wake-up scheduling loop)
 #include "exec/shard.h"
 
 #include "net/clock.h"

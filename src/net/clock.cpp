@@ -1,3 +1,4 @@
+// lint-hot-path (event-queue inner loop; see net/clock.h)
 #include "net/clock.h"
 
 #include <algorithm>

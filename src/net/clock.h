@@ -10,6 +10,10 @@
 // inline storage (EventFn), and the heap is an in-house 4-ary heap over a
 // flat vector whose pop MOVES the handler out — std::priority_queue's
 // const top() forced a full std::function copy per event.
+//
+// lint-hot-path: schedule+pop run once per device wake-up, so curtain_lint
+// holds this file to the hot-alloc rule (no heap allocation idioms); the
+// oversize-capture spill in EventFn is the single waived exception.
 #pragma once
 
 #include <cstddef>
@@ -65,7 +69,7 @@ class EventFn {
       vtable_ = &kInlineVTable<D>;
     } else {
       *reinterpret_cast<D**>(static_cast<void*>(storage_)) =
-          new D(std::forward<F>(fn));
+          new D(std::forward<F>(fn));  // lint: hot-alloc (cold spill for oversized captures)
       vtable_ = &kHeapVTable<D>;
     }
   }

@@ -38,7 +38,7 @@ double percentile(std::vector<double> values, double pct) {
 }  // namespace
 
 FlightRecorder& FlightRecorder::instance() {
-  static FlightRecorder recorder;
+  static FlightRecorder recorder;  // lint: shared-static (process-wide profiler; internally mutex-guarded)
   return recorder;
 }
 

@@ -69,8 +69,9 @@ thread_local MetricsRegistry* tls_current_registry = nullptr;
 }  // namespace
 
 MetricsRegistry& MetricsRegistry::instance() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // leaky: refs
-  return *registry;                                          // never dangle
+  // Leaky on purpose so late references never dangle at exit.
+  static MetricsRegistry* registry = new MetricsRegistry();  // lint: shared-static (process-wide registry; all mutation is atomic/sheaf-local)
+  return *registry;
 }
 
 MetricsRegistry& MetricsRegistry::current() {

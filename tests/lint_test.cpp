@@ -334,15 +334,345 @@ void f() {
   EXPECT_LT(findings[0].line, findings[1].line);
 }
 
+// ------------------------------------------------------- token-stream lexer
+
+TEST(LintLexer, RawStringContentsAreInsulated) {
+  // rand/steady_clock inside the raw literal are data, not code.
+  const auto findings = lint_file("src/measure/fixture.cpp", R"cpp(
+const char* q = R"sql(
+  rand() steady_clock "lone quote
+)sql";
+)cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintLexer, CodeAfterRawStringCloseIsScanned) {
+  // The regression the old per-line stripper had: the lone `"` inside the
+  // raw string flipped its quote state, blanking the real code after the
+  // closing `)"` — this rand() went unseen.
+  const auto findings = lint_file(
+      "src/measure/fixture.cpp",
+      "const char* q = R\"(\n  \"lone quote\n)\"; int x = rand();\n");
+  ASSERT_EQ(count_rule(findings, "entropy"), 1);
+  EXPECT_EQ(findings.front().line, 3);
+}
+
+TEST(LintLexer, DelimitedRawStringsAreMatchedExactly) {
+  // `)"` inside a delimited raw string is contents; only `)sql"` closes.
+  const auto findings = lint_file(
+      "src/measure/fixture.cpp",
+      "const char* q = R\"sql(a)\" rand() b)sql\"; int ok = 1;\n");
+  EXPECT_EQ(count_rule(findings, "entropy"), 0);
+}
+
+TEST(LintLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  // The old stripper treated `'0'` in 1'000'000 as a char literal and
+  // blanked the rest of the line.
+  const auto findings = lint_file(
+      "src/measure/fixture.cpp", "int big = 1'000'000; int x = rand();\n");
+  EXPECT_EQ(count_rule(findings, "entropy"), 1);
+}
+
+TEST(LintLexer, SplicedIncludeDirectiveIsParsed) {
+  // A backslash-newline continuation inside a directive still yields one
+  // logical #include; the target anchors to its own physical line.
+  const auto findings = lint_file(
+      "src/net/fixture.cpp", "#include \\\n\"measure/records.h\"\n");
+  ASSERT_EQ(count_rule(findings, "layering"), 1);
+  EXPECT_EQ(findings.front().line, 2);
+}
+
+TEST(LintLexer, SplicedStringLiteralStaysInsulated) {
+  const auto findings = lint_file(
+      "src/measure/fixture.cpp", "const char* s = \"ra\\\nnd()\";\n");
+  EXPECT_EQ(count_rule(findings, "entropy"), 0);
+}
+
+// ------------------------------------------------------------------ layering
+
+TEST(LintLayering, UpwardIncludeFiresAndNamesEdge) {
+  const auto findings =
+      lint_file("src/net/fixture.cpp", "#include \"measure/records.h\"\n");
+  ASSERT_EQ(count_rule(findings, "layering"), 1);
+  EXPECT_NE(findings.front().message.find("net -> measure"),
+            std::string::npos)
+      << findings.front().message;
+}
+
+TEST(LintLayering, DownwardAndSameModuleIncludesPass) {
+  const auto findings = lint_file("src/measure/fixture.cpp",
+                                  "#include \"dns/cache.h\"\n"
+                                  "#include \"measure/records.h\"\n"
+                                  "#include \"util/csv.h\"\n");
+  EXPECT_EQ(count_rule(findings, "layering"), 0);
+}
+
+TEST(LintLayering, SameLayerSiblingsMayNotIncludeEachOther) {
+  // exec and analysis both sit on layer 6; neither may reach the other.
+  const auto findings =
+      lint_file("src/exec/fixture.cpp", "#include \"analysis/stats.h\"\n");
+  EXPECT_EQ(count_rule(findings, "layering"), 1);
+}
+
+TEST(LintLayering, SystemAndUnknownIncludesAreIgnored) {
+  const auto findings = lint_file("src/net/fixture.cpp",
+                                  "#include <vector>\n"
+                                  "#include \"thirdparty/json.h\"\n"
+                                  "#include \"net_helpers.h\"\n");
+  EXPECT_EQ(count_rule(findings, "layering"), 0);
+}
+
+TEST(LintLayering, FilesOutsideSrcAreUnconstrained) {
+  // bench/, examples/ and tools/ sit above the DAG and may reach anything.
+  const auto findings = lint_file("bench/fixture.cpp",
+                                  "#include \"core/study.h\"\n"
+                                  "#include \"measure/records.h\"\n");
+  EXPECT_EQ(count_rule(findings, "layering"), 0);
+}
+
+TEST(LintLayering, WaiverSuppresses) {
+  const auto findings = lint_file(
+      "src/net/fixture.cpp",
+      "#include \"measure/records.h\"  // lint: layering (transitional)\n");
+  EXPECT_EQ(count_rule(findings, "layering"), 0);
+}
+
+// ------------------------------------------------------------- include-cycle
+
+TEST(LintIncludeCycle, FiresOncePerCycleAndNamesTheChain) {
+  const auto findings = lint_file_set({
+      {"src/measure/a.h", "#pragma once\n#include \"measure/b.h\"\n"},
+      {"src/measure/b.h", "#pragma once\n#include \"measure/a.h\"\n"},
+  });
+  ASSERT_EQ(count_rule(findings, "include-cycle"), 1);
+  const auto it =
+      std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.rule == "include-cycle";
+      });
+  EXPECT_EQ(it->file, "src/measure/b.h");
+  EXPECT_NE(
+      it->message.find("measure/a.h -> measure/b.h -> measure/a.h"),
+      std::string::npos)
+      << it->message;
+}
+
+TEST(LintIncludeCycle, AcyclicChainsPass) {
+  const auto findings = lint_file_set({
+      {"src/measure/a.h", "#pragma once\n#include \"measure/b.h\"\n"},
+      {"src/measure/b.h", "#pragma once\n#include \"measure/c.h\"\n"},
+      {"src/measure/c.h", "#pragma once\n"},
+  });
+  EXPECT_EQ(count_rule(findings, "include-cycle"), 0);
+}
+
+TEST(LintIncludeCycle, WaiverOnClosingIncludeSuppresses) {
+  const auto findings = lint_file_set({
+      {"src/measure/a.h", "#pragma once\n#include \"measure/b.h\"\n"},
+      {"src/measure/b.h",
+       "#pragma once\n"
+       "#include \"measure/a.h\"  // lint: include-cycle (legacy pair)\n"},
+  });
+  EXPECT_EQ(count_rule(findings, "include-cycle"), 0);
+}
+
+// ------------------------------------------------------------- shared-static
+
+TEST(LintSharedStatic, FlagsNamespaceAndFunctionLocalMutableStatics) {
+  const auto findings = lint_file("src/exec/fixture.cpp", R"cpp(
+static int g_counter = 0;
+namespace exec {
+int next() {
+  static int last = 0;
+  return ++last;
+}
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "shared-static"), 2);
+}
+
+TEST(LintSharedStatic, ConstConstexprAndThreadLocalPass) {
+  const auto findings = lint_file("src/exec/fixture.cpp", R"cpp(
+static constexpr int kFanout = 4;
+static const char* const kNames[] = {"urban", "rural"};
+int scratch() {
+  static thread_local int slot = 0;
+  return slot;
+}
+)cpp");
+  EXPECT_EQ(count_rule(findings, "shared-static"), 0);
+}
+
+TEST(LintSharedStatic, FunctionsAndClassMembersAreNotVariables) {
+  const auto findings = lint_file("src/exec/fixture.cpp", R"cpp(
+static int helper(int x) { return x + 1; }
+static void forward_decl(int x);
+class Gadget {
+  static int live_count_;
+  static int make();
+};
+)cpp");
+  EXPECT_EQ(count_rule(findings, "shared-static"), 0);
+}
+
+TEST(LintSharedStatic, TemplatesDoNotConfuseTheScopeWalk) {
+  const auto findings = lint_file("src/exec/fixture.cpp", R"cpp(
+template <class T>
+static T zero() { return T{}; }
+static int g_bad = 1;
+)cpp");
+  EXPECT_EQ(count_rule(findings, "shared-static"), 1);
+}
+
+TEST(LintSharedStatic, FlagsStaticContainersWithoutInitializer) {
+  const auto findings = lint_file(
+      "src/exec/fixture.cpp",
+      "static std::unordered_map<int, long> g_lookup;\n");
+  EXPECT_EQ(count_rule(findings, "shared-static"), 1);
+}
+
+TEST(LintSharedStatic, WaiverSuppresses) {
+  const auto findings = lint_file(
+      "src/exec/fixture.cpp",
+      "static int g_hits = 0;  // lint: shared-static (test-only counter)\n");
+  EXPECT_EQ(count_rule(findings, "shared-static"), 0);
+}
+
+// ----------------------------------------------------------------- hot-alloc
+
+TEST(LintHotAlloc, SilentWithoutMarker) {
+  const auto findings = lint_file(
+      "src/dns/fixture.cpp", "int* leak() { return new int(7); }\n");
+  EXPECT_EQ(count_rule(findings, "hot-alloc"), 0);
+}
+
+TEST(LintHotAlloc, FlagsAllocationIdiomsInMarkedFiles) {
+  const auto findings = lint_file("src/dns/fixture.cpp", R"cpp(
+// lint-hot-path
+struct R;
+R* grow() { return new R(); }
+std::unique_ptr<R> boxed() { return std::make_unique<R>(); }
+std::function<void()> cb;
+void lookup(std::string name);
+)cpp");
+  EXPECT_EQ(count_rule(findings, "hot-alloc"), 4);
+}
+
+TEST(LintHotAlloc, PlacementNewViewsAndReturnsPass) {
+  const auto findings = lint_file("src/dns/fixture.cpp", R"cpp(
+// lint-hot-path
+void reuse(void* slot) { ::new (slot) int(0); }
+void find(const std::string& key);
+void view(std::string_view key);
+std::string render();
+)cpp");
+  EXPECT_EQ(count_rule(findings, "hot-alloc"), 0);
+}
+
+TEST(LintHotAlloc, MarkerWorksFromBlockComments) {
+  const auto findings = lint_file(
+      "src/dns/fixture.cpp",
+      "/* lint-hot-path: resolver fast path */\nint* p = new int(1);\n");
+  EXPECT_EQ(count_rule(findings, "hot-alloc"), 1);
+}
+
+TEST(LintHotAlloc, WaiverSuppresses) {
+  const auto findings = lint_file(
+      "src/dns/fixture.cpp",
+      "// lint-hot-path\n"
+      "int* spill() { return new int(1); }  // lint: hot-alloc (cold path)\n");
+  EXPECT_EQ(count_rule(findings, "hot-alloc"), 0);
+}
+
+// ------------------------------------------------------- file sets / pairing
+
+TEST(LintFileSet, PairsHppSiblingHeaders) {
+  const auto findings = lint_file_set({
+      {"src/analysis/agg.cpp",
+       "void Agg::dump() {\n"
+       "  for (const auto& [k, v] : counts_) print(k, v);\n"
+       "}\n"},
+      {"src/analysis/agg.hpp",
+       "#pragma once\n"
+       "class Agg { std::unordered_map<int, long> counts_; };\n"},
+  });
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
+TEST(LintFileSet, PairsHeadersInSiblingIncludeDirs) {
+  // The lib/src + lib/include layout: agg.cpp's header lives one level up
+  // under include/.
+  const auto findings = lint_file_set({
+      {"src/analysis/lib/src/agg.cpp",
+       "void Agg::dump() {\n"
+       "  for (const auto& [k, v] : counts_) print(k, v);\n"
+       "}\n"},
+      {"src/analysis/lib/include/agg.h",
+       "#pragma once\n"
+       "class Agg { std::unordered_map<int, long> counts_; };\n"},
+  });
+  EXPECT_EQ(count_rule(findings, "unordered-iter"), 1);
+}
+
+// --------------------------------------------------------- output & waivers
+
+TEST(LintFormat, JsonOutputIsStableAndEscaped) {
+  EXPECT_EQ(format_json({}), "[]");
+  const std::vector<Finding> findings{
+      {"src/a.cpp", 3, "entropy", "say \"no\""},
+      {"src/b.h", 1, "pragma-once", "missing"}};
+  EXPECT_EQ(format_json(findings),
+            "[\n"
+            "  {\"file\": \"src/a.cpp\", \"line\": 3, \"rule\": \"entropy\", "
+            "\"message\": \"say \\\"no\\\"\"},\n"
+            "  {\"file\": \"src/b.h\", \"line\": 1, \"rule\": "
+            "\"pragma-once\", \"message\": \"missing\"}\n"
+            "]");
+}
+
+TEST(LintFormat, WaiverFormatIsFileLineRule) {
+  EXPECT_EQ(format(Waiver{"src/a.cpp", 9, "wallclock"}),
+            "src/a.cpp:9: wallclock");
+}
+
+TEST(LintWaivers, MidCommentMentionsAreProseNotWaivers) {
+  // Only a comment whose text *starts* with `lint:` waives; mentioning the
+  // syntax mid-sentence (docs, this linter's own sources) is prose.
+  const auto findings = lint_file(
+      "src/dns/fixture.cpp",
+      "int x = rand();  // waive with lint: entropy elsewhere\n");
+  EXPECT_EQ(count_rule(findings, "entropy"), 1);
+}
+
+TEST(LintWaivers, InventoryListsActiveWaiversSorted) {
+  const std::string root = CURTAIN_SOURCE_ROOT;
+  const auto waivers = collect_waivers({root + "/tools/lint/testdata"});
+  ASSERT_FALSE(waivers.empty());
+  bool found = false;
+  for (const Waiver& w : waivers) {
+    if (w.rule == "order-insensitive" &&
+        w.file.find("waived_ok.cpp") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "waived_ok.cpp's order-insensitive waiver missing";
+  for (size_t i = 1; i < waivers.size(); ++i) {
+    EXPECT_LE(waivers[i - 1].file, waivers[i].file);
+    if (waivers[i - 1].file == waivers[i].file) {
+      EXPECT_LE(waivers[i - 1].line, waivers[i].line);
+    }
+  }
+}
+
 // ------------------------------------------------------------- tree scan
 
 TEST(LintTree, FixtureTreeFiresEveryRuleAndHonorsWaivers) {
   const std::string root = CURTAIN_SOURCE_ROOT;
   const auto findings = lint_tree({root + "/tools/lint/testdata"});
   // Every rule fires somewhere in the bad_* fixtures...
-  for (const char* rule : {"entropy", "wallclock", "unordered-iter",
-                           "rng-seed", "record-growth", "pragma-once",
-                           "using-namespace"}) {
+  for (const char* rule :
+       {"entropy", "wallclock", "unordered-iter", "rng-seed", "record-growth",
+        "layering", "include-cycle", "shared-static", "hot-alloc",
+        "pragma-once", "using-namespace"}) {
     EXPECT_GT(count_rule(findings, rule), 0) << rule << " never fired";
   }
   // ...and the fully-waived fixture contributes nothing.
@@ -355,7 +685,7 @@ TEST(LintTree, FixtureTreeFiresEveryRuleAndHonorsWaivers) {
 TEST(LintTree, RealSourcesAreClean) {
   const std::string root = CURTAIN_SOURCE_ROOT;
   const auto findings = lint_tree(
-      {root + "/src", root + "/bench", root + "/examples"});
+      {root + "/src", root + "/bench", root + "/examples", root + "/tools"});
   for (const Finding& finding : findings) {
     ADD_FAILURE() << format(finding);
   }

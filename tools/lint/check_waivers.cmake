@@ -1,0 +1,21 @@
+# Fails when the tree's active `// lint:` waivers drift from the committed
+# inventory (tools/lint/WAIVERS.txt). Regenerate with:
+#   ./build/tools/curtain_lint --waivers src bench examples tools \
+#       > tools/lint/WAIVERS.txt
+execute_process(
+  COMMAND ${LINT_BIN} --waivers src bench examples tools
+  WORKING_DIRECTORY ${SOURCE_ROOT}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "curtain_lint --waivers failed (rc=${rc})")
+endif()
+file(READ ${SOURCE_ROOT}/tools/lint/WAIVERS.txt expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+    "tools/lint/WAIVERS.txt is out of date; regenerate with\n"
+    "  ./build/tools/curtain_lint --waivers src bench examples tools "
+    "> tools/lint/WAIVERS.txt\n"
+    "--- expected (committed) ---\n${expected}\n"
+    "--- actual (tree) ---\n${actual}")
+endif()

@@ -1,0 +1,130 @@
+#include "include_graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace curtain::lint {
+namespace {
+
+/// The declared layer DAG (DESIGN.md §16). Order is layer-major so
+/// allowed_modules() lists prerequisites bottom-up.
+struct ModuleLayer {
+  const char* name;
+  int layer;
+};
+constexpr ModuleLayer kLayers[] = {
+    {"util", 0},      {"obs", 1},     {"net", 2},  {"dns", 3},
+    {"cdn", 4},       {"cellular", 4}, {"publicdns", 4},
+    {"measure", 5},   {"exec", 6},    {"analysis", 6},
+    {"core", 7},
+};
+
+}  // namespace
+
+int module_layer(const std::string& module) {
+  for (const ModuleLayer& entry : kLayers) {
+    if (module == entry.name) return entry.layer;
+  }
+  return -1;
+}
+
+std::string module_of_path(const std::string& path) {
+  size_t at = std::string::npos;
+  for (size_t pos = path.find("src/"); pos != std::string::npos;
+       pos = path.find("src/", pos + 1)) {
+    if (pos == 0 || path[pos - 1] == '/') at = pos;
+  }
+  if (at == std::string::npos) return std::string();
+  const size_t start = at + 4;
+  const size_t slash = path.find('/', start);
+  if (slash == std::string::npos) return std::string();
+  const std::string module = path.substr(start, slash - start);
+  return module_layer(module) >= 0 ? module : std::string();
+}
+
+bool layering_allows(const std::string& from, const std::string& to) {
+  const int from_layer = module_layer(from);
+  const int to_layer = module_layer(to);
+  if (from_layer < 0 || to_layer < 0) return true;  // out of DAG scope
+  if (from == to) return true;
+  return to_layer < from_layer;
+}
+
+std::string allowed_modules(const std::string& from) {
+  const int from_layer = module_layer(from);
+  std::string out;
+  for (const ModuleLayer& entry : kLayers) {
+    if (entry.layer < from_layer || from == entry.name) {
+      if (!out.empty()) out += ", ";
+      out += entry.name;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> find_include_cycles(const std::vector<GraphFile>& files) {
+  // key -> node, ordered so DFS entry order (and thus which include is
+  // reported as closing a cycle) is reproducible.
+  std::map<std::string, const GraphFile*> nodes;
+  for (const GraphFile& file : files) nodes.emplace(file.key, &file);
+
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<Finding> findings;
+
+  struct Frame {
+    const GraphFile* file;
+    size_t next_edge = 0;
+  };
+
+  for (const auto& [root_key, root] : nodes) {
+    if (color[root_key] != Color::kWhite) continue;
+    std::vector<Frame> stack{Frame{root}};
+    color[root_key] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& includes = frame.file->lexed->includes;
+      if (frame.next_edge >= includes.size()) {
+        color[frame.file->key] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const IncludeRef& inc = includes[frame.next_edge++];
+      if (inc.angled) continue;
+      const auto it = nodes.find(inc.target);
+      if (it == nodes.end()) continue;
+      const Color target_color = color[it->first];
+      if (target_color == Color::kBlack) continue;
+      if (target_color == Color::kGray) {
+        // Back edge: the chain from the target's frame down to here, plus
+        // the closing include, is a cycle.
+        std::string chain = it->first;
+        bool in_cycle = false;
+        for (const Frame& f : stack) {
+          if (f.file->key == it->first) in_cycle = true;
+          if (in_cycle && f.file->key != it->first) {
+            chain += " -> " + f.file->key;
+          }
+        }
+        chain += " -> " + it->first;
+        const auto& waivers = frame.file->lexed->waivers;
+        const size_t line_index = static_cast<size_t>(inc.line - 1);
+        if (line_index < waivers.size() &&
+            waivers[line_index].count("include-cycle") != 0) {
+          continue;
+        }
+        findings.push_back(Finding{
+            frame.file->path, inc.line, "include-cycle",
+            "#include \"" + inc.target + "\" closes an include cycle: " +
+                chain + "; break the cycle with a forward declaration or an "
+                "interface split"});
+        continue;
+      }
+      color[it->first] = Color::kGray;
+      stack.push_back(Frame{it->second});
+    }
+  }
+  return findings;
+}
+
+}  // namespace curtain::lint

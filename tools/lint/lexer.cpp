@@ -1,0 +1,411 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+namespace curtain::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Raw-string literal prefixes: the encoding prefixes crossed with R.
+bool is_raw_prefix(const std::string& ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+/// True when the comment text starts (after whitespace) with `marker` —
+/// the anchoring that keeps prose mentions of the marker syntax (in docs,
+/// in this linter's own sources) from being parsed as the marker itself.
+bool comment_starts_with(const std::string& comment, const char* marker) {
+  const size_t start = comment.find_first_not_of(" \t\n*");
+  if (start == std::string::npos) return false;
+  return comment.compare(start, std::strlen(marker), marker) == 0;
+}
+
+/// Parses `lint: a, b (note)` waiver comments. The comment text must
+/// *start* with `lint:` (after whitespace) — mid-comment mentions are
+/// prose. A parenthesized note after a rule name documents why and is not
+/// part of the waiver key.
+std::set<std::string> parse_waivers(const std::string& comment) {
+  std::set<std::string> out;
+  size_t start = comment.find_first_not_of(" \t");
+  if (start == std::string::npos) return out;
+  if (comment.compare(start, 5, "lint:") != 0) return out;
+  std::stringstream parts(comment.substr(start + 5));
+  std::string part;
+  while (std::getline(parts, part, ',')) {
+    const size_t paren = part.find('(');
+    if (paren != std::string::npos) part.resize(paren);
+    const size_t first = part.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const size_t last = part.find_last_not_of(" \t");
+    out.insert(part.substr(first, last - first + 1));
+  }
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& content) : text_(content) {}
+
+  LexedFile run() {
+    while (i_ < text_.size()) {
+      step();
+    }
+    end_line();
+    return std::move(out_);
+  }
+
+ private:
+  char peek(size_t ahead = 0) const {
+    return i_ + ahead < text_.size() ? text_[i_ + ahead] : '\0';
+  }
+
+  /// True when a backslash at `pos` splices this line to the next
+  /// (phase-2 line splicing; applies everywhere except raw strings).
+  bool splice_at(size_t pos) const {
+    if (pos >= text_.size() || text_[pos] != '\\') return false;
+    const char next = pos + 1 < text_.size() ? text_[pos + 1] : '\0';
+    return next == '\n' ||
+           (next == '\r' && pos + 2 < text_.size() && text_[pos + 2] == '\n');
+  }
+
+  /// Consumes a splice sequence; the physical line ends but the logical
+  /// line (and any literal/directive state) continues.
+  void consume_splice() {
+    i_ += text_[i_ + 1] == '\r' ? size_t{3} : size_t{2};
+    end_line();
+  }
+
+  /// Finishes the current physical line: flushes the code view and the
+  /// waiver set, bumps the line counter.
+  void end_line() {
+    out_.code_lines.push_back(std::move(code_));
+    out_.waivers.push_back(std::move(waivers_));
+    code_.clear();
+    waivers_.clear();
+    ++line_;
+    line_has_code_ = false;
+  }
+
+  void emit(TokenKind kind, std::string text, int at_line) {
+    out_.tokens.push_back(Token{kind, std::move(text), at_line});
+  }
+
+  void step() {
+    const char c = peek();
+    if (c == '\n') {
+      ++i_;
+      end_line();
+      return;
+    }
+    if (c == '\r') {  // swallowed; the '\n' ends the line
+      ++i_;
+      return;
+    }
+    if (splice_at(i_)) {
+      consume_splice();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      lex_line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      lex_block_comment();
+      return;
+    }
+    if (c == '"') {
+      lex_string();
+      return;
+    }
+    if (c == '\'') {
+      lex_char_literal();
+      return;
+    }
+    if (c == '#' && !line_has_code_) {
+      lex_directive();
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      code_ += c;
+      ++i_;
+      return;
+    }
+    line_has_code_ = true;
+    if (is_ident_start(c)) {
+      lex_ident();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      lex_number();
+      return;
+    }
+    lex_punct();
+  }
+
+  void lex_line_comment() {
+    const int at_line = line_;
+    std::string comment;
+    i_ += 2;
+    while (i_ < text_.size() && text_[i_] != '\n') {
+      if (splice_at(i_)) {  // a trailing backslash continues the comment
+        consume_splice();
+        continue;
+      }
+      comment += text_[i_++];
+    }
+    note_comment(comment, at_line);
+  }
+
+  void lex_block_comment() {
+    std::string comment;
+    i_ += 2;
+    while (i_ < text_.size()) {
+      if (text_[i_] == '*' && peek(1) == '/') {
+        i_ += 2;
+        break;
+      }
+      if (text_[i_] == '\n') {
+        ++i_;
+        end_line();
+        comment += '\n';
+        continue;
+      }
+      comment += text_[i_++];
+    }
+    // Waivers stay line-comment-only; the hot-path marker may sit in a
+    // block comment.
+    if (comment_starts_with(comment, "lint-hot-path")) {
+      out_.hot_path = true;
+    }
+  }
+
+  void note_comment(const std::string& comment, int at_line) {
+    if (comment_starts_with(comment, "lint-hot-path")) {
+      out_.hot_path = true;
+    }
+    std::set<std::string> parsed = parse_waivers(comment);
+    if (parsed.empty()) return;
+    if (at_line == line_) {
+      waivers_.insert(parsed.begin(), parsed.end());
+    } else if (static_cast<size_t>(at_line) <= out_.waivers.size()) {
+      // The comment started on an earlier (already flushed) line.
+      out_.waivers[static_cast<size_t>(at_line - 1)].insert(parsed.begin(),
+                                                            parsed.end());
+    }
+  }
+
+  void lex_string() {
+    const int at_line = line_;
+    std::string contents;
+    code_ += '"';
+    ++i_;
+    while (i_ < text_.size() && text_[i_] != '"') {
+      if (splice_at(i_)) {
+        consume_splice();
+        continue;
+      }
+      if (text_[i_] == '\\' && i_ + 1 < text_.size()) {
+        contents += text_[i_];
+        contents += text_[i_ + 1];
+        i_ += 2;
+        continue;
+      }
+      if (text_[i_] == '\n') {  // unterminated; keep line structure sane
+        break;
+      }
+      contents += text_[i_++];
+    }
+    if (i_ < text_.size() && text_[i_] == '"') ++i_;
+    code_ += '"';
+    emit(TokenKind::kString, std::move(contents), at_line);
+  }
+
+  /// Raw string: the opening `"` follows an R-suffixed prefix identifier.
+  /// No escapes, no splices: the literal ends only at `)delim"`.
+  void lex_raw_string() {
+    const int at_line = line_;
+    code_ += '"';
+    ++i_;  // opening quote
+    std::string delim;
+    while (i_ < text_.size() && text_[i_] != '(') {
+      delim += text_[i_++];
+    }
+    if (i_ < text_.size()) ++i_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string contents;
+    while (i_ < text_.size() &&
+           text_.compare(i_, closer.size(), closer) != 0) {
+      if (text_[i_] == '\n') {
+        ++i_;
+        end_line();
+        contents += '\n';
+        continue;
+      }
+      contents += text_[i_++];
+    }
+    if (i_ < text_.size()) i_ += closer.size();
+    code_ += '"';
+    emit(TokenKind::kString, std::move(contents), at_line);
+  }
+
+  void lex_char_literal() {
+    const int at_line = line_;
+    std::string contents;
+    code_ += '\'';
+    ++i_;
+    while (i_ < text_.size() && text_[i_] != '\'' && text_[i_] != '\n') {
+      if (text_[i_] == '\\' && i_ + 1 < text_.size()) {
+        contents += text_[i_];
+        contents += text_[i_ + 1];
+        i_ += 2;
+        continue;
+      }
+      contents += text_[i_++];
+    }
+    if (i_ < text_.size() && text_[i_] == '\'') ++i_;
+    code_ += '\'';
+    emit(TokenKind::kCharLit, std::move(contents), at_line);
+  }
+
+  void lex_ident() {
+    const int at_line = line_;
+    std::string ident;
+    while (i_ < text_.size()) {
+      if (splice_at(i_)) {
+        consume_splice();
+        continue;
+      }
+      if (!is_ident_char(text_[i_])) break;
+      ident += text_[i_++];
+    }
+    if (is_raw_prefix(ident) && peek() == '"') {
+      code_ += ident;
+      lex_raw_string();
+      return;
+    }
+    code_ += ident;
+    emit(TokenKind::kIdent, std::move(ident), at_line);
+  }
+
+  /// pp-number: digits, identifier chars, `.`, digit separators, and
+  /// exponent signs. Greedy, so `1'000'000` is one token and the `'`
+  /// never opens a char literal.
+  void lex_number() {
+    const int at_line = line_;
+    std::string num;
+    while (i_ < text_.size()) {
+      if (splice_at(i_)) {
+        consume_splice();
+        continue;
+      }
+      const char c = text_[i_];
+      if (is_ident_char(c) || c == '.') {
+        num += c;
+        ++i_;
+        continue;
+      }
+      if (c == '\'' && is_ident_char(peek(1))) {  // digit separator
+        num += c;
+        ++i_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && !num.empty()) {
+        const char prev = num.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          num += c;
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    code_ += num;
+    emit(TokenKind::kNumber, std::move(num), at_line);
+  }
+
+  void lex_punct() {
+    const int at_line = line_;
+    const char c = text_[i_];
+    // `::` and `->` matter to the rules; everything else is single-char.
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>')) {
+      std::string two{c, text_[i_ + 1]};
+      code_ += two;
+      i_ += 2;
+      emit(TokenKind::kPunct, std::move(two), at_line);
+      return;
+    }
+    code_ += c;
+    ++i_;
+    emit(TokenKind::kPunct, std::string(1, c), at_line);
+  }
+
+  void lex_directive() {
+    const int at_line = line_;
+    line_has_code_ = true;
+    code_ += '#';
+    ++i_;
+    while (i_ < text_.size() &&
+           (text_[i_] == ' ' || text_[i_] == '\t' || splice_at(i_))) {
+      if (splice_at(i_)) {
+        consume_splice();
+      } else {
+        code_ += text_[i_++];
+      }
+    }
+    std::string name;
+    while (i_ < text_.size() && is_ident_char(text_[i_])) {
+      name += text_[i_++];
+    }
+    code_ += name;
+    emit(TokenKind::kDirective, "#" + name, at_line);
+    if (name != "include") return;
+    // Header-name tokens have their own grammar: no escapes, `<...>` only
+    // meaningful here.
+    while (i_ < text_.size() &&
+           (text_[i_] == ' ' || text_[i_] == '\t' || splice_at(i_))) {
+      if (splice_at(i_)) {
+        consume_splice();
+      } else {
+        code_ += text_[i_++];
+      }
+    }
+    const char open = peek();
+    if (open != '"' && open != '<') return;
+    const char close = open == '"' ? '"' : '>';
+    const int target_line = line_;
+    ++i_;
+    std::string target;
+    while (i_ < text_.size() && text_[i_] != close && text_[i_] != '\n') {
+      target += text_[i_++];
+    }
+    if (i_ < text_.size() && text_[i_] == close) ++i_;
+    code_ += open == '"' ? "\"\"" : "<>";
+    emit(TokenKind::kString, target, target_line);
+    out_.includes.push_back(IncludeRef{target, target_line, open == '<'});
+  }
+
+  const std::string& text_;
+  size_t i_ = 0;
+  int line_ = 1;
+  bool line_has_code_ = false;
+  std::string code_;                 ///< current line's code view
+  std::set<std::string> waivers_;    ///< current line's waivers
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& content) { return Lexer(content).run(); }
+
+}  // namespace curtain::lint

@@ -1,0 +1,69 @@
+// curtain_lint's token-stream lexer.
+//
+// Replaces the old per-line comment/string stripper: the whole file is
+// scanned by one state machine, so constructs that previously confused a
+// line-at-a-time view are handled exactly —
+//   * raw string literals (`R"delim(...)delim"`) spanning any number of
+//     lines, including unbalanced quotes inside them,
+//   * multi-line `/* ... */` comments,
+//   * preprocessor line splices (backslash-newline), inside and outside
+//     directives,
+//   * digit separators (`1'000'000` never opens a char literal).
+//
+// The lexer produces three coordinated views of a file:
+//   * `tokens` — the token stream (identifiers, literals, punctuation,
+//     preprocessor directives) with the physical line each token starts
+//     on; the structural rules (shared-static, hot-alloc) walk this.
+//   * `code_lines` — per-physical-line code text with comments removed
+//     and literal contents blanked (quotes kept), preserving the old
+//     "code view" contract for the pattern rules (entropy, wallclock,
+//     unordered-iter, rng-seed, record-growth, header hygiene).
+//   * `includes` — every `#include` with its target and line, feeding
+//     the include-graph passes (layering, include-cycle).
+//
+// Waivers: a `//` comment whose text *starts* with `lint:` declares
+// comma-separated rule waivers for its line (`// lint: a, b (note)`);
+// mentioning `lint:` mid-comment is prose, not a waiver. A comment
+// containing `lint-hot-path` anywhere marks the whole file as a hot path
+// for the hot-alloc rule.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace curtain::lint {
+
+enum class TokenKind {
+  kIdent,      // identifiers and keywords
+  kNumber,     // pp-numbers, digit separators included
+  kString,     // string literal (text = contents; raw strings included)
+  kCharLit,    // character literal (text = contents)
+  kPunct,      // punctuation; `::` and `->` are single tokens
+  kDirective,  // `#include`, `#pragma`, ... (text includes the '#')
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based physical line the token starts on
+};
+
+/// One `#include` as written, with quote style.
+struct IncludeRef {
+  std::string target;  ///< path between the quotes/brackets
+  int line = 0;
+  bool angled = false;  ///< `<...>` (system) vs `"..."` (project)
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> code_lines;  ///< comment-stripped, literals blanked
+  std::vector<std::set<std::string>> waivers;  ///< per physical line
+  std::vector<IncludeRef> includes;
+  bool hot_path = false;  ///< file carries a `lint-hot-path` marker comment
+};
+
+LexedFile lex(const std::string& content);
+
+}  // namespace curtain::lint

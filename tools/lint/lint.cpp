@@ -5,9 +5,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <tuple>
+
+#include "include_graph.h"
+#include "lexer.h"
 
 namespace curtain::lint {
 namespace {
@@ -43,86 +47,6 @@ size_t skip_spaces(const std::string& text, size_t pos) {
   return pos;
 }
 
-/// One source line after comment/string stripping, plus any lint waivers
-/// declared in its trailing `// lint: a, b` comment.
-struct LineView {
-  std::string code;
-  std::set<std::string> waivers;
-};
-
-std::set<std::string> parse_waivers(const std::string& comment) {
-  std::set<std::string> out;
-  const size_t tag = comment.find("lint:");
-  if (tag == std::string::npos) return out;
-  std::string rest = comment.substr(tag + 5);
-  std::stringstream parts(rest);
-  std::string part;
-  while (std::getline(parts, part, ',')) {
-    // A parenthesized note after the rule name — `// lint: record-growth
-    // (retained mode)` — documents *why*; it is not part of the waiver key.
-    const size_t paren = part.find('(');
-    if (paren != std::string::npos) part.resize(paren);
-    const size_t first = part.find_first_not_of(" \t");
-    if (first == std::string::npos) continue;
-    const size_t last = part.find_last_not_of(" \t");
-    out.insert(part.substr(first, last - first + 1));
-  }
-  return out;
-}
-
-/// Strips comments and blanks string/char literals, keeping line structure
-/// so findings can point at real line numbers. Waivers are read from `//`
-/// comments before they are discarded.
-std::vector<LineView> preprocess(const std::string& content) {
-  std::vector<LineView> lines;
-  std::stringstream stream(content);
-  std::string raw;
-  bool in_block_comment = false;
-  while (std::getline(stream, raw)) {
-    LineView view;
-    view.code.reserve(raw.size());
-    size_t i = 0;
-    while (i < raw.size()) {
-      if (in_block_comment) {
-        const size_t close = raw.find("*/", i);
-        if (close == std::string::npos) {
-          i = raw.size();
-        } else {
-          in_block_comment = false;
-          i = close + 2;
-        }
-        continue;
-      }
-      const char c = raw[i];
-      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
-        view.waivers = parse_waivers(raw.substr(i + 2));
-        break;
-      }
-      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        view.code += quote;
-        ++i;
-        while (i < raw.size() && raw[i] != quote) {
-          if (raw[i] == '\\') ++i;  // skip the escaped character
-          ++i;
-        }
-        view.code += quote;
-        if (i < raw.size()) ++i;  // closing quote
-        continue;
-      }
-      view.code += c;
-      ++i;
-    }
-    lines.push_back(std::move(view));
-  }
-  return lines;
-}
-
 bool path_ends_with(const std::string& path, const std::string& suffix) {
   return path.size() >= suffix.size() &&
          path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -156,11 +80,11 @@ struct JoinedCode {
   }
 };
 
-JoinedCode join(const std::vector<LineView>& lines) {
+JoinedCode join(const std::vector<std::string>& code_lines) {
   JoinedCode joined;
-  for (const LineView& line : lines) {
+  for (const std::string& line : code_lines) {
     joined.line_starts.push_back(joined.text.size());
-    joined.text += line.code;
+    joined.text += line;
     joined.text += '\n';
   }
   return joined;
@@ -184,16 +108,15 @@ size_t match_bracket(const std::string& text, size_t open) {
 
 class Linter {
  public:
-  /// `sibling_header_content`: the paired .h of a .cpp, consulted only for
-  /// unordered-container member declarations, so `for (x : member_)` in
+  /// `sibling_header`: the lexed same-stem header of a .cpp, consulted only
+  /// for unordered-container member declarations, so `for (x : member_)` in
   /// world.cpp is caught even though `member_` is declared in world.h.
-  Linter(std::string path, const std::string& content,
-         const std::string& sibling_header_content)
+  Linter(std::string path, LexedFile lexed, LexedFile sibling_header)
       : path_(std::move(path)),
-        header_(path_ends_with(path_, ".h")),
-        lines_(preprocess(content)),
-        joined_(join(lines_)),
-        sibling_joined_(join(preprocess(sibling_header_content))) {}
+        header_(path_ends_with(path_, ".h") || path_ends_with(path_, ".hpp")),
+        lexed_(std::move(lexed)),
+        joined_(join(lexed_.code_lines)),
+        sibling_joined_(join(sibling_header.code_lines)) {}
 
   std::vector<Finding> run() {
     check_entropy();
@@ -201,6 +124,9 @@ class Linter {
     check_unordered_iteration();
     check_rng_seed();
     check_record_growth();
+    check_layering();
+    check_shared_static();
+    check_hot_alloc();
     check_header_hygiene();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
@@ -211,8 +137,8 @@ class Linter {
 
  private:
   void report(int line, const std::string& rule, std::string message) {
-    if (static_cast<size_t>(line) <= lines_.size()) {
-      const auto& waivers = lines_[static_cast<size_t>(line - 1)].waivers;
+    if (static_cast<size_t>(line) <= lexed_.waivers.size()) {
+      const auto& waivers = lexed_.waivers[static_cast<size_t>(line - 1)];
       if (waivers.count(rule) != 0) return;
       if (rule == "unordered-iter" &&
           waivers.count("order-insensitive") != 0) {
@@ -464,8 +390,8 @@ class Linter {
   // replaced (DESIGN.md §15) — at a million devices it is exactly what
   // breaks the RSS ceiling. Rows belong in a RecordBlock sealed at the
   // row budget and flushed to a RecordSink; structurally capped vectors
-  // (the block's own rows, fixed rings) waive with `// lint: bounded`,
-  // and an explicitly retained store waives with `// lint: record-growth`.
+  // (the block's own rows, fixed rings) waive with the `bounded` alias,
+  // and an explicitly retained store waives with the rule name itself.
   void check_record_growth() {
     static const char* const kRecordTypes[] = {
         "ExperimentContext",     "DnsMeasurement",  "ProbeMeasurement",
@@ -513,7 +439,213 @@ class Linter {
              "std::vector<" + std::string(matched) +
                  "> accumulates measurement records without a bound; "
                  "stream rows through a RecordBlock/RecordSink, or waive a "
-                 "structurally capped container with `// lint: bounded`");
+                 "structurally capped container with the `bounded` alias");
+    }
+  }
+
+  // layering: project includes must follow the declared layer DAG
+  // (include_graph.h). Only files inside a src/ module are constrained;
+  // bench/, examples/ and tools/ sit above the DAG.
+  void check_layering() {
+    const std::string module = module_of_path(path_);
+    if (module.empty()) return;
+    for (const IncludeRef& inc : lexed_.includes) {
+      if (inc.angled) continue;
+      const size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string target = inc.target.substr(0, slash);
+      if (module_layer(target) < 0) continue;
+      if (layering_allows(module, target)) continue;
+      report(inc.line, "layering",
+             "#include \"" + inc.target + "\" violates the layer DAG: " +
+                 module + " -> " + target + " is an upward edge (" + module +
+                 " may include: " + allowed_modules(module) +
+                 "); move the shared type down a layer or invert the "
+                 "dependency");
+    }
+  }
+
+  // shared-static: a mutable static at namespace or function scope is
+  // state shared by every worker thread — under the campaign's worker
+  // pool that is a data race or a cross-shard determinism leak waiting to
+  // happen. const/constexpr/constinit tables and thread_local state are
+  // fine; class-static members are declared at class scope and tracked
+  // through their namespace-scope definitions instead.
+  void check_shared_static() {
+    const auto& toks = lexed_.tokens;
+    enum class Scope { kNamespace, kClass, kBlock };
+    std::vector<Scope> scopes;
+    enum class Pending { kNone, kNamespace, kClass } pending = Pending::kNone;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "{") {
+          scopes.push_back(pending == Pending::kNamespace ? Scope::kNamespace
+                           : pending == Pending::kClass   ? Scope::kClass
+                                                          : Scope::kBlock);
+          pending = Pending::kNone;
+        } else if (t.text == "}") {
+          if (!scopes.empty()) scopes.pop_back();
+        } else if (t.text == ";" || t.text == "(" || t.text == "=") {
+          pending = Pending::kNone;
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kIdent) continue;
+      if (t.text == "namespace") {
+        pending = Pending::kNamespace;
+        continue;
+      }
+      if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+          t.text == "enum") {
+        pending = Pending::kClass;
+        continue;
+      }
+      if (t.text == "template") {
+        // Skip `<...>` so `template <class T>` cannot leak a class scope
+        // onto the function body that follows.
+        if (i + 1 < toks.size() && toks[i + 1].text == "<") {
+          int angle = 0;
+          size_t j = i + 1;
+          for (; j < toks.size(); ++j) {
+            if (toks[j].kind != TokenKind::kPunct) continue;
+            if (toks[j].text == "<") ++angle;
+            if (toks[j].text == ">" && --angle == 0) break;
+          }
+          i = j;
+        }
+        continue;
+      }
+      if (t.text != "static") continue;
+      const Scope scope = scopes.empty() ? Scope::kNamespace : scopes.back();
+      if (scope == Scope::kClass) continue;
+      i = scan_static_declaration(i, scope == Scope::kNamespace);
+    }
+  }
+
+  /// Examines the declaration starting at the `static` token at `at`;
+  /// reports unless it is const/constexpr/constinit/thread_local or a
+  /// function. Returns the index to resume the scope walk from (before
+  /// any function body, so braces stay balanced).
+  size_t scan_static_declaration(size_t at, bool namespace_scope) {
+    const auto& toks = lexed_.tokens;
+    bool safe = false;
+    bool has_eq = false;
+    bool paren_seen = false;
+    std::string name;
+    int depth = 0;        // () [] {} nesting
+    int angle_depth = 0;  // <> nesting, tracked only before `=`
+    size_t j = at + 1;
+    for (; j < toks.size(); ++j) {
+      const Token& d = toks[j];
+      if (d.kind == TokenKind::kIdent) {
+        if (d.text == "const" || d.text == "constexpr" ||
+            d.text == "constinit" || d.text == "thread_local") {
+          safe = true;
+        }
+        if (depth == 0 && angle_depth == 0 && !has_eq) name = d.text;
+        continue;
+      }
+      if (d.kind != TokenKind::kPunct) continue;
+      const std::string& p = d.text;
+      if (p == "(" || p == "[" || p == "{") {
+        if (p == "{" && depth == 0 && angle_depth == 0 && paren_seen &&
+            !has_eq) {
+          // `static T name(args) { ... }` — a function definition.
+          return j - 1;  // resume at `{` so the scope walk sees the body
+        }
+        if (p == "(" && depth == 0 && angle_depth == 0 && !has_eq) {
+          paren_seen = true;
+        }
+        ++depth;
+        continue;
+      }
+      if (p == ")" || p == "]" || p == "}") {
+        if (depth > 0) --depth;
+        continue;
+      }
+      if (p == "<" && !has_eq) ++angle_depth;
+      if (p == ">" && !has_eq && angle_depth > 0) --angle_depth;
+      if (p == "=" && depth == 0 && angle_depth == 0) has_eq = true;
+      if (p == ";" && depth == 0 && (has_eq || angle_depth == 0)) {
+        if (paren_seen && !has_eq && namespace_scope) {
+          // `static T name(args);` at namespace scope — a function
+          // declaration, not a variable.
+          return j;
+        }
+        break;
+      }
+    }
+    if (!safe) {
+      report(toks[at].line, "shared-static",
+             "mutable static '" + (name.empty() ? std::string("?") : name) +
+                 "' is shared across the worker pool; make it "
+                 "const/constexpr/thread_local, move it into per-shard "
+                 "state, or waive with `// lint: shared-static (why)`");
+    }
+    return j;
+  }
+
+  // hot-alloc: files carrying a `lint-hot-path` marker declare their inner
+  // loops allocation-free (the PR-5 hot-path contract: event queue, DNS
+  // cache, DNS name, shard wake-up). Heap allocation idioms there are
+  // regressions unless explicitly waived.
+  void check_hot_alloc() {
+    if (!lexed_.hot_path) return;
+    const auto& toks = lexed_.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdent) continue;
+      if (t.text == "new") {
+        // Placement new (`::new (addr) T`) reuses storage — allowed.
+        if (i + 1 < toks.size() && toks[i + 1].kind == TokenKind::kPunct &&
+            toks[i + 1].text == "(") {
+          continue;
+        }
+        report(t.line, "hot-alloc",
+               "heap allocation (new) on a lint-hot-path file; use inline "
+               "storage, a slab, or waive with `// lint: hot-alloc (why)`");
+        continue;
+      }
+      if (t.text == "make_unique" || t.text == "make_shared") {
+        report(t.line, "hot-alloc",
+               t.text + " allocates on a lint-hot-path file; preallocate "
+               "outside the hot loop or waive with `// lint: hot-alloc "
+               "(why)`");
+        continue;
+      }
+      if (t.text == "function" && i >= 2 &&
+          toks[i - 1].kind == TokenKind::kPunct && toks[i - 1].text == "::" &&
+          toks[i - 2].kind == TokenKind::kIdent && toks[i - 2].text == "std") {
+        report(t.line, "hot-alloc",
+               "std::function construction may heap-allocate its capture on "
+               "a lint-hot-path file; use a template parameter or "
+               "net::EventFn-style inline storage");
+        continue;
+      }
+      if (t.text == "string") {
+        // By-value std::string (parameter or copy-init) — a copy plus a
+        // likely allocation per call. `std::string s;`, `std::string&`,
+        // `std::string*` and member declarations are fine.
+        const Token* next = i + 1 < toks.size() ? &toks[i + 1] : nullptr;
+        if (next == nullptr) continue;
+        bool by_value = false;
+        if (next->kind == TokenKind::kPunct &&
+            (next->text == "," || next->text == ")")) {
+          by_value = true;  // unnamed by-value parameter
+        } else if (next->kind == TokenKind::kIdent && i + 2 < toks.size() &&
+                   toks[i + 2].kind == TokenKind::kPunct &&
+                   (toks[i + 2].text == "," || toks[i + 2].text == ")" ||
+                    toks[i + 2].text == "=")) {
+          by_value = true;  // `std::string name {,|)|=}`
+        }
+        if (by_value) {
+          report(t.line, "hot-alloc",
+                 "by-value std::string on a lint-hot-path file copies (and "
+                 "likely allocates) per call; pass std::string_view or a "
+                 "const reference");
+        }
+      }
     }
   }
 
@@ -521,8 +653,8 @@ class Linter {
   void check_header_hygiene() {
     if (!header_) return;
     bool has_pragma = false;
-    for (const LineView& line : lines_) {
-      if (line.code.find("#pragma once") != std::string::npos) {
+    for (const std::string& line : lexed_.code_lines) {
+      if (line.find("#pragma once") != std::string::npos) {
         has_pragma = true;
         break;
       }
@@ -543,7 +675,7 @@ class Linter {
 
   std::string path_;
   bool header_;
-  std::vector<LineView> lines_;
+  LexedFile lexed_;
   JoinedCode joined_;
   JoinedCode sibling_joined_;
   std::vector<Finding> findings_;
@@ -556,6 +688,139 @@ std::string read_file(const std::string& path) {
   return content.str();
 }
 
+bool lintable_extension(const std::string& ext) {
+  return ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc";
+}
+
+/// Same-stem header candidates for a source file, in pairing priority:
+/// sibling x.h / x.hpp, then x.{h,hpp} in an include/ directory next to
+/// the source, then in an include/ directory one level above (the
+/// lib/src + lib/include layout).
+std::vector<std::string> sibling_header_candidates(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path p(path);
+  const fs::path dir = p.parent_path();
+  const std::string stem = p.stem().string();
+  std::vector<std::string> out;
+  for (const char* ext : {".h", ".hpp"}) {
+    out.push_back((dir / (stem + ext)).string());
+  }
+  for (const char* ext : {".h", ".hpp"}) {
+    out.push_back((dir / "include" / (stem + ext)).string());
+  }
+  for (const char* ext : {".h", ".hpp"}) {
+    out.push_back(
+        (dir.parent_path() / "include" / (stem + ext)).lexically_normal()
+            .string());
+  }
+  return out;
+}
+
+/// The src-relative key ("net/clock.h") include targets resolve against;
+/// empty for files outside a src/ tree.
+std::string src_relative_key(const std::string& path) {
+  size_t at = std::string::npos;
+  for (size_t pos = path.find("src/"); pos != std::string::npos;
+       pos = path.find("src/", pos + 1)) {
+    if (pos == 0 || path[pos - 1] == '/') at = pos;
+  }
+  if (at == std::string::npos) return std::string();
+  return path.substr(at + 4);
+}
+
+struct SourceFile {
+  std::string path;
+  std::string content;
+  std::string sibling_content;
+};
+
+/// The shared engine behind lint_file_set and lint_tree: per-file rules
+/// plus the cross-file include-cycle pass.
+std::vector<Finding> lint_sources(std::vector<SourceFile> files) {
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  std::vector<Finding> findings;
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const SourceFile& file : files) {
+    lexed.push_back(lex(file.content));
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    auto file_findings =
+        Linter(files[i].path, lexed[i], lex(files[i].sibling_content)).run();
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::vector<GraphFile> graph;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string key = src_relative_key(files[i].path);
+    if (key.empty()) continue;
+    graph.push_back(GraphFile{key, files[i].path, &lexed[i]});
+  }
+  auto cycle_findings = find_include_cycles(graph);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(cycle_findings.begin()),
+                  std::make_move_iterator(cycle_findings.end()));
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+/// Collects every lintable file under the roots. Directories named
+/// "testdata" hold deliberate violations; they are skipped unless the
+/// root itself points into one.
+std::vector<std::string> collect_files(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (fs::is_regular_file(root)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root)) continue;
+    const bool root_in_testdata = path_contains(root, "testdata");
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string path = entry.path().string();
+      if (!root_in_testdata && path_contains(path, "/testdata/")) continue;
+      if (lintable_extension(entry.path().extension().string())) {
+        files.push_back(path);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string format(const Finding& finding) {
@@ -565,52 +830,92 @@ std::string format(const Finding& finding) {
   return out.str();
 }
 
+std::string format(const Waiver& waiver) {
+  std::ostringstream out;
+  out << waiver.file << ":" << waiver.line << ": " << waiver.rule;
+  return out.str();
+}
+
+std::string format_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    const Finding& f = findings[i];
+    out += "  {\"file\": \"" + json_escape(f.file) + "\", \"line\": " +
+           std::to_string(f.line) + ", \"rule\": \"" + json_escape(f.rule) +
+           "\", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]" : "\n]";
+  return out;
+}
+
 std::vector<Finding> lint_file(const std::string& path,
                                const std::string& content) {
-  return Linter(path, content, std::string()).run();
+  return Linter(path, lex(content), LexedFile{}).run();
 }
 
 std::vector<Finding> lint_file(const std::string& path,
                                const std::string& content,
                                const std::string& sibling_header_content) {
-  return Linter(path, content, sibling_header_content).run();
+  return Linter(path, lex(content), lex(sibling_header_content)).run();
+}
+
+std::vector<Finding> lint_file_set(const std::vector<FileContent>& files) {
+  std::map<std::string, const std::string*> by_path;
+  for (const FileContent& file : files) {
+    by_path[file.path] = &file.content;
+  }
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const FileContent& file : files) {
+    SourceFile source{file.path, file.content, std::string()};
+    if (path_ends_with(file.path, ".cpp") || path_ends_with(file.path, ".cc")) {
+      for (const std::string& candidate :
+           sibling_header_candidates(file.path)) {
+        const auto it = by_path.find(candidate);
+        if (it != by_path.end()) {
+          source.sibling_content = *it->second;
+          break;
+        }
+      }
+    }
+    sources.push_back(std::move(source));
+  }
+  return lint_sources(std::move(sources));
 }
 
 std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
   namespace fs = std::filesystem;
-  std::vector<std::string> files;
-  for (const std::string& root : roots) {
-    if (fs::is_regular_file(root)) {
-      files.push_back(root);
-      continue;
+  std::vector<SourceFile> sources;
+  for (const std::string& file : collect_files(roots)) {
+    SourceFile source{file, read_file(file), std::string()};
+    if (path_ends_with(file, ".cpp") || path_ends_with(file, ".cc")) {
+      for (const std::string& candidate : sibling_header_candidates(file)) {
+        if (fs::is_regular_file(candidate)) {
+          source.sibling_content = read_file(candidate);
+          break;
+        }
+      }
     }
-    if (!fs::is_directory(root)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc") {
-        files.push_back(entry.path().string());
+    sources.push_back(std::move(source));
+  }
+  return lint_sources(std::move(sources));
+}
+
+std::vector<Waiver> collect_waivers(const std::vector<std::string>& roots) {
+  std::vector<Waiver> out;
+  for (const std::string& file : collect_files(roots)) {
+    const LexedFile lexed = lex(read_file(file));
+    for (size_t line = 0; line < lexed.waivers.size(); ++line) {
+      for (const std::string& rule : lexed.waivers[line]) {
+        out.push_back(Waiver{file, static_cast<int>(line + 1), rule});
       }
     }
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-
-  std::vector<Finding> findings;
-  for (const std::string& file : files) {
-    std::string sibling_header;
-    if (path_ends_with(file, ".cpp")) {
-      const std::string header =
-          file.substr(0, file.size() - 4) + ".h";
-      if (fs::is_regular_file(header)) sibling_header = read_file(header);
-    }
-    auto file_findings =
-        Linter(file, read_file(file), sibling_header).run();
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
-  }
-  return findings;
+  std::sort(out.begin(), out.end(), [](const Waiver& a, const Waiver& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
 }
 
 }  // namespace curtain::lint

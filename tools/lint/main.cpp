@@ -1,34 +1,81 @@
 // curtain_lint entry point.
 //
-//   curtain_lint <file-or-dir>...
+//   curtain_lint [--format=json] <file-or-dir>...
+//   curtain_lint --waivers <file-or-dir>...
 //
-// Lints every .h/.cpp under the given roots, prints one
-// `file:line: [rule] message` per finding and exits nonzero when anything
-// fired. Registered as the tier-1 `LintTree` ctest over src/, bench/ and
-// examples/; see tools/lint/lint.h for the rule set and waiver syntax.
+// Lints every .h/.hpp/.cpp/.cc under the given roots. The default output
+// is one `file:line: [rule] message` per finding (exit 1 when anything
+// fired); `--format=json` prints the findings as a JSON array instead, for
+// machine-readable CI annotations. `--waivers` switches to the inventory
+// mode: instead of linting, print every active `// lint:` waiver as
+// `file:line: rule` — `scripts/check.sh lint` diffs that output against
+// the committed tools/lint/WAIVERS.txt so waiver growth is reviewed, not
+// silent. Registered as the tier-1 `LintTree` ctest over src/, bench/,
+// examples/ and tools/; see tools/lint/lint.h for the rule set and waiver
+// syntax.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "lint.h"
 
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: curtain_lint [--format=json] <file-or-dir>...\n"
+      "       curtain_lint --waivers <file-or-dir>...\n"
+      "rules: entropy wallclock unordered-iter rng-seed record-growth\n"
+      "       layering include-cycle shared-static hot-alloc\n"
+      "       pragma-once using-namespace\n"
+      "waive a line with `// lint: <rule> (why)`; aliases:\n"
+      "  order-insensitive -> unordered-iter   bounded -> record-growth\n"
+      "  profiler-wallclock -> wallclock\n"
+      "--waivers prints the active-waiver inventory (WAIVERS.txt format)\n");
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: curtain_lint <file-or-dir>...\n"
-                 "rules: entropy wallclock unordered-iter rng-seed "
-                 "pragma-once using-namespace\n"
-                 "waive a line with `// lint: <rule>` "
-                 "(`order-insensitive` aliases unordered-iter)\n");
-    return 2;
+  bool json = false;
+  bool waivers = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--waivers") {
+      waivers = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "curtain_lint: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
   }
-  std::vector<std::string> roots(argv + 1, argv + argc);
+  if (roots.empty()) return usage();
+
+  if (waivers) {
+    for (const auto& waiver : curtain::lint::collect_waivers(roots)) {
+      std::printf("%s\n", curtain::lint::format(waiver).c_str());
+    }
+    return 0;
+  }
+
   const auto findings = curtain::lint::lint_tree(roots);
-  for (const auto& finding : findings) {
-    std::printf("%s\n", curtain::lint::format(finding).c_str());
+  if (json) {
+    std::printf("%s\n", curtain::lint::format_json(findings).c_str());
+  } else {
+    for (const auto& finding : findings) {
+      std::printf("%s\n", curtain::lint::format(finding).c_str());
+    }
   }
   if (!findings.empty()) {
-    std::fprintf(stderr, "curtain_lint: %zu finding(s)\n", findings.size());
+    if (!json) {
+      std::fprintf(stderr, "curtain_lint: %zu finding(s)\n", findings.size());
+    }
     return 1;
   }
   return 0;

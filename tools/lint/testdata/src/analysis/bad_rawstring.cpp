@@ -1,0 +1,12 @@
+// Lint fixture for the raw-string lexing bug: the old per-line stripper
+// treated the lone `"` inside the raw literal as opening an ordinary
+// string, so everything after it — including the real code on the closing
+// line — was blanked and the rand() below went unseen. The token-stream
+// lexer must fire entropy on the closing line, and must NOT scan the
+// literal's contents (the rand/steady_clock mentions inside are prose).
+#include <string>
+
+const char* kReplicaQuery = R"sql(
+  SELECT "hostname" FROM replicas -- rand() steady_clock inside a literal
+  WHERE rtt_ms < 40
+)sql"; int jitter_seed = rand();

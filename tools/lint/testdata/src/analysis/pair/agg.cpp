@@ -1,0 +1,9 @@
+// Lint fixture: iterates a hash member declared only in the sibling
+// agg.hpp — unordered-iter must fire here via .hpp header pairing.
+#include "analysis/pair/agg.hpp"
+
+double Agg::sum() const {
+  double total = 0;
+  for (const auto& [k, v] : buckets_) total += v;
+  return total;
+}

@@ -1,0 +1,10 @@
+// Lint fixture: same-stem .hpp header — the hash member declared here
+// must feed unordered-iter tracking in the paired agg.cpp (the pairing
+// used to be .h-only; .hpp siblings are a supported layout now).
+#pragma once
+#include <unordered_map>
+
+struct Agg {
+  std::unordered_map<int, double> buckets_;
+  double sum() const;
+};

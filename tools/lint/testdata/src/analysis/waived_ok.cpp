@@ -1,9 +1,13 @@
-// Lint fixture: the same hazards as bad_export.cpp, each waived. This file
-// must contribute zero findings (lint_test asserts the fixture directory's
-// finding set comes entirely from the bad_* files).
+// Lint fixture: the same hazards as the bad_* files, each waived. This
+// file must contribute zero findings (lint_test asserts the fixture
+// directory's finding set comes entirely from the bad_* files).
+// lint-hot-path (so the waived allocation below is actually exercised)
 #include <unordered_map>
+#include "core/study.h"  // lint: layering (fixture exercises a waived upward edge)
 
 std::unordered_map<int, double> totals;
+
+static int g_fixture_hits = 0;  // lint: shared-static (fixture counter)
 
 double max_total() {
   double best = 0;
@@ -15,6 +19,10 @@ void timed() {
   auto t = std::chrono::steady_clock::now();  // lint: wallclock
   int jitter = rand();                        // lint: entropy
   net::Rng rng(77);                           // lint: rng-seed
+}
+
+int* scratch_slot() {
+  return new int(0);  // lint: hot-alloc (fixture exercises a waived allocation)
 }
 
 struct OkRetainer {

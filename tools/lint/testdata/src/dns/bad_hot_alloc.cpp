@@ -1,0 +1,20 @@
+// Lint fixture: a file marked lint-hot-path using every allocation idiom
+// the hot-alloc rule tracks — non-placement new, make_unique, a
+// std::function member, and a by-value std::string parameter. The
+// placement new at the bottom reuses storage and must not fire.
+// lint-hot-path
+#include <functional>
+#include <memory>
+#include <string>
+
+struct Resolver;
+
+Resolver* grow() { return new Resolver(); }
+
+std::unique_ptr<Resolver> boxed() { return std::make_unique<Resolver>(); }
+
+std::function<void()> deferred_wakeup;
+
+void lookup(std::string name);
+
+void reuse(void* slot) { ::new (slot) Resolver(); }

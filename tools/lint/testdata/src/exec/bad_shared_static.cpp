@@ -1,0 +1,24 @@
+// Lint fixture: mutable statics at namespace and function scope — two
+// shared-static findings. The const table and the thread_local slot must
+// not fire, and neither must the static free function.
+#include <string>
+
+static int g_campaign_counter = 0;
+
+namespace exec {
+
+static const char* const kCohortNames[] = {"urban", "rural"};
+
+static int helper_fn(int x) { return x + 1; }
+
+int next_id() {
+  static int last_id = 0;
+  return ++last_id;
+}
+
+int scratch() {
+  static thread_local int slot = 0;
+  return slot + helper_fn(0);
+}
+
+}  // namespace exec

@@ -1,0 +1,7 @@
+// Lint fixture: cyc_a.h and cyc_b.h include each other — the
+// include-cycle rule must fire exactly once, anchored at the include that
+// closes the cycle, with the full chain in the message.
+#pragma once
+#include "measure/cyc_b.h"
+
+struct CycA {};

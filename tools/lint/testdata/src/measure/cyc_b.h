@@ -1,0 +1,5 @@
+// Lint fixture: second half of the cyc_a.h <-> cyc_b.h include cycle.
+#pragma once
+#include "measure/cyc_a.h"
+
+struct CycB {};

@@ -1,0 +1,5 @@
+// Lint fixture: net (layer 2) reaching up into measure (layer 5) — the
+// layering rule must fire and name the violated edge in its message.
+#include "measure/records.h"
+
+void poke_records() { measure::touch(); }
